@@ -1,0 +1,81 @@
+"""Shared helpers for the benchmark harness.
+
+Every file under ``benchmarks/`` regenerates one artifact of the paper
+(a figure's construction or a cell of the Figure 5.3 table).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Shape assertions are made inline (who wins, what the fitted exponents
+are); the printed tables are the reproduction output recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.checker import execution_from_schedule
+from repro.core.types import Execution, OpKind, Operation
+
+
+def report(title: str, body: str) -> None:
+    """Emit a reproduction table to stdout (visible with -s / in CI logs)."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def coherent_trace(
+    n_ops: int,
+    nproc: int,
+    seed: int,
+    num_values: int = 0,
+    addresses: tuple = ("x",),
+    rmw_only: bool = False,
+) -> tuple[Execution, list[Operation]]:
+    """A random known-coherent trace (schedule-sliced).
+
+    ``num_values == 0`` means globally unique write values (the forced
+    read-map regime); otherwise values are drawn from a small set.
+    """
+    rng = random.Random(seed)
+    current: dict = {a: 0 for a in addresses}
+    counter = [0]
+
+    def fresh() -> object:
+        if num_values:
+            return rng.randrange(num_values)
+        counter[0] += 1
+        return counter[0]
+
+    schedule: list[Operation] = []
+    for _ in range(n_ops):
+        p = rng.randrange(nproc)
+        a = rng.choice(addresses)
+        if rmw_only:
+            v = fresh()
+            schedule.append(
+                Operation(OpKind.RMW, a, p, 0, value_read=current[a], value_written=v)
+            )
+            current[a] = v
+        elif rng.random() < 0.45:
+            v = fresh()
+            schedule.append(Operation(OpKind.WRITE, a, p, 0, value_written=v))
+            current[a] = v
+        else:
+            schedule.append(Operation(OpKind.READ, a, p, 0, value_read=current[a]))
+    execution = execution_from_schedule(
+        schedule, nproc, initial={a: 0 for a in addresses}
+    )
+    counters = [0] * nproc
+    witness = []
+    for op in schedule:
+        witness.append(execution.histories[op.proc][counters[op.proc]])
+        counters[op.proc] += 1
+    return execution, witness
+
+
+@pytest.fixture
+def seeded_rng():
+    return random.Random(2003)  # the paper's year

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: building executions and verifying coherence/consistency.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ExecutionBuilder,
+    parse_trace,
+    verify_coherence,
+    verify_sequential_consistency,
+    verify_vscc,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A coherent single-location execution.
+    # ------------------------------------------------------------------
+    print("== 1. coherent execution ==")
+    b = ExecutionBuilder(initial={"x": 0})
+    b.process().write("x", 1).read("x", 1)
+    b.process().read("x", 0).read("x", 1)
+    execution = b.build()
+    result = verify_coherence(execution)
+    print(f"coherent: {bool(result)}  (decided by: {result.method})")
+    print(f"witness:  {result.witness_str()}")
+
+    # ------------------------------------------------------------------
+    # 2. A coherence violation: P1 saw the new value, then the old one.
+    # ------------------------------------------------------------------
+    print("\n== 2. coherence violation ==")
+    b = ExecutionBuilder(initial={"x": 0})
+    b.process().write("x", 1).read("x", 1)
+    b.process().read("x", 1).read("x", 0)
+    result = verify_coherence(b.build())
+    print(f"coherent: {bool(result)}")
+    print(f"reason:   {result.reason}")
+
+    # ------------------------------------------------------------------
+    # 3. Coherent everywhere, yet not sequentially consistent — the
+    #    store-buffering outcome.  Coherence is per-location; SC is not.
+    # ------------------------------------------------------------------
+    print("\n== 3. coherent but not sequentially consistent (SB) ==")
+    execution = parse_trace(
+        """
+        P0: W(x,1) R(y,0)
+        P1: W(y,1) R(x,0)
+        """,
+        initial={"x": 0, "y": 0},
+    )
+    coh = verify_coherence(execution)
+    sc = verify_sequential_consistency(execution)
+    print(f"coherent per address: {bool(coh)}")
+    print(f"sequentially consistent: {bool(sc)}  ({sc.reason})")
+
+    # ------------------------------------------------------------------
+    # 4. VSCC: the promise problem — check coherence first, then SC.
+    # ------------------------------------------------------------------
+    print("\n== 4. VSCC on the same trace ==")
+    result = verify_vscc(execution)
+    print(f"verdict: {bool(result)}  (method: {result.method})")
+    for addr, sub in sorted(result.per_address.items()):
+        print(f"  address {addr!r}: coherent via {sub.method}")
+
+    # ------------------------------------------------------------------
+    # 5. Read-modify-writes and final values.
+    # ------------------------------------------------------------------
+    print("\n== 5. RMW chains with a required final value ==")
+    b = ExecutionBuilder(initial={"c": 0})
+    b.process().rmw("c", 0, 1).rmw("c", 2, 3)
+    b.process().rmw("c", 1, 2)
+    execution = b.build(final={"c": 3})
+    result = verify_coherence(execution)
+    print(f"coherent: {bool(result)}  witness: {result.witness_str()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``verify <trace>``       — decide coherence of a trace file
+  (``.json`` in the serialize format, or the compact text format);
+  ``--sc`` checks sequential consistency instead; ``--model NAME``
+  checks a consistency model (TSO/PSO/RMO).
+* ``simulate``             — run the multiprocessor simulator on a
+  workload, verify the result, optionally dump the trace.
+* ``solve <file.cnf>``     — decide a DIMACS formula with the built-in
+  CDCL solver (``--via-vmc`` routes it through the Figure 4.1
+  reduction instead, as a demonstration).
+* ``litmus``               — print the litmus-test model table.
+
+Exit status: 0 = property holds / SAT, 1 = violated / UNSAT,
+2 = usage or input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.builder import parse_trace
+from repro.core.serialize import load as load_json, save as save_json
+from repro.core.types import Execution, schedule_str
+from repro.core.vmc import verify_coherence
+from repro.core.vsc import verify_sequential_consistency
+
+
+def _load_trace(path_str: str) -> Execution:
+    path = Path(path_str)
+    if not path.exists():
+        raise FileNotFoundError(f"trace file {path} does not exist")
+    text = path.read_text()
+    if path.suffix == ".json":
+        from repro.core.serialize import loads
+
+        return loads(text)
+    return parse_trace(text)
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    try:
+        execution = _load_trace(args.trace)
+    except (OSError, ValueError, FileNotFoundError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if args.model:
+        from repro.consistency.restrict import checker_for
+
+        try:
+            checker = checker_for(args.model.upper() if args.model != "coherence" else args.model)
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        ok = checker(execution)
+        print(f"{args.model}: {'holds' if ok else 'VIOLATED'}")
+        return 0 if ok else 1
+    if args.sc:
+        result = verify_sequential_consistency(execution)
+        label = "sequential consistency"
+    else:
+        result = verify_coherence(execution)
+        label = "coherence"
+    print(f"{label}: {'holds' if result else 'VIOLATED'}  "
+          f"(method: {result.method})")
+    if result and result.schedule and args.witness:
+        print(f"witness: {schedule_str(result.schedule)}")
+    if not result:
+        print(f"reason: {result.reason}")
+    return 0 if result else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.memsys import (
+        FaultConfig,
+        FaultKind,
+        MultiprocessorSystem,
+        SystemConfig,
+        random_shared_workload,
+    )
+
+    scripts, initial = random_shared_workload(
+        num_processors=args.processors,
+        ops_per_processor=args.ops,
+        num_addresses=args.addresses,
+        values=args.values,
+        seed=args.seed,
+    )
+    faults = FaultConfig.none()
+    if args.fault:
+        try:
+            kind = FaultKind(args.fault)
+        except ValueError:
+            print(
+                f"error: unknown fault {args.fault!r}; choose from "
+                f"{[k.value for k in FaultKind]}",
+                file=sys.stderr,
+            )
+            return 2
+        faults = FaultConfig.single(kind, seed=args.seed, rate=args.fault_rate)
+    cfg = SystemConfig(
+        num_processors=args.processors, protocol=args.protocol, seed=args.seed
+    )
+    run = MultiprocessorSystem(
+        cfg, scripts, initial_memory=initial, faults=faults
+    ).run()
+    print(run.summary())
+    print(f"bus traffic: {run.bus_traffic}")
+    result = verify_coherence(run.execution, write_orders=run.write_orders)
+    print(f"coherence: {'holds' if result else 'VIOLATED'}")
+    if not result:
+        print(f"reason: {result.reason}")
+    if args.out:
+        save_json(run.execution, args.out)
+        print(f"trace written to {args.out}")
+    return 0 if result else 1
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    from repro.sat.dimacs import read_dimacs
+
+    try:
+        cnf = read_dimacs(args.cnf)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if args.via_vmc:
+        from repro.reductions.decode import solve_sat_via_vmc
+
+        model = solve_sat_via_vmc(cnf)
+        how = "via the Figure 4.1 VMC reduction"
+    else:
+        from repro.sat import solve
+
+        model = solve(cnf, solver=args.solver)
+        how = f"with {args.solver}"
+    if model is None:
+        print(f"UNSAT ({how})")
+        return 1
+    lits = " ".join(
+        str(v if model.get(v) else -v) for v in range(1, cnf.num_vars + 1)
+    )
+    print(f"SAT ({how})\nv {lits} 0")
+    return 0
+
+
+def cmd_litmus(_args: argparse.Namespace) -> int:
+    from repro.consistency.litmus import litmus_table
+
+    print(litmus_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trace-based verification of memory coherence and "
+        "consistency (Cantin, Lipasti & Smith, SPAA 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("verify", help="verify a trace file")
+    p.add_argument("trace", help=".json (serialize format) or text trace")
+    p.add_argument("--sc", action="store_true", help="check sequential consistency")
+    p.add_argument("--model", help="check a consistency model (TSO/PSO/RMO)")
+    p.add_argument("--witness", action="store_true", help="print the witness schedule")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("simulate", help="run the multiprocessor simulator")
+    p.add_argument("--processors", type=int, default=4)
+    p.add_argument("--ops", type=int, default=100)
+    p.add_argument("--addresses", type=int, default=4)
+    p.add_argument("--values", choices=["unique", "small"], default="unique")
+    p.add_argument("--protocol", choices=["MSI", "MESI"], default="MESI")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fault", help="inject a fault kind (e.g. dropped-write)")
+    p.add_argument("--fault-rate", type=float, default=0.05)
+    p.add_argument("--out", help="write the recorded trace to this JSON file")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("solve", help="decide a DIMACS CNF formula")
+    p.add_argument("cnf")
+    p.add_argument("--solver", choices=["cdcl", "dpll", "brute"], default="cdcl")
+    p.add_argument(
+        "--via-vmc",
+        action="store_true",
+        help="solve through the SAT-to-coherence reduction",
+    )
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("litmus", help="print the litmus/model table")
+    p.set_defaults(func=cmd_litmus)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

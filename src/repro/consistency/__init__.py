@@ -1,0 +1,65 @@
+"""Memory consistency models and their trace checkers.
+
+Section 6.2's argument is that every hardware consistency model either
+(a) reduces to coherence on single-location executions, or (b) provides
+synchronization primitives that force such a reduction.  This
+subpackage makes the argument executable:
+
+* :mod:`repro.consistency.models` — the model zoo (SC, TSO, PSO, RMO,
+  PC, …) as ordering-requirement tables;
+* :mod:`repro.consistency.axiomatic` — a generic checker: does a memory
+  order exist that respects the model's enforced program-order pairs?
+  (No store forwarding — the conservative axiomatic core.)
+* :mod:`repro.consistency.tso` / :mod:`repro.consistency.pso` —
+  *operational* checkers with real store buffers and forwarding,
+  exhaustively exploring drain interleavings (exact for litmus-scale
+  traces);
+* :mod:`repro.consistency.lrc` — Lazy Release Consistency on
+  properly-locked traces, the Figure 6.1 target;
+* :mod:`repro.consistency.litmus` — the classic litmus tests (SB, MP,
+  LB, CoRR, IRIW, …) with expected verdicts per model;
+* :mod:`repro.consistency.restrict` — the Section 6.2 restriction
+  theorem as a testable property: on one location, every model's
+  checker agrees with the coherence verifier.
+"""
+
+from repro.consistency.models import (
+    MODELS,
+    COHERENCE_ONLY,
+    PC,
+    PSO_MODEL,
+    RMO,
+    SC,
+    TSO_MODEL,
+    MemoryModel,
+)
+from repro.consistency.axiomatic import relaxed_schedule_exists
+from repro.consistency.tso import tso_holds
+from repro.consistency.pso import pso_holds
+from repro.consistency.lrc import lrc_holds
+from repro.consistency.litmus import LITMUS_TESTS, LitmusTest, check_litmus
+from repro.consistency.generate import enumerate_outcomes, outcome_table, skeleton
+from repro.consistency.hierarchy import strength_chain, table_at_least_as_strong
+
+__all__ = [
+    "MemoryModel",
+    "MODELS",
+    "SC",
+    "TSO_MODEL",
+    "PSO_MODEL",
+    "RMO",
+    "PC",
+    "COHERENCE_ONLY",
+    "relaxed_schedule_exists",
+    "tso_holds",
+    "pso_holds",
+    "lrc_holds",
+    "LITMUS_TESTS",
+    "LitmusTest",
+    "check_litmus",
+    "enumerate_outcomes",
+    "outcome_table",
+    "skeleton",
+    "strength_chain",
+    "table_at_least_as_strong",
+]

@@ -1,0 +1,136 @@
+"""The generic (table-driven) relaxed-consistency checker.
+
+Searches for a *memory order* — one total order of all operations in
+which every read returns the latest same-address write — that respects
+only the program-order pairs the model enforces, plus same-address
+program order (all hardware models keep that; it is the coherence
+component).
+
+States are (per-process issued-sets, memory contents); because relaxed
+models let operations issue out of program order, the per-process state
+is a set rather than a prefix and the search is exponential in the
+per-process operation count.  That is fine for its purpose — litmus
+tests and small traces; for SC specifically prefer
+:func:`repro.core.exact.exact_vsc`, whose prefix states are linear.
+
+No store forwarding is modelled here: a read sees only globally
+performed writes.  The operational TSO/PSO checkers model forwarding;
+litmus tests pin the cases where the two disagree.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Execution, OpKind, Operation
+from repro.core.result import VerificationResult
+from repro.consistency.models import MemoryModel
+
+
+def relaxed_schedule_exists(
+    execution: Execution,
+    model: MemoryModel,
+    max_states: int | None = 2_000_000,
+) -> VerificationResult:
+    """Does a model-respecting memory order exist for the execution?"""
+    histories = [h.operations for h in execution.histories]
+    k = len(histories)
+    addr_list = execution.constrained_addresses()
+    addr_idx = {a: i for i, a in enumerate(addr_list)}
+    initial = tuple(execution.initial_value(a) for a in addr_list)
+    final_req = [execution.final_value(a) for a in addr_list]
+    total = sum(len(h) for h in histories)
+
+    # Precompute, per op, the set of po-predecessors that must issue
+    # first (enforced kind pair, same address, or sync fences).
+    blockers: list[list[list[int]]] = []
+    for h in histories:
+        per_op: list[list[int]] = []
+        for i, op in enumerate(h):
+            need = [
+                j
+                for j in range(i)
+                if h[j].addr == op.addr
+                or model.enforces(h[j].kind, op.kind)
+            ]
+            per_op.append(need)
+        blockers.append(per_op)
+
+    start = (tuple(frozenset() for _ in range(k)), initial)
+    visited = {start}
+    stack = [(start, list(_enabled(start, histories, blockers)))]
+    trail: list[Operation] = []
+    states = 0
+
+    def final_ok(values) -> bool:
+        return all(r is None or values[i] == r for i, r in enumerate(final_req))
+
+    if total == 0:
+        ok = final_ok(initial)
+        return VerificationResult(
+            holds=ok, method=f"axiomatic-{model.name}", schedule=[] if ok else None
+        )
+
+    while stack:
+        (issued, values), options = stack[-1]
+        if len(trail) == total:
+            if final_ok(values):
+                return VerificationResult(
+                    holds=True,
+                    method=f"axiomatic-{model.name}",
+                    schedule=list(trail),
+                    stats={"states": states},
+                )
+            stack.pop()
+            if trail:
+                trail.pop()
+            continue
+        progressed = False
+        while options:
+            p, i = options.pop()
+            op = histories[p][i]
+            new_values = values
+            if not op.kind.is_sync:
+                ai = addr_idx[op.addr]
+                if op.kind.reads and op.value_read != values[ai]:
+                    continue
+                if op.kind.writes:
+                    new_values = (
+                        values[:ai] + (op.value_written,) + values[ai + 1 :]
+                    )
+            new_issued = tuple(
+                s | {i} if q == p else s for q, s in enumerate(issued)
+            )
+            state = (new_issued, new_values)
+            if state in visited:
+                continue
+            visited.add(state)
+            states += 1
+            if max_states is not None and states > max_states:
+                raise RuntimeError(
+                    f"axiomatic search exceeded {max_states} states"
+                )
+            stack.append((state, list(_enabled(state, histories, blockers))))
+            trail.append(op)
+            progressed = True
+            break
+        if not progressed and stack and not stack[-1][1]:
+            stack.pop()
+            if trail:
+                trail.pop()
+
+    return VerificationResult(
+        holds=False,
+        method=f"axiomatic-{model.name}",
+        reason=f"no {model.name}-consistent memory order exists",
+        stats={"states": states},
+    )
+
+
+def _enabled(state, histories, blockers):
+    issued_sets, _ = state
+    for p, h in enumerate(histories):
+        issued = issued_sets[p]
+        for i in range(len(h)):
+            if i in issued:
+                continue
+            if all(j in issued for j in blockers[p][i]):
+                yield (p, i)

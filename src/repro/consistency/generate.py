@@ -1,0 +1,145 @@
+"""Outcome enumeration: classify *every* candidate result of a program.
+
+Litmus tools (herd, diy) take a small concurrent program and list which
+final outcomes each memory model admits.  This module does the same on
+top of the library's checkers:
+
+* a *program skeleton* is an execution whose reads carry the
+  placeholder :data:`UNKNOWN` instead of observed values;
+* :func:`enumerate_outcomes` instantiates every assignment of candidate
+  values to the unknown reads (values written to that address plus its
+  initial value) and classifies each candidate execution under the
+  requested models;
+* :func:`outcome_table` renders the classic allowed/forbidden matrix.
+
+This is exponential in the number of reads — litmus-sized programs
+only, like the tools it mirrors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.consistency.restrict import checker_for
+from repro.core.types import Execution, OpKind, Operation
+
+#: Placeholder read value in program skeletons.
+UNKNOWN = ("?",)
+
+
+def skeleton(text: str, initial: dict | None = None) -> Execution:
+    """Parse a program skeleton: the trace format with ``R(addr,?)``
+    reads.  (Plain values are allowed too and stay fixed.)"""
+    from repro.core.builder import parse_trace
+
+    normalized = text.replace("?)", "'?')").replace("'?'", "__unknown__")
+    ex = parse_trace(normalized, initial=initial)
+    histories = []
+    for h in ex.histories:
+        ops = []
+        for op in h:
+            if op.kind is OpKind.READ and op.value_read == "__unknown__":
+                ops.append(
+                    Operation(
+                        OpKind.READ, op.addr, op.proc, op.index,
+                        value_read=UNKNOWN,
+                    )
+                )
+            else:
+                ops.append(op)
+        histories.append(ops)
+    return Execution.from_ops(histories, initial=ex.initial, final=ex.final)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One candidate result: read uid -> observed value, plus verdicts."""
+
+    reads: tuple  # ((proc, index, addr, value), ...)
+    verdicts: tuple  # ((model, allowed), ...)
+
+    def value_of(self, proc: int, index: int):
+        for p, i, _, v in self.reads:
+            if (p, i) == (proc, index):
+                return v
+        raise KeyError((proc, index))
+
+    def allowed_under(self, model: str) -> bool:
+        for m, ok in self.verdicts:
+            if m == model:
+                return ok
+        raise KeyError(model)
+
+    def label(self) -> str:
+        return " ".join(f"P{p}:r{i}({a})={v}" for p, i, a, v in self.reads)
+
+
+def _candidate_values(execution: Execution, addr) -> list:
+    values = [execution.initial_value(addr)]
+    for op in execution.all_ops():
+        if op.kind.writes and op.addr == addr and op.value_written not in values:
+            values.append(op.value_written)
+    return values
+
+
+def enumerate_outcomes(
+    program: Execution,
+    models: list[str] = ("SC", "TSO", "PSO", "RMO"),
+    max_outcomes: int = 4096,
+) -> list[Outcome]:
+    """Instantiate and classify every candidate outcome of a skeleton."""
+    unknown_reads = [
+        op
+        for op in program.all_ops()
+        if op.kind is OpKind.READ and op.value_read == UNKNOWN
+    ]
+    candidates = [_candidate_values(program, op.addr) for op in unknown_reads]
+    total = 1
+    for c in candidates:
+        total *= len(c)
+    if total > max_outcomes:
+        raise ValueError(
+            f"{total} candidate outcomes exceed the cap ({max_outcomes})"
+        )
+    checkers = {m: checker_for(m) for m in models}
+    outcomes: list[Outcome] = []
+    for combo in itertools.product(*candidates):
+        histories = [list(h.operations) for h in program.histories]
+        assignment = dict(zip((op.uid for op in unknown_reads), combo))
+        for p, h in enumerate(histories):
+            for i, op in enumerate(h):
+                if op.uid in assignment:
+                    histories[p][i] = Operation(
+                        OpKind.READ, op.addr, op.proc, op.index,
+                        value_read=assignment[op.uid],
+                    )
+        candidate = Execution.from_ops(
+            histories, initial=program.initial, final=program.final
+        )
+        verdicts = tuple(
+            (m, bool(checkers[m](candidate))) for m in models
+        )
+        reads = tuple(
+            (op.proc, op.index, op.addr, assignment[op.uid])
+            for op in unknown_reads
+        )
+        outcomes.append(Outcome(reads=reads, verdicts=verdicts))
+    return outcomes
+
+
+def outcome_table(
+    program: Execution, models: list[str] = ("SC", "TSO", "PSO", "RMO")
+) -> str:
+    """The classic per-outcome allowed/forbidden matrix."""
+    outcomes = enumerate_outcomes(program, models=models)
+    width = max((len(o.label()) for o in outcomes), default=10)
+    lines = [
+        f"{'outcome':<{width}}  " + "  ".join(f"{m:>4}" for m in models)
+    ]
+    for o in outcomes:
+        row = [f"{o.label():<{width}}"]
+        for m in models:
+            row.append(f"{'yes' if o.allowed_under(m) else 'no':>4}")
+        lines.append("  ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""The strength partial order over consistency models.
+
+A model A is *at least as strong as* B when every ordering requirement
+of B is also required by A — then every A-consistent execution is
+B-consistent.  Section 6.2's hardness transfer rides on the bottom of
+this order: every model here sits above per-location coherence.
+
+Two views are provided:
+
+* :func:`table_at_least_as_strong` — the syntactic check on the
+  ordering tables (sound for the axiomatic checkers);
+* :func:`observed_hierarchy` — the empirical check: across a set of
+  executions, the stronger model's "allowed" set must be a subset of
+  the weaker's, using the library's best checker per model.  Tests run
+  this over the litmus suite and random traces.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.models import MODELS, MemoryModel
+from repro.core.types import Execution, OpKind
+
+_PAIRS = [
+    (OpKind.READ, OpKind.READ),
+    (OpKind.READ, OpKind.WRITE),
+    (OpKind.WRITE, OpKind.READ),
+    (OpKind.WRITE, OpKind.WRITE),
+]
+
+
+def table_at_least_as_strong(a: MemoryModel, b: MemoryModel) -> bool:
+    """True when A's table enforces a superset of B's orderings."""
+    return all(
+        a.enforces(x, y) or not b.enforces(x, y) for x, y in _PAIRS
+    )
+
+
+def strength_chain() -> list[str]:
+    """The canonical SC ≥ TSO ≥ PSO ≥ RMO ≥ coherence chain, validated
+    against the tables (raises if the registry ever breaks it)."""
+    chain = ["SC", "TSO", "PSO", "RMO", "coherence"]
+    for stronger, weaker in zip(chain, chain[1:]):
+        if not table_at_least_as_strong(MODELS[stronger], MODELS[weaker]):
+            raise AssertionError(
+                f"model registry broken: {stronger} is not at least as "
+                f"strong as {weaker}"
+            )
+    return chain
+
+
+def observed_hierarchy(
+    executions: list[Execution],
+    stronger: str,
+    weaker: str,
+) -> tuple[int, list[Execution]]:
+    """Check allowed(stronger) ⊆ allowed(weaker) over ``executions``.
+
+    Returns ``(checked, violations)`` where violations are executions
+    the stronger model allows but the weaker rejects (must be empty for
+    a correct checker pair).
+    """
+    from repro.consistency.restrict import checker_for
+
+    check_strong = checker_for(stronger)
+    check_weak = checker_for(weaker)
+    violations: list[Execution] = []
+    for ex in executions:
+        if check_strong(ex) and not check_weak(ex):
+            violations.append(ex)
+    return len(executions), violations

@@ -1,0 +1,227 @@
+"""The classic litmus tests, with expected verdicts per model.
+
+Each test is a tiny execution encoding a *candidate outcome* (the read
+values encode what was observed); a model "allows" the test when some
+model-consistent execution produces those values.  The expected
+verdicts follow the standard tables (SPARC V9 manual, Adve & Gharachorloo's
+tutorial):
+
+=============  ====  ====  ====  ====
+test            SC    TSO   PSO   RMO
+=============  ====  ====  ====  ====
+SB              ✗     ✓     ✓     ✓
+SB+fwd          ✗     ✓     ✓     ✓
+MP              ✗     ✗     ✓     ✓
+LB              ✗     ✗     ✗     ✓
+CoRR            ✗     ✗     ✗     ✗
+CoWW            ✗     ✗     ✗     ✗
+IRIW            ✗     ✗     ✗     ✓*
+2+2W            ✗     ✗     ✓     ✓
+WRC             ✗     ✗     ✗     ✓
+S               ✗     ✗     ✓     ✓
+R               ✗     ✓     ✓     ✓
+CoWR            ✓     ✓     ✓     ✓
+CoRW1           ✗     ✗     ✗     ✗
+=============  ====  ====  ====  ====
+
+(*) IRIW under RMO: our table-driven RMO has a single memory order, so
+IRIW is allowed only through read reordering, which RMO's relaxed R→R
+permits.  Checkers used per model: SC → exact VSC; TSO/PSO →
+operational buffer search; RMO → the axiomatic table checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.types import Execution
+from repro.core.builder import parse_trace
+from repro.core.exact import exact_vsc
+from repro.consistency.axiomatic import relaxed_schedule_exists
+from repro.consistency.models import RMO
+from repro.consistency.pso import pso_holds
+from repro.consistency.tso import tso_holds
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named candidate outcome and which models allow it.
+
+    ``final`` optionally constrains end-of-run memory (several classic
+    shapes — 2+2W, S, R — are about final values, not read values).
+    """
+
+    name: str
+    trace: str
+    allowed: dict[str, bool]  # model name -> allowed?
+    description: str = ""
+    final: tuple = ()  # ((addr, value), ...) — hashable for frozen=True
+
+    def execution(self) -> Execution:
+        initial = {a: 0 for a in ("x", "y")}
+        return parse_trace(
+            self.trace, initial=initial, final=dict(self.final) or None
+        )
+
+
+LITMUS_TESTS: list[LitmusTest] = [
+    LitmusTest(
+        "SB",
+        """
+        P0: W(x,1) R(y,0)
+        P1: W(y,1) R(x,0)
+        """,
+        {"SC": False, "TSO": True, "PSO": True, "RMO": True},
+        "store buffering: both reads miss the other's store",
+    ),
+    LitmusTest(
+        "SB+fwd",
+        """
+        P0: W(x,1) R(x,1) R(y,0)
+        P1: W(y,1) R(y,1) R(x,0)
+        """,
+        {"SC": False, "TSO": True, "PSO": True, "RMO": True},
+        "store buffering with own stores forwarded from the buffer",
+    ),
+    LitmusTest(
+        "MP",
+        """
+        P0: W(x,1) W(y,1)
+        P1: R(y,1) R(x,0)
+        """,
+        {"SC": False, "TSO": False, "PSO": True, "RMO": True},
+        "message passing: flag seen but payload missed",
+    ),
+    LitmusTest(
+        "LB",
+        """
+        P0: R(x,1) W(y,1)
+        P1: R(y,1) W(x,1)
+        """,
+        {"SC": False, "TSO": False, "PSO": False, "RMO": True},
+        "load buffering: each read sees the other's later store",
+    ),
+    LitmusTest(
+        "CoRR",
+        """
+        P0: W(x,1)
+        P1: R(x,1) R(x,0)
+        """,
+        {"SC": False, "TSO": False, "PSO": False, "RMO": False},
+        "coherence read-read: new value then old value of one location",
+    ),
+    LitmusTest(
+        "CoWW",
+        """
+        P0: W(x,1) W(x,2)
+        P1: R(x,2) R(x,1)
+        """,
+        {"SC": False, "TSO": False, "PSO": False, "RMO": False},
+        "coherence write-write: observers disagree with write order",
+    ),
+    LitmusTest(
+        "IRIW",
+        """
+        P0: W(x,1)
+        P1: W(y,1)
+        P2: R(x,1) R(y,0)
+        P3: R(y,1) R(x,0)
+        """,
+        {"SC": False, "TSO": False, "PSO": False, "RMO": True},
+        "independent reads of independent writes in opposite orders",
+    ),
+    LitmusTest(
+        "2+2W",
+        """
+        P0: W(x,1) W(y,2)
+        P1: W(y,1) W(x,2)
+        """,
+        {"SC": False, "TSO": False, "PSO": True, "RMO": True},
+        "write-write: final x==1 and y==1 (checked via final values)",
+        final=(("x", 1), ("y", 1)),
+    ),
+    LitmusTest(
+        "WRC",
+        """
+        P0: W(x,1)
+        P1: R(x,1) W(y,1)
+        P2: R(y,1) R(x,0)
+        """,
+        {"SC": False, "TSO": False, "PSO": False, "RMO": True},
+        "write-to-read causality: P2 sees the flag but misses the "
+        "payload; forbidden on every multi-copy-atomic model with "
+        "in-order reads, admitted only once R->R relaxes",
+    ),
+    LitmusTest(
+        "S",
+        """
+        P0: W(x,2) W(y,1)
+        P1: R(y,1) W(x,1)
+        """,
+        {"SC": False, "TSO": False, "PSO": True, "RMO": True},
+        "the S shape: final x must be 2 while P1's write lands between",
+        final=(("x", 2),),
+    ),
+    LitmusTest(
+        "R",
+        """
+        P0: W(x,1) W(y,1)
+        P1: W(y,2) R(x,0)
+        """,
+        {"SC": False, "TSO": True, "PSO": True, "RMO": True},
+        "the R shape: W->R relaxation on P1 suffices",
+        final=(("y", 2),),
+    ),
+    LitmusTest(
+        "CoWR",
+        """
+        P0: W(x,1) R(x,2)
+        P1: W(x,2)
+        """,
+        {"SC": True, "TSO": True, "PSO": True, "RMO": True},
+        "read from another write after own write: allowed when P1's "
+        "write intervenes",
+    ),
+    LitmusTest(
+        "CoRW1",
+        """
+        P0: R(x,1) W(x,1)
+        """,
+        {"SC": False, "TSO": False, "PSO": False, "RMO": False},
+        "a read cannot observe the program-order-later write it "
+        "precedes (same location)",
+    ),
+]
+
+
+def _execution_for(test: LitmusTest) -> Execution:
+    return test.execution()
+
+
+_CHECKERS: dict[str, Callable[[Execution], object]] = {
+    "SC": lambda ex: exact_vsc(ex),
+    "TSO": lambda ex: tso_holds(ex),
+    "PSO": lambda ex: pso_holds(ex),
+    "RMO": lambda ex: relaxed_schedule_exists(ex, RMO),
+}
+
+
+def check_litmus(test: LitmusTest, model: str) -> bool:
+    """Run ``model``'s checker on ``test``; True = outcome allowed."""
+    if model not in _CHECKERS:
+        raise ValueError(f"no checker wired for model {model!r}")
+    return bool(_CHECKERS[model](_execution_for(test)))
+
+
+def litmus_table() -> str:
+    """The observed allow/forbid table, for the examples and benches."""
+    models = ["SC", "TSO", "PSO", "RMO"]
+    lines = [f"{'test':>8}  " + "  ".join(f"{m:>4}" for m in models)]
+    for t in LITMUS_TESTS:
+        row = [f"{t.name:>8}"]
+        for m in models:
+            allowed = check_litmus(t, m)
+            row.append(f"{'yes' if allowed else 'no':>4}")
+        lines.append("  ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""The consistency-model zoo as ordering-requirement tables.
+
+A hardware memory model is characterised (to first order — the level
+Section 6.2 argues at) by which program-order pairs it keeps between
+operations to *different* locations:
+
+=======  =====  =====  =====  =====
+model     R→R    R→W    W→R    W→W
+=======  =====  =====  =====  =====
+SC         ✓      ✓      ✓      ✓
+TSO        ✓      ✓      ✗      ✓
+PC         ✓      ✓      ✗      ✓
+PSO        ✓      ✓      ✗      ✗
+RMO        ✗      ✗      ✗      ✗
+coherence  ✗      ✗      ✗      ✗
+=======  =====  =====  =====  =====
+
+Every model here keeps *same-location* program order and per-location
+write serialization — that is precisely why restricting any of them to
+one shared location yields memory coherence (the ``restrict`` module
+tests this), which is the hook for the paper's NP-hardness transfer.
+
+``PC`` (processor consistency) additionally relaxes store atomicity,
+and ``TSO`` allows forwarding; the table-driven axiomatic checker is
+conservative about both, while the operational checkers in
+:mod:`repro.consistency.tso`/:mod:`repro.consistency.pso` model
+buffers and forwarding exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import OpKind
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Ordering-requirement table for one consistency model."""
+
+    name: str
+    order_rr: bool
+    order_rw: bool
+    order_wr: bool
+    order_ww: bool
+    store_forwarding: bool = False
+    description: str = ""
+
+    def enforces(self, first: OpKind, second: OpKind) -> bool:
+        """Whether program order ``first ; second`` (different
+        locations) must be respected by the memory order.
+
+        An RMW has both a read and a write component, so it is ordered
+        if *any* applicable component pair is ordered.  Sync operations
+        (acquire/release) act as full fences.
+        """
+        if first.is_sync or second.is_sync:
+            return True
+        first_kinds = self._components(first)
+        second_kinds = self._components(second)
+        table = {
+            (OpKind.READ, OpKind.READ): self.order_rr,
+            (OpKind.READ, OpKind.WRITE): self.order_rw,
+            (OpKind.WRITE, OpKind.READ): self.order_wr,
+            (OpKind.WRITE, OpKind.WRITE): self.order_ww,
+        }
+        return any(table[(a, b)] for a in first_kinds for b in second_kinds)
+
+    @staticmethod
+    def _components(kind: OpKind) -> list[OpKind]:
+        if kind is OpKind.RMW:
+            return [OpKind.READ, OpKind.WRITE]
+        return [kind]
+
+
+SC = MemoryModel(
+    "SC",
+    order_rr=True,
+    order_rw=True,
+    order_wr=True,
+    order_ww=True,
+    description="Lamport sequential consistency: all program order kept",
+)
+
+TSO_MODEL = MemoryModel(
+    "TSO",
+    order_rr=True,
+    order_rw=True,
+    order_wr=False,
+    order_ww=True,
+    store_forwarding=True,
+    description="SPARC/x86 total store order: W->R relaxed, FIFO store buffer",
+)
+
+PC = MemoryModel(
+    "PC",
+    order_rr=True,
+    order_rw=True,
+    order_wr=False,
+    order_ww=True,
+    description="Processor consistency: like TSO but without store atomicity",
+)
+
+PSO_MODEL = MemoryModel(
+    "PSO",
+    order_rr=True,
+    order_rw=True,
+    order_wr=False,
+    order_ww=False,
+    store_forwarding=True,
+    description="SPARC partial store order: per-address store buffers",
+)
+
+RMO = MemoryModel(
+    "RMO",
+    order_rr=False,
+    order_rw=False,
+    order_wr=False,
+    order_ww=False,
+    description="Relaxed memory order: only same-address order and fences",
+)
+
+COHERENCE_ONLY = MemoryModel(
+    "coherence",
+    order_rr=False,
+    order_rw=False,
+    order_wr=False,
+    order_ww=False,
+    description="Per-location serialization only (the VMC property)",
+)
+
+MODELS: dict[str, MemoryModel] = {
+    m.name: m for m in (SC, TSO_MODEL, PC, PSO_MODEL, RMO, COHERENCE_ONLY)
+}

@@ -1,0 +1,23 @@
+"""Operational PSO checker.
+
+SPARC partial store order: like TSO but the store buffer is FIFO only
+*per address* — stores to different addresses may drain in either
+order, which is exactly the relaxation that makes the MP litmus test
+observable.  Implementation shares the engine in
+:mod:`repro.consistency.tso` with per-address drain candidates.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Execution
+from repro.core.result import VerificationResult
+from repro.consistency.tso import _buffered_search
+
+
+def pso_holds(
+    execution: Execution, max_states: int | None = 2_000_000
+) -> VerificationResult:
+    """Decide PSO-consistency of an execution by exhaustive search."""
+    return _buffered_search(
+        execution, per_address=True, name="PSO", max_states=max_states
+    )

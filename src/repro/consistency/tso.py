@@ -1,0 +1,145 @@
+"""Operational TSO checker: exhaustive store-buffer simulation.
+
+SPARC/x86 total store order, modelled operationally:
+
+* each processor owns a FIFO store buffer;
+* a store enters the buffer; the buffer head may drain to memory at any
+  time (a nondeterministic "flush" action);
+* a load first forwards from the youngest same-address entry of its own
+  buffer, else reads memory;
+* an atomic RMW and any sync operation require the issuing processor's
+  buffer to be empty (they drain it), and act on memory directly.
+
+An execution is TSO-consistent iff some interleaving of
+issue/drain actions reproduces every recorded read value (and the final
+memory values, if the execution constrains them).  The checker explores
+all interleavings with memoization — exact, intended for litmus-scale
+traces (state count grows with buffer contents × positions).
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Execution, OpKind
+from repro.core.result import VerificationResult
+
+
+def tso_holds(
+    execution: Execution, max_states: int | None = 2_000_000
+) -> VerificationResult:
+    """Decide TSO-consistency of an execution by exhaustive search."""
+    return _buffered_search(execution, per_address=False, name="TSO", max_states=max_states)
+
+
+def _buffered_search(
+    execution: Execution,
+    per_address: bool,
+    name: str,
+    max_states: int | None,
+) -> VerificationResult:
+    """Shared engine for TSO (one FIFO) and PSO (FIFO per address)."""
+    histories = [h.operations for h in execution.histories]
+    k = len(histories)
+    addr_list = execution.constrained_addresses()
+    addr_idx = {a: i for i, a in enumerate(addr_list)}
+    initial = tuple(execution.initial_value(a) for a in addr_list)
+    final_req = [execution.final_value(a) for a in addr_list]
+    total = sum(len(h) for h in histories)
+
+    # State: (pcs, buffers, memory).
+    #  TSO buffer: tuple of (addr_index, value) oldest-first.
+    #  PSO buffer: same representation; FIFO discipline applies per
+    #  address, so any entry whose address has no older entry may drain.
+    start = (tuple([0] * k), tuple(() for _ in range(k)), initial)
+    visited = {start}
+    states = 0
+
+    def final_ok(memory) -> bool:
+        return all(r is None or memory[i] == r for i, r in enumerate(final_req))
+
+    def forwarded(buffer, ai):
+        for a, v in reversed(buffer):
+            if a == ai:
+                return (v,)
+        return None
+
+    def drain_candidates(buffer):
+        """Indices of buffer entries allowed to drain next."""
+        if not buffer:
+            return []
+        if not per_address:
+            return [0]
+        seen: set[int] = set()
+        out = []
+        for idx, (a, _) in enumerate(buffer):
+            if a not in seen:
+                out.append(idx)
+                seen.add(a)
+        return out
+
+    stack = [start]
+    while stack:
+        state = stack.pop()
+        pcs, buffers, memory = state
+        if all(pcs[p] == len(histories[p]) for p in range(k)) and all(
+            not b for b in buffers
+        ):
+            if final_ok(memory):
+                return VerificationResult(
+                    holds=True, method=f"operational-{name}",
+                    stats={"states": states},
+                )
+            continue
+        successors = []
+        # Issue actions.
+        for p in range(k):
+            if pcs[p] >= len(histories[p]):
+                continue
+            op = histories[p][pcs[p]]
+            new_pcs = pcs[:p] + (pcs[p] + 1,) + pcs[p + 1 :]
+            if op.kind is OpKind.WRITE:
+                ai = addr_idx[op.addr]
+                nb = buffers[p] + ((ai, op.value_written),)
+                successors.append((new_pcs, _set(buffers, p, nb), memory))
+            elif op.kind is OpKind.READ:
+                ai = addr_idx[op.addr]
+                fwd = forwarded(buffers[p], ai)
+                value = fwd[0] if fwd is not None else memory[ai]
+                if value == op.value_read:
+                    successors.append((new_pcs, buffers, memory))
+            elif op.kind is OpKind.RMW:
+                if buffers[p]:
+                    continue  # atomics drain the buffer first
+                ai = addr_idx[op.addr]
+                if memory[ai] == op.value_read:
+                    nm = memory[:ai] + (op.value_written,) + memory[ai + 1 :]
+                    successors.append((new_pcs, buffers, nm))
+            else:  # sync ops fence the buffer
+                if not buffers[p]:
+                    successors.append((new_pcs, buffers, memory))
+        # Drain actions.
+        for p in range(k):
+            for idx in drain_candidates(buffers[p]):
+                ai, v = buffers[p][idx]
+                nb = buffers[p][:idx] + buffers[p][idx + 1 :]
+                nm = memory[:ai] + (v,) + memory[ai + 1 :]
+                successors.append((pcs, _set(buffers, p, nb), nm))
+        for s in successors:
+            if s not in visited:
+                visited.add(s)
+                states += 1
+                if max_states is not None and states > max_states:
+                    raise RuntimeError(
+                        f"{name} search exceeded {max_states} states"
+                    )
+                stack.append(s)
+
+    return VerificationResult(
+        holds=False,
+        method=f"operational-{name}",
+        reason=f"no {name} execution (buffer interleaving) reproduces the trace",
+        stats={"states": states},
+    )
+
+
+def _set(buffers, p, nb):
+    return buffers[:p] + (nb,) + buffers[p + 1 :]

@@ -1,0 +1,199 @@
+"""Ergonomic construction of executions.
+
+Two styles:
+
+* the fluent :class:`ExecutionBuilder` /
+  :class:`ProcessBuilder` pair::
+
+      b = ExecutionBuilder(initial={"x": 0})
+      p0 = b.process()
+      p0.write("x", 1).read("x", 1)
+      p1 = b.process()
+      p1.read("x", 0)
+      execution = b.build(final={"x": 1})
+
+* a compact text format, one process per line, mirroring the paper's
+  column notation::
+
+      P0: W(x,1) R(x,1)
+      P1: R(x,0)
+
+  parsed by :func:`parse_trace`.  Values are ints when they look like
+  ints, the string ``init`` for :data:`INITIAL`, else strings.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from repro.core.types import (
+    INITIAL,
+    Address,
+    Execution,
+    OpKind,
+    Operation,
+    Value,
+)
+
+
+class ProcessBuilder:
+    """Accumulates one process's operations in program order."""
+
+    def __init__(self, proc: int):
+        self.proc = proc
+        self.ops: list[Operation] = []
+
+    def _append(self, kind: OpKind, addr: Address, vr: Value, vw: Value) -> "ProcessBuilder":
+        self.ops.append(
+            Operation(
+                kind,
+                addr,
+                self.proc,
+                len(self.ops),
+                value_read=vr,
+                value_written=vw,
+            )
+        )
+        return self
+
+    def read(self, addr: Address, value: Value) -> "ProcessBuilder":
+        """Append ``R(addr, value)``."""
+        return self._append(OpKind.READ, addr, value, None)
+
+    def write(self, addr: Address, value: Value) -> "ProcessBuilder":
+        """Append ``W(addr, value)``."""
+        return self._append(OpKind.WRITE, addr, None, value)
+
+    def rmw(self, addr: Address, value_read: Value, value_written: Value) -> "ProcessBuilder":
+        """Append ``RW(addr, d_r, d_w)``."""
+        return self._append(OpKind.RMW, addr, value_read, value_written)
+
+    def acquire(self, lock: Address) -> "ProcessBuilder":
+        """Append an acquire of ``lock`` (Figure 6.1 synchronization)."""
+        return self._append(OpKind.ACQUIRE, lock, None, None)
+
+    def release(self, lock: Address) -> "ProcessBuilder":
+        """Append a release of ``lock``."""
+        return self._append(OpKind.RELEASE, lock, None, None)
+
+
+class ExecutionBuilder:
+    """Builds an :class:`~repro.core.types.Execution` process by process."""
+
+    def __init__(self, initial: Mapping[Address, Value] | None = None):
+        self.initial = dict(initial or {})
+        self.processes: list[ProcessBuilder] = []
+
+    def process(self) -> ProcessBuilder:
+        """Open the next process history and return its builder."""
+        p = ProcessBuilder(len(self.processes))
+        self.processes.append(p)
+        return p
+
+    def build(self, final: Mapping[Address, Value] | None = None) -> Execution:
+        return Execution.from_ops(
+            [p.ops for p in self.processes], initial=self.initial, final=final
+        )
+
+
+_OP_RE = re.compile(
+    r"(?P<kind>RW|R|W|ACQ|REL)\s*\(\s*(?P<args>[^)]*)\s*\)", re.IGNORECASE
+)
+_LINE_RE = re.compile(r"^\s*P?(?P<proc>\d+)\s*:\s*(?P<body>.*)$")
+
+
+def _parse_value(tok: str) -> Value:
+    tok = tok.strip()
+    if tok.lower() == "init":
+        return INITIAL
+    try:
+        return int(tok)
+    except ValueError:
+        return tok
+
+
+def parse_trace(
+    text: str,
+    initial: Mapping[Address, Value] | None = None,
+    final: Mapping[Address, Value] | None = None,
+    default_addr: Address = "a",
+) -> Execution:
+    """Parse the compact text format into an execution.
+
+    Single-address shorthand is accepted: ``R(1)`` / ``W(2)`` /
+    ``RW(1,2)`` apply to ``default_addr`` (the paper's shorthand when
+    all operations share one address).
+    """
+    per_proc: dict[int, list[Operation]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            raise ValueError(f"cannot parse trace line: {raw!r}")
+        proc = int(m.group("proc"))
+        ops = per_proc.setdefault(proc, [])
+        body = m.group("body")
+        consumed = 0
+        for om in _OP_RE.finditer(body):
+            consumed += 1
+            kind = om.group("kind").upper()
+            args = [a for a in om.group("args").split(",") if a.strip() != ""]
+            if kind == "R":
+                if len(args) == 1:
+                    addr, vals = default_addr, args
+                elif len(args) == 2:
+                    addr, vals = _parse_value(args[0]), args[1:]
+                else:
+                    raise ValueError(f"R takes 1 or 2 args: {om.group(0)!r}")
+                ops.append(
+                    Operation(
+                        OpKind.READ, addr, proc, len(ops),
+                        value_read=_parse_value(vals[0]),
+                    )
+                )
+            elif kind == "W":
+                if len(args) == 1:
+                    addr, vals = default_addr, args
+                elif len(args) == 2:
+                    addr, vals = _parse_value(args[0]), args[1:]
+                else:
+                    raise ValueError(f"W takes 1 or 2 args: {om.group(0)!r}")
+                ops.append(
+                    Operation(
+                        OpKind.WRITE, addr, proc, len(ops),
+                        value_written=_parse_value(vals[0]),
+                    )
+                )
+            elif kind == "RW":
+                if len(args) == 2:
+                    addr, vals = default_addr, args
+                elif len(args) == 3:
+                    addr, vals = _parse_value(args[0]), args[1:]
+                else:
+                    raise ValueError(f"RW takes 2 or 3 args: {om.group(0)!r}")
+                ops.append(
+                    Operation(
+                        OpKind.RMW, addr, proc, len(ops),
+                        value_read=_parse_value(vals[0]),
+                        value_written=_parse_value(vals[1]),
+                    )
+                )
+            else:  # ACQ / REL
+                if len(args) != 1:
+                    raise ValueError(f"{kind} takes 1 arg: {om.group(0)!r}")
+                ops.append(
+                    Operation(
+                        OpKind.ACQUIRE if kind == "ACQ" else OpKind.RELEASE,
+                        _parse_value(args[0]), proc, len(ops),
+                    )
+                )
+        if consumed == 0 and body.strip():
+            raise ValueError(f"no operations recognised in: {raw!r}")
+    if not per_proc:
+        return Execution.from_ops([], initial=initial, final=final)
+    max_proc = max(per_proc)
+    histories = [per_proc.get(p, []) for p in range(max_proc + 1)]
+    return Execution.from_ops(histories, initial=initial, final=final)

@@ -1,0 +1,92 @@
+"""VSC-Conflict (Section 6.3): merging coherent schedules into an SC one.
+
+A coherent schedule per address encodes a serial order of that address's
+operations (writes *and* the read placements).  Treating those orders as
+constraints, sequential consistency reduces to a precedence question:
+
+    program-order edges  ∪  per-address schedule edges  acyclic?
+
+If acyclic, any topological order is a sequentially consistent schedule
+(per-address value correctness is inherited from the input schedules and
+is untouched by interleaving across addresses).  With consecutive-pair
+edges only, the graph has O(n) edges and the check is O(n log n).
+
+As the paper stresses, this is *weaker* than VSC: the per-address
+schedules are treated as commitments.  An execution can be sequentially
+consistent even though one particular choice of coherent schedules does
+not merge — see ``tests/core/test_conflict.py`` for the paper's point
+reproduced concretely.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.checker import is_coherent_schedule
+from repro.core.types import Address, Execution, Operation
+from repro.core.result import VerificationResult
+from repro.util.digraph import CycleError, Digraph
+
+
+def vsc_conflict(
+    execution: Execution,
+    coherent_schedules: Mapping[Address, Sequence[Operation]],
+    validate_inputs: bool = True,
+) -> VerificationResult:
+    """Merge per-address coherent schedules into an SC schedule.
+
+    ``coherent_schedules`` must supply one coherent schedule per address
+    of the execution; when ``validate_inputs`` each is re-checked with
+    the certificate checker first (O(n)).
+    """
+    addrs = execution.addresses()
+    missing = [a for a in addrs if a not in coherent_schedules]
+    if missing:
+        raise ValueError(f"no coherent schedule supplied for {missing}")
+    if validate_inputs:
+        for a in addrs:
+            outcome = is_coherent_schedule(
+                execution, list(coherent_schedules[a]), addr=a
+            )
+            if not outcome:
+                raise ValueError(
+                    f"supplied schedule for address {a!r} is not coherent: "
+                    f"{outcome.reason}"
+                )
+
+    ops = [op for h in execution.histories for op in h]
+    index_of = {op.uid: i for i, op in enumerate(ops)}
+    g = Digraph(len(ops))
+    # Program-order edges (consecutive pairs suffice).
+    for h in execution.histories:
+        for o1, o2 in zip(h.operations, h.operations[1:]):
+            g.add_edge(index_of[o1.uid], index_of[o2.uid])
+    # Per-address schedule edges (consecutive pairs suffice).
+    for a in addrs:
+        sched = coherent_schedules[a]
+        for o1, o2 in zip(sched, sched[1:]):
+            g.add_edge(index_of[o1.uid], index_of[o2.uid])
+
+    try:
+        order = g.topological_order(
+            tie_break=[op.index for op in ops]  # stable, readable witness
+        )
+    except CycleError as e:
+        cycle_ops = [ops[i] for i in e.cycle]
+        return VerificationResult(
+            holds=False,
+            method="vsc-conflict",
+            reason=(
+                "program order and the committed per-address schedules "
+                "form a cycle: "
+                + " -> ".join(str(o) for o in cycle_ops)
+            ),
+            stats={"cycle": [str(o) for o in cycle_ops]},
+        )
+    schedule = [ops[i] for i in order]
+    return VerificationResult(
+        holds=True,
+        method="vsc-conflict",
+        schedule=schedule,
+        stats={"edges": g.edge_count},
+    )

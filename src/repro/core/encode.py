@@ -1,0 +1,280 @@
+"""CNF encodings of VMC and VSC.
+
+The practical counterpart of the paper's NP-membership proof: a legal
+schedule is a total order of the operations, so we encode
+
+* an ordering variable ``before[i][j]`` per operation pair (with
+  ``before[j][i] = ¬before[i][j]``), totality implicit;
+* transitivity clauses over all ordered triples (O(n³));
+* unit clauses fixing program order;
+* per read, a *reads-from* selector over the candidate writes of the
+  same address and value: the chosen write precedes the read and every
+  other same-address write lies outside the (write, read) interval;
+  reading the initial value means every same-address write follows;
+* per address with a required final value, a *last-write* selector.
+
+An RMW participates as both: its write component is a candidate for
+other reads; its read component constrains its own position.  Atomicity
+is automatic — an RMW is a single node of the order.
+
+This encoding is what "verifying coherence with a SAT solver" looks like
+in practice, and the benchmark harness uses it to contrast CDCL against
+exhaustive interleaving search on the NP-complete cells of Figure 5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import (
+    Address,
+    Execution,
+    Operation,
+)
+from repro.core.result import VerificationResult
+from repro.sat import solve
+from repro.sat.cnf import CNF
+
+
+@dataclass
+class ScheduleEncoding:
+    """A CNF plus the mapping back from models to schedules."""
+
+    cnf: CNF
+    ops: list[Operation]
+    before: dict[tuple[int, int], int]  # (i, j) i<j -> var: op_i before op_j
+    feasible: bool = True  # False when a read has no possible source
+    infeasible_reason: str = ""
+
+    def lit_before(self, i: int, j: int) -> int:
+        """Literal asserting ops[i] precedes ops[j]."""
+        if i == j:
+            raise ValueError("an operation does not precede itself")
+        if i < j:
+            return self.before[(i, j)]
+        return -self.before[(j, i)]
+
+    def decode(self, model: dict[int, bool]) -> list[Operation]:
+        """Turn a satisfying assignment into the witness schedule."""
+        n = len(self.ops)
+        rank = [0] * n
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    lit = self.lit_before(j, i)
+                    val = model.get(abs(lit), False)
+                    if (lit > 0) == val:
+                        rank[i] += 1
+        order = sorted(range(n), key=lambda i: rank[i])
+        return [self.ops[i] for i in order]
+
+
+def encode_legal_schedule(execution: Execution) -> ScheduleEncoding:
+    """Encode "a legal (per-address value-correct) schedule exists".
+
+    For a single-address execution this is exactly VMC; for a
+    multi-address execution it is VSC.
+    """
+    ops = [op for h in execution.histories for op in h if not op.kind.is_sync]
+    n = len(ops)
+    cnf = CNF()
+    before: dict[tuple[int, int], int] = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            before[(i, j)] = cnf.new_var()
+
+    enc = ScheduleEncoding(cnf=cnf, ops=ops, before=before)
+
+    # Transitivity: before(i,j) & before(j,k) -> before(i,k).
+    for i in range(n):
+        for j in range(n):
+            if j == i:
+                continue
+            for k in range(n):
+                if k == i or k == j:
+                    continue
+                cnf.add_clause(
+                    [
+                        -enc.lit_before(i, j),
+                        -enc.lit_before(j, k),
+                        enc.lit_before(i, k),
+                    ]
+                )
+
+    # Program order.
+    index_of = {op.uid: i for i, op in enumerate(ops)}
+    for h in execution.histories:
+        hist_ops = [op for op in h if not op.kind.is_sync]
+        for o1, o2 in zip(hist_ops, hist_ops[1:]):
+            cnf.add_clause([enc.lit_before(index_of[o1.uid], index_of[o2.uid])])
+
+    # Reads-from.
+    by_addr: dict[Address, list[int]] = {
+        a: [] for a in execution.constrained_addresses()
+    }
+    for i, op in enumerate(ops):
+        by_addr.setdefault(op.addr, []).append(i)
+    for a, idxs in by_addr.items():
+        writes = [i for i in idxs if ops[i].kind.writes]
+        reads = [i for i in idxs if ops[i].kind.reads]
+        d_i = execution.initial_value(a)
+        for r in reads:
+            want = ops[r].value_read
+            candidates = [
+                w for w in writes if w != r and ops[w].value_written == want
+            ]
+            selectors: list[int] = []
+            if want == d_i:
+                s_init = cnf.new_var()
+                selectors.append(s_init)
+                # Reading the initial value: every write follows r.
+                for w in writes:
+                    if w != r:
+                        cnf.add_clause([-s_init, enc.lit_before(r, w)])
+                    else:
+                        # An RMW reading the initial value is fine; its own
+                        # write is at the same position (not "before").
+                        pass
+            for w in candidates:
+                s = cnf.new_var()
+                selectors.append(s)
+                cnf.add_clause([-s, enc.lit_before(w, r)])
+                for w2 in writes:
+                    if w2 == w or w2 == r:
+                        continue
+                    # No write strictly between w and r.
+                    cnf.add_clause(
+                        [-s, enc.lit_before(w2, w), enc.lit_before(r, w2)]
+                    )
+            if not selectors:
+                enc.feasible = False
+                enc.infeasible_reason = (
+                    f"{ops[r]} reads {want!r}, which is never written to "
+                    f"{a!r} and is not its initial value {d_i!r}"
+                )
+                cnf.add_clause([])  # formula is UNSAT
+                continue
+            cnf.add_clause(selectors)  # at least one source
+        # Final value.
+        d_f = execution.final_value(a)
+        if d_f is not None:
+            finals = [w for w in writes if ops[w].value_written == d_f]
+            if not writes:
+                if d_f != d_i:
+                    enc.feasible = False
+                    enc.infeasible_reason = (
+                        f"no writes to {a!r} but final {d_f!r} != initial"
+                    )
+                    cnf.add_clause([])
+            elif not finals:
+                enc.feasible = False
+                enc.infeasible_reason = (
+                    f"required final value {d_f!r} of {a!r} is never written"
+                )
+                cnf.add_clause([])
+            else:
+                selectors = []
+                for f in finals:
+                    s = cnf.new_var()
+                    selectors.append(s)
+                    for w in writes:
+                        if w != f:
+                            cnf.add_clause([-s, enc.lit_before(w, f)])
+                cnf.add_clause(selectors)
+    return enc
+
+
+def sat_vmc(
+    execution: Execution,
+    addr: Address | None = None,
+    solver: str = "cdcl",
+    max_conflicts: int | None = None,
+) -> VerificationResult:
+    """Decide VMC by CNF encoding + SAT solving."""
+    if addr is not None:
+        execution = execution.restrict_to_address(addr)
+    addrs = execution.addresses()
+    if len(addrs) > 1:
+        raise ValueError(f"VMC is per-address; execution touches {addrs}")
+    result = _solve_encoding(execution, solver, max_conflicts)
+    result.address = addrs[0] if addrs else addr
+    return result
+
+
+def sat_vsc(
+    execution: Execution,
+    solver: str = "cdcl",
+    max_conflicts: int | None = None,
+) -> VerificationResult:
+    """Decide VSC by CNF encoding + SAT solving."""
+    return _solve_encoding(execution, solver, max_conflicts)
+
+
+def _solve_encoding(
+    execution: Execution, solver: str, max_conflicts: int | None
+) -> VerificationResult:
+    enc = encode_legal_schedule(execution)
+    if not enc.feasible:
+        return VerificationResult(
+            holds=False,
+            method=f"sat-{solver}",
+            reason=enc.infeasible_reason,
+            stats={"vars": enc.cnf.num_vars, "clauses": enc.cnf.num_clauses},
+        )
+    if solver == "cdcl" and max_conflicts is not None:
+        from repro.sat.cdcl import solve_cdcl
+
+        model = solve_cdcl(enc.cnf, max_conflicts=max_conflicts)
+    else:
+        model = solve(enc.cnf, solver=solver)
+    stats = {"vars": enc.cnf.num_vars, "clauses": enc.cnf.num_clauses}
+    if model is None:
+        return VerificationResult(
+            holds=False,
+            method=f"sat-{solver}",
+            reason="the CNF encoding of a legal schedule is unsatisfiable",
+            stats=stats,
+        )
+    schedule = enc.decode(model)
+    # Sync ops were stripped for the encoding; reinsert them respecting
+    # program order (they carry no value constraints).
+    schedule = _reinsert_sync(execution, schedule)
+    return VerificationResult(
+        holds=True,
+        method=f"sat-{solver}",
+        schedule=schedule,
+        stats=stats,
+    )
+
+
+def _reinsert_sync(
+    execution: Execution, schedule: list[Operation]
+) -> list[Operation]:
+    """Weave ACQUIRE/RELEASE ops back into a schedule of data ops."""
+    if not any(op.kind.is_sync for op in execution.all_ops()):
+        return schedule
+    out: list[Operation] = []
+    cursors = {h.proc: 0 for h in execution.histories}
+
+    def flush_until(proc: int, stop_index: int | None) -> None:
+        h = execution.histories[proc]
+        i = cursors[proc]
+        while i < len(h) and (stop_index is None or h[i].index < stop_index):
+            if h[i].kind.is_sync:
+                out.append(h[i])
+                i += 1
+            elif stop_index is not None and h[i].index < stop_index:
+                # A data op that should already have been emitted; skip
+                # cursor past it (it is in `schedule`).
+                i += 1
+            else:
+                break
+        cursors[proc] = i
+
+    for op in schedule:
+        flush_until(op.proc, op.index)
+        out.append(op)
+        cursors[op.proc] = max(cursors[op.proc], op.index + 1)
+    for h in execution.histories:
+        flush_until(h.proc, None)
+    return out

@@ -1,0 +1,182 @@
+"""Exact decision procedures: memoized frontier search.
+
+One search engine decides both VMC (single address) and VSC (all
+addresses).  A *state* is the vector of per-process positions plus the
+current value of each address; from a state, any process may execute its
+next operation if the operation's read component matches the current
+value.  Depth-first search with memoization of failed states visits each
+state at most once.
+
+This is simultaneously:
+
+* the general exact solver (worst-case exponential — VMC/VSC are
+  NP-complete, Sections 4 and 6), and
+* the paper's polynomial algorithm for constantly many processes
+  (Figure 5.3 rows "Constant Processes"): with ``k`` processes,
+  ``n`` operations and ``c`` addresses there are at most
+  ``O(n^k)`` position vectors, and the current values are a function of
+  the positions' history only through the last writers, giving the
+  ``O(k n^k)``/``O(n^k)`` bounds of Gibbons & Korach specialised in
+  Section 5.1.
+
+``max_states`` caps the search so benchmark harnesses can demonstrate
+exponential blow-up without hanging; exceeding it raises
+:class:`SearchBudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.types import (
+    INITIAL,
+    Address,
+    Execution,
+    Operation,
+    Value,
+)
+from repro.core.result import VerificationResult
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The exact search exceeded its state budget before deciding."""
+
+    def __init__(self, states: int):
+        super().__init__(f"exact search exceeded budget after {states} states")
+        self.states = states
+
+
+def exact_vmc(
+    execution: Execution,
+    addr: Address | None = None,
+    max_states: int | None = None,
+) -> VerificationResult:
+    """Decide VMC for a single-address execution by exhaustive search."""
+    if addr is not None:
+        execution = execution.restrict_to_address(addr)
+    addrs = execution.constrained_addresses()
+    if len(addrs) > 1:
+        raise ValueError(
+            f"VMC is per-address; execution touches {addrs}, pass addr="
+        )
+    result = _frontier_search(execution, max_states=max_states)
+    result.address = addrs[0] if addrs else addr
+    return result
+
+
+def exact_vsc(
+    execution: Execution, max_states: int | None = None
+) -> VerificationResult:
+    """Decide VSC (all addresses simultaneously) by exhaustive search."""
+    return _frontier_search(execution, max_states=max_states)
+
+
+def _frontier_search(
+    execution: Execution, max_states: int | None
+) -> VerificationResult:
+    histories: Sequence[Sequence[Operation]] = [
+        h.operations for h in execution.histories
+    ]
+    k = len(histories)
+    lengths = [len(h) for h in histories]
+    total = sum(lengths)
+
+    # Address/value bookkeeping uses dense address indices for speed.
+    # Final-only addresses are included so an unreachable d_F is caught.
+    addr_list = execution.constrained_addresses()
+    addr_idx = {a: i for i, a in enumerate(addr_list)}
+    initial_vec = tuple(execution.initial_value(a) for a in addr_list)
+    final_req: list[Value | None] = [execution.final_value(a) for a in addr_list]
+
+    # Iterative DFS.  Stack entries: (positions, values, chosen-op trail
+    # index).  We memoize *visited* states; since the search is a pure
+    # reachability question on a DAG of states (positions only grow),
+    # visited == failed once we pop past them.
+    start = (tuple([0] * k), initial_vec)
+    visited: set[tuple[tuple[int, ...], tuple[Value, ...]]] = set()
+    # Each stack frame: (state, next process to try).  `choice_trail`
+    # records the op chosen when a frame was entered (for the witness).
+    stack: list[tuple[tuple[tuple[int, ...], tuple[Value, ...]], int]] = [(start, 0)]
+    trail: list[Operation] = []
+    states_expanded = 0
+
+    def final_ok(values: tuple[Value, ...]) -> bool:
+        return all(
+            req is None or values[i] == req for i, req in enumerate(final_req)
+        )
+
+    if total == 0:
+        ok = final_ok(initial_vec)
+        return VerificationResult(
+            holds=ok,
+            method="exact",
+            schedule=[] if ok else None,
+            reason="" if ok else "empty execution cannot reach required final values",
+            stats={"states": 0},
+        )
+
+    visited.add(start)
+    while stack:
+        (positions, values), proc = stack[-1]
+        if len(trail) == total:
+            if final_ok(values):
+                return VerificationResult(
+                    holds=True,
+                    method="exact",
+                    schedule=list(trail),
+                    stats={"states": states_expanded},
+                )
+            # Final values wrong: dead end, backtrack.
+            stack.pop()
+            if trail:
+                trail.pop()
+            continue
+        advanced = False
+        while proc < k:
+            stack[-1] = ((positions, values), proc + 1)
+            p = proc
+            proc += 1
+            if positions[p] >= lengths[p]:
+                continue
+            op = histories[p][positions[p]]
+            if op.kind.is_sync:
+                new_values = values
+            else:
+                ai = addr_idx[op.addr]
+                if op.kind.reads and op.value_read != values[ai]:
+                    continue
+                if op.kind.writes:
+                    new_values = (
+                        values[:ai] + (op.value_written,) + values[ai + 1 :]
+                    )
+                else:
+                    new_values = values
+            new_positions = (
+                positions[:p] + (positions[p] + 1,) + positions[p + 1 :]
+            )
+            new_state = (new_positions, new_values)
+            if new_state in visited:
+                continue
+            visited.add(new_state)
+            states_expanded += 1
+            if max_states is not None and states_expanded > max_states:
+                raise SearchBudgetExceeded(states_expanded)
+            stack.append((new_state, 0))
+            trail.append(op)
+            advanced = True
+            break
+        if not advanced and stack and stack[-1][1] >= k:
+            stack.pop()
+            if trail:
+                trail.pop()
+
+    # Search space exhausted without completing a schedule.
+    return VerificationResult(
+        holds=False,
+        method="exact",
+        reason=(
+            "exhaustive search of all interleavings found no "
+            "coherent/consistent schedule"
+        ),
+        stats={"states": states_expanded},
+    )

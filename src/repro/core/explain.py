@@ -1,0 +1,161 @@
+"""Counterexample minimization: *why* is this execution incoherent?
+
+A raw "no coherent schedule exists" over thousands of operations is
+unactionable.  This module shrinks an incoherent (single-address)
+execution to a small core that is still incoherent, delta-debugging
+style:
+
+1. drop entire processes while the violation persists;
+2. truncate each history from the back (later operations can only add
+   constraints *after* the part that already fails — not true in
+   general for final-value constraints, so truncation re-checks);
+3. drop individual operations greedily (removing an operation can only
+   *relax* scheduling constraints except where its write sourced later
+   reads — the oracle re-check keeps us honest).
+
+The result is a :class:`MinimalViolation` bundling the core execution
+and a human-readable narrative.  Minimization calls the decision oracle
+O(total ops) times, each on a shrinking instance; pass ``oracle=`` to
+use a cheaper decision procedure (e.g. the write-order checker bound to
+a supplied order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.exact import exact_vmc
+from repro.core.types import Execution, Operation
+from repro.core.result import VerificationResult
+
+Oracle = Callable[[Execution], VerificationResult]
+
+
+@dataclass
+class MinimalViolation:
+    """A shrunken incoherent core."""
+
+    execution: Execution
+    original_ops: int
+    reason: str
+
+    @property
+    def core_ops(self) -> int:
+        return self.execution.num_ops
+
+    def narrative(self) -> str:
+        lines = [
+            f"minimal incoherent core: {self.core_ops} of "
+            f"{self.original_ops} operations",
+            self.execution.pretty(),
+            f"verifier: {self.reason}",
+        ]
+        return "\n".join(lines)
+
+
+def _rebuild(
+    histories: list[list[Operation]], template: Execution
+) -> Execution:
+    kept = [h for h in histories if h]
+    return Execution.from_ops(
+        kept if kept else [[]],
+        initial=template.initial,
+        final=template.final,
+    )
+
+
+def minimize_violation(
+    execution: Execution,
+    oracle: Oracle | None = None,
+    max_oracle_calls: int = 2000,
+) -> MinimalViolation:
+    """Shrink an incoherent single-address execution to a small core.
+
+    Raises ``ValueError`` if the execution is actually coherent under
+    the oracle.  The default oracle is the exact solver; for large
+    instances supply a polynomial one.
+    """
+    decide: Oracle = oracle or exact_vmc
+    calls = 0
+
+    def incoherent(ex: Execution) -> VerificationResult | None:
+        nonlocal calls
+        calls += 1
+        if calls > max_oracle_calls:
+            raise RuntimeError("minimization exceeded its oracle budget")
+        result = decide(ex)
+        return result if not result else None
+
+    baseline = incoherent(execution)
+    if baseline is None:
+        raise ValueError("execution is coherent; nothing to minimize")
+
+    # Dropping operations can manufacture *degenerate* failures through
+    # the final-value constraint (remove the last write of d_F and any
+    # remainder is "incoherent").  If the violation survives without the
+    # final constraints, minimize the unconstrained instance — the core
+    # then demonstrates the genuine read-value conflict.
+    unconstrained = Execution.from_ops(
+        [list(h.operations) for h in execution.histories],
+        initial=execution.initial,
+    )
+    without_finals = incoherent(unconstrained)
+    if without_finals is not None:
+        execution = unconstrained
+        baseline = without_finals
+
+    histories = [list(h.operations) for h in execution.histories]
+    current = execution
+    reason = baseline.reason
+
+    # Phase 1: drop whole processes.
+    p = 0
+    while p < len(histories):
+        if not histories[p]:
+            p += 1
+            continue
+        candidate_histories = histories[:p] + [[]] + histories[p + 1 :]
+        candidate = _rebuild(candidate_histories, execution)
+        failed = incoherent(candidate)
+        if failed is not None:
+            histories = candidate_histories
+            current = candidate
+            reason = failed.reason
+        p += 1
+
+    # Phase 2: truncate histories from the back.
+    for p in range(len(histories)):
+        while histories[p]:
+            candidate_histories = [list(h) for h in histories]
+            candidate_histories[p] = candidate_histories[p][:-1]
+            candidate = _rebuild(candidate_histories, execution)
+            failed = incoherent(candidate)
+            if failed is None:
+                break
+            histories = candidate_histories
+            current = candidate
+            reason = failed.reason
+
+    # Phase 3: drop single operations.
+    p = 0
+    while p < len(histories):
+        i = 0
+        while i < len(histories[p]):
+            candidate_histories = [list(h) for h in histories]
+            del candidate_histories[p][i]
+            candidate = _rebuild(candidate_histories, execution)
+            failed = incoherent(candidate)
+            if failed is not None:
+                histories = candidate_histories
+                current = candidate
+                reason = failed.reason
+            else:
+                i += 1
+        p += 1
+
+    return MinimalViolation(
+        execution=current,
+        original_ops=execution.num_ops,
+        reason=reason,
+    )

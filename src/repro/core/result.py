@@ -1,0 +1,42 @@
+"""Verification results returned by the public verifiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.types import Address, Operation, schedule_str
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of a VMC/VSC/VSCC query.
+
+    Truthy iff the property holds.  When it holds, ``schedule`` carries
+    the witness (the NP certificate); when it does not, ``reason`` says
+    why (which read cannot be served, which constraint graph cycled, or
+    simply that the exhaustive search was completed without success).
+
+    ``method`` names the algorithm that decided the instance —
+    the dispatcher records its routing decision here so benchmarks and
+    tests can assert the expected special case actually ran.
+    """
+
+    holds: bool
+    method: str
+    schedule: list[Operation] | None = None
+    reason: str = ""
+    address: Address | None = None
+    stats: dict[str, Any] = field(default_factory=dict)
+    per_address: dict[Address, "VerificationResult"] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def witness_str(self) -> str:
+        return schedule_str(self.schedule) if self.schedule else "<none>"
+
+    def __repr__(self) -> str:
+        verdict = "holds" if self.holds else "violated"
+        loc = f", addr={self.address!r}" if self.address is not None else ""
+        return f"VerificationResult({verdict}, method={self.method!r}{loc})"

@@ -1,0 +1,204 @@
+"""VMC with one operation per process (Figure 5.3, row 1).
+
+With a single operation per process there is no program order to
+respect, so scheduling is pure value bookkeeping:
+
+* **Simple reads/writes** — a coherent schedule exists iff every read's
+  value is the initial value or is written by someone, and the required
+  final value (when given) is writable last.  The witness groups all
+  reads of ``d_I`` first, then emits each written value's write-group
+  followed by its readers, placing the final value's group last.  The
+  paper quotes O(n lg n) (sorting); with hashing this is O(n).
+
+* **Read-modify-writes only** — each RMW ``RW(d_r, d_w)`` is an edge
+  ``d_r -> d_w`` in a multigraph over values, and a coherent schedule is
+  exactly an Eulerian path over all edges starting at ``d_I`` (and
+  ending at ``d_F`` when specified).  Hierholzer's algorithm gives the
+  witness in O(n); the paper quotes O(n^2).
+
+Mixed instances (single-op processes where some are RMW and some are
+simple) are handled by folding simple writes/reads into the Eulerian
+construction: a simple write is an edge from a fresh "wildcard" source —
+we instead fall back to the exact solver for those rare mixed cases via
+the dispatcher, keeping this module's guarantees crisp.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.core.types import (
+    INITIAL,
+    Address,
+    Execution,
+    OpKind,
+    Operation,
+    Value,
+)
+from repro.core.result import VerificationResult
+
+
+def applicable(execution: Execution) -> bool:
+    """True when every process history has at most one operation and all
+    operations are simple reads/writes or all are RMWs."""
+    if execution.max_ops_per_process() > 1:
+        return False
+    kinds = execution.kinds_used()
+    if OpKind.RMW in kinds:
+        return kinds <= {OpKind.RMW}
+    return kinds <= {OpKind.READ, OpKind.WRITE}
+
+
+def single_op_vmc(execution: Execution) -> VerificationResult:
+    """Decide VMC for a single-address, ≤1-op-per-process execution."""
+    addrs = execution.constrained_addresses()
+    if len(addrs) > 1:
+        raise ValueError(f"single-op VMC is per-address, got {addrs}")
+    if not applicable(execution):
+        raise ValueError("not a single-op-per-process execution")
+    if execution.is_rmw_only():
+        result = _rmw_eulerian(execution)
+    else:
+        result = _simple(execution)
+    result.address = addrs[0] if addrs else None
+    return result
+
+
+def _simple(execution: Execution) -> VerificationResult:
+    addrs = execution.constrained_addresses()
+    addr = addrs[0] if addrs else None
+    d_i = execution.initial_value(addr) if addr is not None else INITIAL
+    d_f = execution.final_value(addr) if addr is not None else None
+
+    writes_by_value: dict[Value, list[Operation]] = defaultdict(list)
+    reads_by_value: dict[Value, list[Operation]] = defaultdict(list)
+    for h in execution.histories:
+        for op in h:
+            if op.kind is OpKind.WRITE:
+                writes_by_value[op.value_written].append(op)
+            else:
+                reads_by_value[op.value_read].append(op)
+
+    # Feasibility: every read's value must be initial or written.
+    for v, readers in reads_by_value.items():
+        if v != d_i and v not in writes_by_value:
+            return VerificationResult(
+                holds=False,
+                method="single-op",
+                reason=f"{readers[0]} reads {v!r}, which is never written "
+                f"and is not the initial value {d_i!r}",
+            )
+    # Final value: must be writable last (or equal d_I with no writes).
+    if d_f is not None:
+        if writes_by_value:
+            if d_f not in writes_by_value:
+                return VerificationResult(
+                    holds=False,
+                    method="single-op",
+                    reason=f"required final value {d_f!r} is never written",
+                )
+        elif d_f != d_i:
+            return VerificationResult(
+                holds=False,
+                method="single-op",
+                reason=f"no writes but final value {d_f!r} != initial {d_i!r}",
+            )
+
+    # Build the witness: initial readers, then value groups, final last.
+    schedule: list[Operation] = list(reads_by_value.get(d_i, []))
+    values = list(writes_by_value)
+    if d_f is not None and d_f in writes_by_value:
+        values.remove(d_f)
+        values.append(d_f)
+    for v in values:
+        schedule.extend(writes_by_value[v])
+        if v != d_i:  # initial readers already scheduled up front
+            schedule.extend(reads_by_value.get(v, []))
+    return VerificationResult(holds=True, method="single-op", schedule=schedule)
+
+
+def _rmw_eulerian(execution: Execution) -> VerificationResult:
+    """Eulerian-path formulation for single-RMW-per-process instances."""
+    addrs = execution.constrained_addresses()
+    addr = addrs[0] if addrs else None
+    d_i = execution.initial_value(addr) if addr is not None else INITIAL
+    d_f = execution.final_value(addr) if addr is not None else None
+
+    edges: list[Operation] = [op for h in execution.histories for op in h]
+    if not edges:
+        ok = d_f is None or d_f == d_i
+        return VerificationResult(
+            holds=ok,
+            method="single-op-rmw",
+            schedule=[] if ok else None,
+            reason="" if ok else f"no operations but final value {d_f!r} "
+            f"differs from initial {d_i!r}",
+        )
+
+    out_edges: dict[Value, deque[Operation]] = defaultdict(deque)
+    degree: dict[Value, int] = defaultdict(int)  # out - in
+    nodes: set[Value] = {d_i}
+    for op in edges:
+        out_edges[op.value_read].append(op)
+        degree[op.value_read] += 1
+        degree[op.value_written] -= 1
+        nodes.add(op.value_read)
+        nodes.add(op.value_written)
+
+    # Eulerian path from d_i: deg(d_i) == +1 and one node at -1 (the
+    # end), or all zero and the path is a circuit through d_i.
+    pos = [v for v in nodes if degree[v] > 0]
+    neg = [v for v in nodes if degree[v] < 0]
+    end: Value
+    if not pos and not neg:
+        end = d_i
+    elif (
+        len(pos) == 1
+        and len(neg) == 1
+        and degree[pos[0]] == 1
+        and degree[neg[0]] == -1
+        and pos[0] == d_i
+    ):
+        end = neg[0]
+    else:
+        return VerificationResult(
+            holds=False,
+            method="single-op-rmw",
+            reason=(
+                "RMW value graph admits no Eulerian path from the initial "
+                f"value {d_i!r} (degree imbalance at "
+                f"{[v for v in pos + neg if v != d_i] or pos})"
+            ),
+        )
+    if d_f is not None and end != d_f:
+        return VerificationResult(
+            holds=False,
+            method="single-op-rmw",
+            reason=f"every chaining of the RMWs ends at value {end!r}, "
+            f"but final value {d_f!r} is required",
+        )
+
+    # Hierholzer's algorithm; each stack frame remembers the edge that
+    # led to it so the Eulerian path can be emitted on backtrack.
+    path: list[Operation] = []
+    stack: list[tuple[Value, Operation | None]] = [(d_i, None)]
+    while stack:
+        v, e = stack[-1]
+        if out_edges[v]:
+            op = out_edges[v].popleft()
+            stack.append((op.value_written, op))
+        else:
+            stack.pop()
+            if e is not None:
+                path.append(e)
+    path.reverse()
+    if len(path) != len(edges):
+        # Disconnected edge set: some RMWs can never be reached from d_i.
+        return VerificationResult(
+            holds=False,
+            method="single-op-rmw",
+            reason="RMW value graph is disconnected from the initial value",
+        )
+    return VerificationResult(
+        holds=True, method="single-op-rmw", schedule=path
+    )

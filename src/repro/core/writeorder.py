@@ -1,0 +1,190 @@
+"""VMC with the write-order supplied (Section 5.2; Figure 5.3, row 8).
+
+If the memory system reports the order in which the writes to a location
+were serialized (e.g. the bus order of a snooping protocol —
+:mod:`repro.memsys` exports exactly this), verifying coherence becomes
+polynomial: the write-order is the skeleton of the schedule and only the
+reads need placing.
+
+Model: writes ``w_1 .. w_W`` in the given order create *gaps*
+``0 .. W`` where gap ``g`` sits just after ``w_g`` (gap 0 precedes all
+writes) and holds value ``value(w_g)`` (gap 0 holds ``d_I``).  A read
+must be placed
+
+* in a gap whose value matches the value it returned,
+* at or after the gap of its program-order predecessor, and
+* before its next program-order write.
+
+Reads of different processes never constrain each other, and within a
+process placing each read in the *earliest* admissible gap is optimal
+(a classic exchange argument), so a left-to-right greedy decides the
+instance.  With a per-value sorted gap index the greedy runs in
+O(n log n) — comfortably within the paper's O(n²) bound.  When every
+operation is a read-modify-write the write-order is already a total
+order of all operations and a single O(n) scan suffices (the paper's
+O(n) special case), which falls out of the same code path because RMWs
+are writes with an attached read constraint.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import defaultdict
+from typing import Sequence
+
+from repro.core.types import (
+    Address,
+    Execution,
+    OpKind,
+    Operation,
+    Value,
+)
+from repro.core.result import VerificationResult
+
+
+def writeorder_vmc(
+    execution: Execution, write_order: Sequence[Operation]
+) -> VerificationResult:
+    """Decide VMC for a single-address execution given its write-order.
+
+    ``write_order`` must list exactly the execution's write operations
+    (WRITE and RMW kinds), in the order the memory system serialized
+    them.  An inconsistent write-order (wrong ops, or contradicting
+    program order) makes the answer "not coherent under this order".
+    """
+    addrs = execution.constrained_addresses()
+    if len(addrs) > 1:
+        raise ValueError(f"write-order VMC is per-address, got {addrs}")
+    addr = addrs[0] if addrs else None
+    d_i = execution.initial_value(addr) if addr is not None else None
+    d_f = execution.final_value(addr) if addr is not None else None
+
+    writes_in_exec = [op for op in execution.all_ops() if op.kind.writes]
+    if sorted(op.uid for op in write_order) != sorted(
+        op.uid for op in writes_in_exec
+    ):
+        return VerificationResult(
+            holds=False,
+            method="write-order",
+            reason="supplied write-order does not contain exactly the "
+            "execution's write operations",
+            address=addr,
+        )
+
+    # Validate: per process, writes appear in the order as in po.
+    pos_in_order = {op.uid: i for i, op in enumerate(write_order)}
+    for h in execution.histories:
+        w_idx = [pos_in_order[op.uid] for op in h if op.kind.writes]
+        if w_idx != sorted(w_idx):
+            return VerificationResult(
+                holds=False,
+                method="write-order",
+                reason=f"write-order contradicts program order of process "
+                f"{h.proc}",
+                address=addr,
+            )
+
+    # Gap values: value at gap g (0..W).
+    gap_value: list[Value] = [d_i] + [w.value_written for w in write_order]
+    gaps_of_value: dict[Value, list[int]] = defaultdict(list)
+    for g, v in enumerate(gap_value):
+        gaps_of_value[v].append(g)  # ascending by construction
+
+    # RMW read components: RMW at order position j reads gap j's value
+    # (the state just before it executes, i.e. after write j-1 = gap j-1).
+    for j, w in enumerate(write_order):
+        if w.kind is OpKind.RMW and w.value_read != gap_value[j]:
+            return VerificationResult(
+                holds=False,
+                method="write-order",
+                reason=f"{w} is serialized at write position {j} where the "
+                f"value is {gap_value[j]!r}, but it read {w.value_read!r}",
+                address=addr,
+            )
+
+    # Final value check: last write must produce d_F.
+    if d_f is not None:
+        last = gap_value[-1]
+        if last != d_f:
+            return VerificationResult(
+                holds=False,
+                method="write-order",
+                reason=f"last write leaves {last!r} but final value "
+                f"{d_f!r} is required",
+                address=addr,
+            )
+
+    # Greedy placement of simple reads.
+    placement: dict[tuple[int, int], int] = {}
+    for h in execution.histories:
+        cursor = 0  # earliest admissible gap for the next op of this proc
+        for op in h:
+            if op.kind.writes:
+                # The write itself sits at the start of gap j+1; ops after
+                # it must be at gap >= its position + 1... the write at
+                # order index j occupies the boundary: subsequent reads
+                # are in gaps >= j+1, i.e. >= pos+1.
+                cursor = max(cursor, pos_in_order[op.uid] + 1)
+                continue
+            if op.kind.is_sync:
+                continue
+            # op is a simple read: find earliest gap >= cursor with the
+            # right value, and < position of next po write (checked after
+            # the fact: cursor advances past it when the write arrives —
+            # a read placed at gap > next write's position would bump
+            # that write's validation below).
+            gaps = gaps_of_value.get(op.value_read)
+            if not gaps:
+                return VerificationResult(
+                    holds=False,
+                    method="write-order",
+                    reason=f"{op} reads {op.value_read!r}, which no write "
+                    f"produces (and it is not the initial value)",
+                    address=addr,
+                )
+            i = bisect_left(gaps, cursor)
+            if i == len(gaps):
+                return VerificationResult(
+                    holds=False,
+                    method="write-order",
+                    reason=f"{op} reads {op.value_read!r} but no write of "
+                    f"that value is serialized after its program-order "
+                    f"predecessors",
+                    address=addr,
+                )
+            g = gaps[i]
+            placement[op.uid] = g
+            cursor = g
+        # Verify no read was pushed past a later po write: re-scan.
+        limit = len(write_order)  # exclusive upper gap bound
+        for op in reversed(h.operations):
+            if op.kind.writes:
+                limit = pos_in_order[op.uid]
+            elif op.kind is OpKind.READ:
+                if placement[op.uid] > limit:
+                    return VerificationResult(
+                        holds=False,
+                        method="write-order",
+                        reason=f"{op} cannot be served between its "
+                        f"program-order neighbouring writes",
+                        address=addr,
+                    )
+
+    # Assemble the witness schedule: per gap, writes then reads.
+    reads_in_gap: dict[int, list[Operation]] = defaultdict(list)
+    for h in execution.histories:
+        for op in h:
+            if op.kind is OpKind.READ:
+                reads_in_gap[placement[op.uid]].append(op)
+    schedule: list[Operation] = []
+    schedule.extend(sorted(reads_in_gap.get(0, []), key=lambda o: o.uid))
+    for j, w in enumerate(write_order):
+        schedule.append(w)
+        schedule.extend(sorted(reads_in_gap.get(j + 1, []), key=lambda o: o.uid))
+    return VerificationResult(
+        holds=True,
+        method="write-order",
+        schedule=schedule,
+        address=addr,
+        stats={"gaps": len(gap_value)},
+    )

@@ -1,0 +1,46 @@
+"""A bus-based shared-memory multiprocessor simulator.
+
+The paper's verifiers consume *executions* — per-process operation
+histories with observed values — plus, for the Section 5.2 fast path,
+the order in which the memory system serialized the writes.  Real
+hardware traces are not available offline, so this subpackage provides
+the closest synthetic equivalent: a snooping MSI/MESI multiprocessor
+with
+
+* set-associative caches (:mod:`repro.memsys.cache`),
+* an atomic snooping bus whose transaction log *is* the per-address
+  write-order (:mod:`repro.memsys.bus`),
+* processors running scripted workloads (:mod:`repro.memsys.processor`,
+  :mod:`repro.memsys.workloads`),
+* protocol-level fault injection — lost invalidations, stale memory
+  responses, dropped or corrupted writes (:mod:`repro.memsys.faults`),
+* a recorder producing :class:`repro.core.Execution` objects and
+  write-orders ready for the verifiers (:mod:`repro.memsys.recorder`).
+
+Fault-free runs are sequentially consistent by construction (atomic
+bus, blocking processors); the test-suite verifies that, and verifies
+that injected protocol faults produce coherence violations the
+verifiers catch — the error-detection use case motivating the paper.
+"""
+
+from repro.memsys.system import MultiprocessorSystem, SystemConfig
+from repro.memsys.faults import FaultConfig, FaultKind
+from repro.memsys.workloads import (
+    false_sharing_workload,
+    lock_contention_workload,
+    producer_consumer_workload,
+    random_shared_workload,
+)
+from repro.memsys.recorder import RunResult
+
+__all__ = [
+    "MultiprocessorSystem",
+    "SystemConfig",
+    "FaultConfig",
+    "FaultKind",
+    "RunResult",
+    "random_shared_workload",
+    "producer_consumer_workload",
+    "false_sharing_workload",
+    "lock_contention_workload",
+]

@@ -1,0 +1,63 @@
+"""The snooping bus: atomic transactions and the serialization log.
+
+The bus is the serialization point of the system.  Every transaction
+(read miss, write miss, upgrade, write-back) occupies the bus
+exclusively; snoopers react within the same transaction.  The bus keeps
+a log of every transaction, and — key for Section 5.2 — the order of
+write-intent transactions per address *is* the write-order the paper's
+polynomial algorithm consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsys.protocol import BusOp
+
+
+@dataclass(frozen=True)
+class BusTransaction:
+    """One bus occupancy, as recorded in the log."""
+
+    seq: int  # global serialization number
+    op: BusOp
+    requester: int  # processor id
+    addr: int  # the word address that triggered it
+    line_base: int
+    supplied_by: int | None = None  # cache that sourced data, None = memory
+
+
+@dataclass
+class Bus:
+    """Transaction counter + log.  Arbitration is implicit: the system
+    steps one processor at a time, so requests never collide; the log
+    order is the bus serialization order."""
+
+    log: list[BusTransaction] = field(default_factory=list)
+    _seq: int = 0
+
+    def record(
+        self,
+        op: BusOp,
+        requester: int,
+        addr: int,
+        line_base: int,
+        supplied_by: int | None = None,
+    ) -> BusTransaction:
+        self._seq += 1
+        txn = BusTransaction(self._seq, op, requester, addr, line_base, supplied_by)
+        self.log.append(txn)
+        return txn
+
+    @property
+    def num_transactions(self) -> int:
+        return len(self.log)
+
+    def transactions_for_line(self, line_base: int) -> list[BusTransaction]:
+        return [t for t in self.log if t.line_base == line_base]
+
+    def traffic_summary(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for t in self.log:
+            out[t.op.value] = out.get(t.op.value, 0) + 1
+        return out

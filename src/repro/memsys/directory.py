@@ -1,0 +1,340 @@
+"""A directory-based coherence protocol (distributed memory controllers).
+
+The bus system in :mod:`repro.memsys.system` serializes through a
+snooping bus; scalable machines instead keep a *directory* entry per
+memory line recording which caches hold it:
+
+* ``UNCACHED`` — memory is the only copy;
+* ``SHARED(sharers)`` — clean copies at a set of caches;
+* ``EXCLUSIVE(owner)`` — one cache may hold the line dirty.
+
+A miss sends a request to the line's home directory, which invalidates
+sharers / recalls the owner as needed, then responds.  The timing model
+matches the bus system (one operation runs to completion per step) so
+fault-free runs are sequentially consistent here too — but the
+*serialization point* is the directory, and the per-address write-order
+the verifiers consume is the order of exclusive grants plus local
+commits, which this module exports exactly like the bus does.
+
+Fault injection reuses :mod:`repro.memsys.faults`:
+
+* ``LOST_INVALIDATION`` — a sharer misses its invalidation message;
+* ``STALE_MEMORY``      — an owner recall is lost and memory responds
+  with stale data;
+* ``DROPPED_WRITE`` / ``CORRUPTED_VALUE`` — datapath faults at commit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.types import INITIAL
+from repro.memsys.cache import Cache
+from repro.memsys.faults import FaultConfig, FaultInjector, FaultKind
+from repro.memsys.memory import MainMemory
+from repro.memsys.processor import Processor, ScriptKind, ScriptOp
+from repro.memsys.protocol import LineState
+from repro.memsys.recorder import Recorder, RunResult
+from repro.memsys.system import SystemConfig
+from repro.util.rng import make_rng
+
+
+class DirState(enum.Enum):
+    UNCACHED = "U"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state for one memory line."""
+
+    state: DirState = DirState.UNCACHED
+    sharers: set[int] = field(default_factory=set)
+    owner: int | None = None
+
+
+@dataclass
+class DirectoryStats:
+    requests: int = 0
+    invalidations_sent: int = 0
+    recalls: int = 0
+    lost_invalidations: int = 0
+    lost_recalls: int = 0
+
+
+class DirectorySystem:
+    """A directory-coherent multiprocessor (same API as the bus system)."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scripts: list[list[ScriptOp]],
+        initial_memory: dict[int, object] | None = None,
+        faults: FaultConfig | None = None,
+    ):
+        if len(scripts) != config.num_processors:
+            raise ValueError(
+                f"{config.num_processors} processors but {len(scripts)} scripts"
+            )
+        self.config = config
+        self.memory = MainMemory(initial_memory)
+        self.caches = [
+            Cache(config.num_sets, config.ways, config.line_words)
+            for _ in range(config.num_processors)
+        ]
+        self.processors = [Processor(i, s) for i, s in enumerate(scripts)]
+        self.injector = FaultInjector(faults or FaultConfig.none())
+        self.recorder = Recorder(config.num_processors)
+        self.rng = make_rng(config.seed)
+        self.directory: dict[int, DirectoryEntry] = {}
+        self.dir_stats = DirectoryStats()
+        self.steps = 0
+        self._initial_snapshot = dict(initial_memory or {})
+        self._rr_next = 0
+
+    # ------------------------------------------------------------------
+    def _entry(self, line_base: int) -> DirectoryEntry:
+        return self.directory.setdefault(line_base, DirectoryEntry())
+
+    def _line_base(self, addr: int) -> int:
+        return (addr // self.config.line_words) * self.config.line_words
+
+    def _pick_processor(self) -> Processor | None:
+        ready = [p for p in self.processors if not p.done]
+        if not ready:
+            return None
+        if self.config.scheduler == "round-robin":
+            for _ in range(len(self.processors)):
+                p = self.processors[self._rr_next % len(self.processors)]
+                self._rr_next += 1
+                if not p.done:
+                    return p
+            return None
+        return self.rng.choice(ready)
+
+    def step(self) -> bool:
+        proc = self._pick_processor()
+        if proc is None:
+            return False
+        self.steps += 1
+        op = proc.current()
+        if op.kind is ScriptKind.LOAD:
+            self._do_load(proc.proc_id, op.addr)
+        elif op.kind is ScriptKind.STORE:
+            self._do_store(proc.proc_id, op.addr, op.value)
+        else:
+            self._do_rmw(proc.proc_id, op.addr, op.value, op.expect)
+        proc.advance()
+        return True
+
+    def run(self, max_steps: int | None = None) -> RunResult:
+        while self.step():
+            if max_steps is not None and self.steps >= max_steps:
+                break
+        final = self._final_values()
+        execution = self.recorder.build_execution(
+            initial=self._initial_snapshot, final=final
+        )
+        from repro.memsys.faults import corrupt_write_orders
+
+        write_orders = corrupt_write_orders(
+            self.recorder.write_orders, self.injector, self.steps
+        )
+        return RunResult(
+            execution=execution,
+            write_orders=write_orders,
+            steps=self.steps,
+            bus_transactions=self.dir_stats.requests,
+            bus_traffic={
+                "requests": self.dir_stats.requests,
+                "invalidations": self.dir_stats.invalidations_sent,
+                "recalls": self.dir_stats.recalls,
+            },
+            fault_events=list(self.injector.events),
+            cache_stats=[vars(c.stats) for c in self.caches],
+        )
+
+    # ------------------------------------------------------------------
+    # Directory transactions
+    # ------------------------------------------------------------------
+    def _recall_owner(self, entry: DirectoryEntry, base: int) -> bool:
+        """Write the owner's dirty line back to memory; True on success
+        (a lost recall leaves the owner untouched and memory stale)."""
+        assert entry.owner is not None
+        self.dir_stats.recalls += 1
+        owner_cache = self.caches[entry.owner]
+        line = owner_cache.peek(base)
+        if self.injector.fire(
+            FaultKind.STALE_MEMORY, self.steps, entry.owner, base, "lost recall"
+        ):
+            self.dir_stats.lost_recalls += 1
+            return False
+        if line is not None and line.valid:
+            self.memory.write_line(base, line.data)
+            line.state = LineState.SHARED
+            owner_cache.stats.interventions += 1
+        return True
+
+    def _invalidate_sharers(
+        self, entry: DirectoryEntry, base: int, except_proc: int
+    ) -> set[int]:
+        """Send invalidations; return the set that actually invalidated."""
+        done: set[int] = set()
+        for q in sorted(entry.sharers):
+            if q == except_proc:
+                done.add(q)
+                continue
+            self.dir_stats.invalidations_sent += 1
+            if self.injector.fire(
+                FaultKind.LOST_INVALIDATION, self.steps, q, base, "lost inval"
+            ):
+                self.dir_stats.lost_invalidations += 1
+                done.add(q)  # the directory *believes* it succeeded
+                continue
+            line = self.caches[q].peek(base)
+            if line is not None and line.valid:
+                line.state = LineState.INVALID
+                self.caches[q].stats.invalidations_received += 1
+            done.add(q)
+        return done
+
+    def _evict_for(self, proc: int, addr: int) -> None:
+        cache = self.caches[proc]
+        victim = cache.victim_for(addr)
+        if victim.valid:
+            base = cache.base_addr(cache.set_index(addr), victim.tag)
+            entry = self._entry(base)
+            if victim.state.dirty:
+                self.memory.write_line(base, victim.data)
+                cache.stats.writebacks += 1
+                if entry.owner == proc:
+                    entry.state = DirState.UNCACHED
+                    entry.owner = None
+            else:
+                entry.sharers.discard(proc)
+                if entry.owner == proc:
+                    entry.owner = None
+                    entry.state = (
+                        DirState.SHARED if entry.sharers else DirState.UNCACHED
+                    )
+                elif not entry.sharers and entry.state is DirState.SHARED:
+                    entry.state = DirState.UNCACHED
+        victim.state = LineState.INVALID
+        victim.data = {}
+        victim.tag = -1
+
+    def _fetch_shared(self, proc: int, addr: int):
+        """Directory read request: install a shared copy."""
+        base = self._line_base(addr)
+        entry = self._entry(base)
+        self.dir_stats.requests += 1
+        if entry.state is DirState.EXCLUSIVE and entry.owner != proc:
+            self._recall_owner(entry, base)
+            entry.sharers = {entry.owner} if entry.owner is not None else set()
+            entry.owner = None
+            entry.state = DirState.SHARED
+        data = self.memory.read_line(base, self.config.line_words)
+        self._evict_for(proc, addr)
+        entry.sharers.add(proc)
+        if entry.state is DirState.UNCACHED:
+            entry.state = DirState.SHARED
+        return self.caches[proc].install(addr, LineState.SHARED, data)
+
+    def _fetch_exclusive(self, proc: int, addr: int):
+        """Directory write request: install an exclusive (M) copy."""
+        base = self._line_base(addr)
+        entry = self._entry(base)
+        self.dir_stats.requests += 1
+        if entry.state is DirState.EXCLUSIVE and entry.owner != proc:
+            former = entry.owner
+            self._recall_owner(entry, base)
+            entry.owner = None
+            # The recalled owner's (now shared) copy must also go.
+            entry.sharers.add(former)
+        if entry.sharers:
+            self._invalidate_sharers(entry, base, except_proc=proc)
+        data_line = self.caches[proc].peek(addr)
+        if data_line is not None and data_line.valid:
+            data = dict(data_line.data)
+            data_line.state = LineState.INVALID
+            data_line.tag = -1
+        else:
+            data = self.memory.read_line(base, self.config.line_words)
+        self._evict_for(proc, addr)
+        entry.state = DirState.EXCLUSIVE
+        entry.owner = proc
+        entry.sharers = set()
+        return self.caches[proc].install(addr, LineState.MODIFIED, data)
+
+    # ------------------------------------------------------------------
+    # Processor operations
+    # ------------------------------------------------------------------
+    def _do_load(self, proc: int, addr: int) -> None:
+        cache = self.caches[proc]
+        line = cache.find(addr)
+        if line is not None and line.state.readable:
+            cache.stats.hits += 1
+        else:
+            cache.stats.misses += 1
+            line = self._fetch_shared(proc, addr)
+        self.recorder.record_load(
+            proc, addr, line.data.get(cache.offset(addr), INITIAL)
+        )
+
+    def _writable_line(self, proc: int, addr: int):
+        cache = self.caches[proc]
+        line = cache.find(addr)
+        if line is not None and line.state.writable:
+            cache.stats.hits += 1
+            line.state = LineState.MODIFIED
+            return line
+        cache.stats.misses += 1
+        return self._fetch_exclusive(proc, addr)
+
+    def _do_store(self, proc: int, addr: int, value: object) -> None:
+        cache = self.caches[proc]
+        line = self._writable_line(proc, addr)
+        stored = value
+        if self.injector.fire(FaultKind.DROPPED_WRITE, self.steps, proc, addr):
+            stored = None
+        elif self.injector.fire(FaultKind.CORRUPTED_VALUE, self.steps, proc, addr):
+            stored = self.injector.corrupt(value)
+        if stored is not None:
+            line.data[cache.offset(addr)] = stored
+        self.recorder.record_store(proc, addr, value)
+
+    def _do_rmw(self, proc: int, addr: int, value: object, expect: object) -> None:
+        cache = self.caches[proc]
+        line = self._writable_line(proc, addr)
+        old = line.data.get(cache.offset(addr), INITIAL)
+        if expect is not None and old != expect:
+            self.recorder.record_rmw(proc, addr, old, old)
+            return
+        line.data[cache.offset(addr)] = value
+        self.recorder.record_rmw(proc, addr, old, value)
+
+    # ------------------------------------------------------------------
+    def _final_values(self) -> dict[int, object]:
+        final: dict[int, object] = {}
+        touched: set[int] = set()
+        for h in self.recorder.histories:
+            for op in h:
+                touched.add(op.addr)  # type: ignore[arg-type]
+        image = self.memory.snapshot()
+        best_tick: dict[int, int] = {}
+        for cache in self.caches:
+            for si, ways in enumerate(cache.sets):
+                for line in ways:
+                    if not line.valid or not line.state.dirty:
+                        continue
+                    base = cache.base_addr(si, line.tag)
+                    for off, val in line.data.items():
+                        a = base + off
+                        if line.lru >= best_tick.get(a, -1):
+                            best_tick[a] = line.lru
+                            image[a] = val
+        for a in touched:
+            final[a] = image.get(a, self._initial_snapshot.get(a, INITIAL))
+        return final

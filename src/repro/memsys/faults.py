@@ -1,0 +1,144 @@
+"""Protocol fault injection.
+
+The motivation of the paper is dynamic *error detection*: a protocol
+bug or a hardware fault silently breaks coherence, and we want to catch
+it from the observed execution.  This module injects the canonical
+failure modes into the simulator:
+
+* ``LOST_INVALIDATION`` — a snooper that should invalidate its copy on
+  a foreign write keeps it; subsequent local reads return stale data.
+* ``STALE_MEMORY`` — a read miss is served from memory even though
+  another cache holds the line Modified (a lost intervention).
+* ``DROPPED_WRITE`` — a store is acknowledged but never changes the
+  line (the classic "silent data drop").
+* ``CORRUPTED_VALUE`` — a store writes a perturbed value (models a
+  datapath bit flip; detectable by coherence checking only when the
+  corrupted value collides with the value another read expects, so the
+  detection rate is interestingly below 1).
+* ``REORDERED_SERIALIZATION`` — the *reporting* path lies: two adjacent
+  entries of the exported per-address write-order are swapped while the
+  data path stays correct.  This models a buggy augmented memory system
+  (Section 5.2's helper itself failing); the write-order verifier must
+  reject orders that contradict program order or read placements.
+
+Injection is probabilistic per opportunity, driven by a seeded RNG, and
+every actual injection is recorded so tests can assert both that
+injected faults exist and that the verifier caught (or provably could
+not catch) them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.rng import make_rng
+
+
+class FaultKind(enum.Enum):
+    LOST_INVALIDATION = "lost-invalidation"
+    STALE_MEMORY = "stale-memory"
+    DROPPED_WRITE = "dropped-write"
+    CORRUPTED_VALUE = "corrupted-value"
+    REORDERED_SERIALIZATION = "reordered-serialization"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One actual injection, for post-mortem analysis."""
+
+    kind: FaultKind
+    step: int
+    proc: int
+    addr: int
+    detail: str = ""
+
+
+@dataclass
+class FaultConfig:
+    """Which faults to inject and how often.
+
+    ``rate`` is the per-opportunity probability; ``max_events`` caps the
+    number of injections (a single fault is the common test setup).
+    """
+
+    kinds: frozenset[FaultKind] = frozenset()
+    rate: float = 0.0
+    max_events: int | None = None
+    seed: int | None = 0
+
+    @staticmethod
+    def none() -> "FaultConfig":
+        return FaultConfig()
+
+    @staticmethod
+    def single(kind: FaultKind, seed: int = 0, rate: float = 0.05) -> "FaultConfig":
+        return FaultConfig(
+            kinds=frozenset([kind]), rate=rate, max_events=1, seed=seed
+        )
+
+
+class FaultInjector:
+    """Decides, opportunity by opportunity, whether a fault fires."""
+
+    def __init__(self, config: FaultConfig):
+        self.config = config
+        self.rng = make_rng(config.seed)
+        self.events: list[FaultEvent] = []
+
+    def _armed(self, kind: FaultKind) -> bool:
+        if kind not in self.config.kinds or self.config.rate <= 0.0:
+            return False
+        if (
+            self.config.max_events is not None
+            and len(self.events) >= self.config.max_events
+        ):
+            return False
+        return self.rng.random() < self.config.rate
+
+    def fire(
+        self, kind: FaultKind, step: int, proc: int, addr: int, detail: str = ""
+    ) -> bool:
+        """Roll the dice for one opportunity; record and report."""
+        if not self._armed(kind):
+            return False
+        self.events.append(FaultEvent(kind, step, proc, addr, detail))
+        return True
+
+    def corrupt(self, value: object) -> object:
+        """A deterministic-ish corruption of a value."""
+        if isinstance(value, int):
+            return value ^ (1 << self.rng.randrange(8))
+        return ("corrupt", value)
+
+    @property
+    def injected(self) -> int:
+        return len(self.events)
+
+
+def corrupt_write_orders(
+    write_orders: dict, injector: "FaultInjector", step: int
+) -> dict:
+    """Swap adjacent write-order entries where the fault fires.
+
+    Called by the systems just before packaging a RunResult; models the
+    reporting path (not the data path) failing.
+    """
+    out = {}
+    for addr, order in write_orders.items():
+        order = list(order)
+        i = 0
+        while i + 1 < len(order):
+            if injector.fire(
+                FaultKind.REORDERED_SERIALIZATION,
+                step,
+                order[i].proc,
+                addr,
+                detail=f"swapped serialization slots {i} and {i + 1}",
+            ):
+                order[i], order[i + 1] = order[i + 1], order[i]
+                i += 2
+            else:
+                i += 1
+        out[addr] = order
+    return out

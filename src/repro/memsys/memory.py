@@ -1,0 +1,40 @@
+"""Main memory: the backing store behind the caches.
+
+Sparse word-addressed storage.  Uninitialized words read the
+distinguished :data:`repro.core.INITIAL` sentinel unless a concrete
+initial image is installed, matching the paper's ``d_I[a]`` convention.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.types import INITIAL
+
+
+class MainMemory:
+    """Word-addressed sparse memory."""
+
+    def __init__(self, initial: Mapping[int, object] | None = None):
+        self._words: dict[int, object] = dict(initial or {})
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, addr: int) -> object:
+        self.reads += 1
+        return self._words.get(addr, INITIAL)
+
+    def write(self, addr: int, value: object) -> None:
+        self.writes += 1
+        self._words[addr] = value
+
+    def read_line(self, base: int, words: int) -> dict[int, object]:
+        """Data for a whole line as {word offset -> value}."""
+        return {off: self.read(base + off) for off in range(words)}
+
+    def write_line(self, base: int, data: Mapping[int, object]) -> None:
+        for off, value in data.items():
+            self.write(base + off, value)
+
+    def snapshot(self) -> dict[int, object]:
+        return dict(self._words)

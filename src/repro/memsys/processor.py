@@ -1,0 +1,72 @@
+"""Processors: blocking in-order executors of memory-op scripts.
+
+A script is a list of :class:`ScriptOp`; each step the system picks a
+processor and executes its next operation to completion (the atomic-bus
+model).  Loads record the value they observed; stores carry their value
+in the script; RMWs read-then-write atomically (used for locks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ScriptKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    RMW = "rmw"
+
+
+@dataclass(frozen=True)
+class ScriptOp:
+    """One scripted operation.
+
+    For ``STORE``, ``value`` is what to write.  For ``RMW``, ``value``
+    is what to write and ``expect`` (optional) makes it conditional: the
+    write only happens when the read returns ``expect`` (a test-and-set
+    — the lock workloads use this).  An unconditional RMW has
+    ``expect=None``.
+    """
+
+    kind: ScriptKind
+    addr: int
+    value: object = None
+    expect: object = None
+
+
+def load(addr: int) -> ScriptOp:
+    return ScriptOp(ScriptKind.LOAD, addr)
+
+
+def store(addr: int, value: object) -> ScriptOp:
+    return ScriptOp(ScriptKind.STORE, addr, value)
+
+
+def rmw(addr: int, value: object, expect: object = None) -> ScriptOp:
+    return ScriptOp(ScriptKind.RMW, addr, value, expect)
+
+
+class Processor:
+    """Program counter over a script."""
+
+    def __init__(self, proc_id: int, script: list[ScriptOp]):
+        self.proc_id = proc_id
+        self.script = list(script)
+        self.pc = 0
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.script)
+
+    def current(self) -> ScriptOp:
+        if self.done:
+            raise IndexError(f"processor {self.proc_id} has finished its script")
+        return self.script[self.pc]
+
+    def advance(self) -> None:
+        self.pc += 1
+
+    @property
+    def remaining(self) -> int:
+        return len(self.script) - self.pc

@@ -1,0 +1,140 @@
+"""Coherence protocol definitions: MSI and MESI state machines.
+
+States follow the textbook snooping protocols:
+
+* ``M`` (Modified) — exclusive dirty copy; must supply data on snoop.
+* ``E`` (Exclusive, MESI only) — exclusive clean copy; silent upgrade
+  to ``M`` on a local store.
+* ``S`` (Shared) — clean, possibly replicated.
+* ``I`` (Invalid).
+
+The tables below give, per protocol, the snoop response of a cache
+holding a line in a given state when it observes a bus transaction,
+and the state a requester installs a line in after its own transaction.
+Keeping the protocol as *data* lets the fault injector corrupt specific
+transitions and keeps the cache controller generic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LineState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def readable(self) -> bool:
+        return self is not LineState.INVALID
+
+    @property
+    def writable(self) -> bool:
+        return self in (LineState.MODIFIED, LineState.EXCLUSIVE)
+
+    @property
+    def dirty(self) -> bool:
+        return self is LineState.MODIFIED
+
+
+class BusOp(enum.Enum):
+    """Snooping bus transaction kinds."""
+
+    BUS_RD = "BusRd"  # read miss: want a shared copy
+    BUS_RDX = "BusRdX"  # write miss: want an exclusive copy
+    BUS_UPGR = "BusUpgr"  # have S, want M (no data transfer)
+    WRITEBACK = "WB"  # eviction of a dirty line
+
+
+@dataclass(frozen=True)
+class SnoopAction:
+    """What a snooping cache does when it observes a transaction.
+
+    ``next_state`` — the state the snooper transitions its line to;
+    ``supply_data`` — whether the snooper sources the data
+    (cache-to-cache transfer, also updating memory);
+    """
+
+    next_state: LineState
+    supply_data: bool = False
+
+
+M, E, S, I = (
+    LineState.MODIFIED,
+    LineState.EXCLUSIVE,
+    LineState.SHARED,
+    LineState.INVALID,
+)
+
+
+class Protocol:
+    """A snooping protocol: snoop table + requester fill states."""
+
+    name: str = "base"
+    has_exclusive = False
+
+    #: (holder state, observed bus op) -> SnoopAction
+    SNOOP: dict[tuple[LineState, BusOp], SnoopAction] = {}
+
+    def snoop(self, state: LineState, op: BusOp) -> SnoopAction:
+        """Reaction of a cache holding ``state`` to a foreign ``op``."""
+        return self.SNOOP.get((state, op), SnoopAction(state))
+
+    def fill_state_after_read(self, others_have_copy: bool) -> LineState:
+        """State a requester installs after a BusRd."""
+        return S
+
+    def fill_state_after_write(self) -> LineState:
+        """State a requester installs after a BusRdX/BusUpgr."""
+        return M
+
+
+class MSI(Protocol):
+    """Classic 3-state invalidate protocol."""
+
+    name = "MSI"
+    has_exclusive = False
+
+    SNOOP = {
+        (M, BusOp.BUS_RD): SnoopAction(S, supply_data=True),
+        (M, BusOp.BUS_RDX): SnoopAction(I, supply_data=True),
+        (S, BusOp.BUS_RD): SnoopAction(S),
+        (S, BusOp.BUS_RDX): SnoopAction(I),
+        (S, BusOp.BUS_UPGR): SnoopAction(I),
+    }
+
+    def fill_state_after_read(self, others_have_copy: bool) -> LineState:
+        return S
+
+
+class MESI(Protocol):
+    """4-state protocol: exclusive-clean avoids an upgrade transaction
+    for private data (read-then-write sequences hit silently)."""
+
+    name = "MESI"
+    has_exclusive = True
+
+    SNOOP = {
+        (M, BusOp.BUS_RD): SnoopAction(S, supply_data=True),
+        (M, BusOp.BUS_RDX): SnoopAction(I, supply_data=True),
+        (E, BusOp.BUS_RD): SnoopAction(S, supply_data=True),
+        (E, BusOp.BUS_RDX): SnoopAction(I, supply_data=True),
+        (S, BusOp.BUS_RD): SnoopAction(S),
+        (S, BusOp.BUS_RDX): SnoopAction(I),
+        (S, BusOp.BUS_UPGR): SnoopAction(I),
+    }
+
+    def fill_state_after_read(self, others_have_copy: bool) -> LineState:
+        return S if others_have_copy else E
+
+
+def make_protocol(name: str) -> Protocol:
+    """Protocol factory: ``"MSI"`` or ``"MESI"``."""
+    if name.upper() == "MSI":
+        return MSI()
+    if name.upper() == "MESI":
+        return MESI()
+    raise ValueError(f"unknown protocol {name!r} (want MSI or MESI)")

@@ -1,0 +1,106 @@
+"""Execution recording: turning a simulator run into verifier input.
+
+The recorder observes every completed memory operation (with the value
+the processor actually saw/wrote) and every write serialization on the
+bus.  After the run it produces:
+
+* an :class:`repro.core.Execution` — per-process histories with
+  observed values, initial values, and the post-run final values;
+* per-address *write-orders* — the bus serialization of the writes,
+  exactly the Section 5.2 augmentation;
+
+so a run plugs directly into ``verify_coherence(execution,
+write_orders=...)`` and friends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.types import Execution, OpKind, Operation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memsys.bus import Bus
+    from repro.memsys.faults import FaultEvent
+
+
+class Recorder:
+    """Accumulates operations during a run."""
+
+    def __init__(self, num_processors: int):
+        self.histories: list[list[Operation]] = [[] for _ in range(num_processors)]
+        self.write_orders: dict[int, list[Operation]] = {}
+
+    def _append(self, op: Operation) -> Operation:
+        self.histories[op.proc].append(op)
+        return op
+
+    def record_load(self, proc: int, addr: int, value: object) -> Operation:
+        return self._append(
+            Operation(
+                OpKind.READ, addr, proc, len(self.histories[proc]), value_read=value
+            )
+        )
+
+    def record_store(self, proc: int, addr: int, value: object) -> Operation:
+        op = self._append(
+            Operation(
+                OpKind.WRITE, addr, proc, len(self.histories[proc]), value_written=value
+            )
+        )
+        self.write_orders.setdefault(addr, []).append(op)
+        return op
+
+    def record_rmw(
+        self, proc: int, addr: int, value_read: object, value_written: object
+    ) -> Operation:
+        op = self._append(
+            Operation(
+                OpKind.RMW,
+                addr,
+                proc,
+                len(self.histories[proc]),
+                value_read=value_read,
+                value_written=value_written,
+            )
+        )
+        self.write_orders.setdefault(addr, []).append(op)
+        return op
+
+    def build_execution(
+        self,
+        initial: dict[int, object],
+        final: dict[int, object] | None,
+    ) -> Execution:
+        histories = [list(h) for h in self.histories]
+        return Execution.from_ops(histories, initial=initial, final=final)
+
+
+@dataclass
+class RunResult:
+    """Everything a verifier (or a benchmark) wants from one run."""
+
+    execution: Execution
+    write_orders: dict[int, list[Operation]]
+    steps: int
+    bus_transactions: int
+    bus_traffic: dict[str, int]
+    fault_events: list["FaultEvent"] = field(default_factory=list)
+    cache_stats: list[dict] = field(default_factory=list)
+
+    @property
+    def num_ops(self) -> int:
+        return self.execution.num_ops
+
+    @property
+    def faults_injected(self) -> int:
+        return len(self.fault_events)
+
+    def summary(self) -> str:
+        return (
+            f"run: {self.num_ops} ops on "
+            f"{self.execution.num_processes} processors, {self.steps} steps, "
+            f"{self.bus_transactions} bus transactions, "
+            f"{self.faults_injected} faults injected"
+        )

@@ -1,0 +1,146 @@
+"""Workload generators: the scripts the simulated processors run.
+
+Each generator returns ``(scripts, initial_memory)`` ready for
+:class:`repro.memsys.system.MultiprocessorSystem`.  Value discipline is
+a knob because it decides which verification regime a trace lands in:
+
+* ``values="unique"`` — every store writes a globally unique value, so
+  the read-map is forced and the O(n) Figure 5.3 fast path applies;
+* ``values="small"`` — stores draw from a small value set, producing
+  the ambiguous traces where verification is genuinely hard.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.memsys.processor import ScriptOp, load, rmw, store
+from repro.util.rng import make_rng
+
+Workload = tuple[list[list[ScriptOp]], dict[int, object]]
+
+
+def _value_source(values: str, proc: int, rng: random.Random):
+    counter = [0]
+
+    def next_value() -> object:
+        if values == "unique":
+            counter[0] += 1
+            return proc * 1_000_000 + counter[0]
+        return rng.randrange(4)
+
+    return next_value
+
+
+def random_shared_workload(
+    num_processors: int = 4,
+    ops_per_processor: int = 50,
+    num_addresses: int = 4,
+    write_fraction: float = 0.4,
+    values: str = "unique",
+    seed: int | random.Random | None = 0,
+) -> Workload:
+    """Uniform random loads/stores over a small shared address set."""
+    rng = make_rng(seed)
+    scripts: list[list[ScriptOp]] = []
+    for p in range(num_processors):
+        nv = _value_source(values, p, rng)
+        script = []
+        for _ in range(ops_per_processor):
+            addr = rng.randrange(num_addresses)
+            if rng.random() < write_fraction:
+                script.append(store(addr, nv()))
+            else:
+                script.append(load(addr))
+        scripts.append(script)
+    initial = {a: 0 for a in range(num_addresses)}
+    return scripts, initial
+
+
+def producer_consumer_workload(
+    items: int = 20,
+    num_consumers: int = 1,
+    data_addr: int = 0,
+    flag_addr: int = 8,
+    seed: int | random.Random | None = 0,
+) -> Workload:
+    """A producer writes data then a flag; consumers poll then read.
+
+    The classic message-passing idiom; under SC a consumer that saw
+    flag == i must see data == payload(i).  The scripts are *oblivious*
+    (no control flow), so consumers poll a fixed number of times and
+    read data after each poll — a real trace with plenty of reuse.
+    """
+    producer: list[ScriptOp] = []
+    for i in range(1, items + 1):
+        producer.append(store(data_addr, 100 + i))
+        producer.append(store(flag_addr, i))
+    consumers = []
+    for _ in range(num_consumers):
+        script: list[ScriptOp] = []
+        for _ in range(items):
+            script.append(load(flag_addr))
+            script.append(load(data_addr))
+        consumers.append(script)
+    initial = {data_addr: 0, flag_addr: 0}
+    return [producer] + consumers, initial
+
+
+def false_sharing_workload(
+    num_processors: int = 4,
+    ops_per_processor: int = 40,
+    line_words: int = 4,
+    values: str = "unique",
+    seed: int | random.Random | None = 0,
+) -> Workload:
+    """Each processor hammers its own word of one shared line.
+
+    No data is actually shared, yet every store invalidates everyone —
+    maximal protocol traffic, so a single injected fault has many
+    opportunities to corrupt an observable value.
+    """
+    rng = make_rng(seed)
+    scripts = []
+    for p in range(num_processors):
+        nv = _value_source(values, p, rng)
+        addr = p % line_words  # all within line 0
+        script = []
+        for _ in range(ops_per_processor):
+            if rng.random() < 0.5:
+                script.append(store(addr, nv()))
+            else:
+                script.append(load(addr))
+        scripts.append(script)
+    initial = {a: 0 for a in range(line_words)}
+    return scripts, initial
+
+
+def lock_contention_workload(
+    num_processors: int = 4,
+    acquisitions_per_processor: int = 5,
+    lock_addr: int = 0,
+    counter_addr: int = 8,
+    spin_attempts: int = 6,
+    seed: int | random.Random | None = 0,
+) -> Workload:
+    """Test-and-set lock protecting a shared counter.
+
+    Scripts are oblivious, so each "acquisition" is a bounded sequence
+    of conditional RMWs (test-and-set: write 1 if 0) followed by a
+    counter read+write and an unlock store.  Because the interleaving
+    is scheduler-driven, some acquisitions fail all their attempts —
+    the trace stays well-formed either way (failed RMWs are no-op
+    writes of the observed value).
+    """
+    scripts = []
+    for p in range(num_processors):
+        script: list[ScriptOp] = []
+        for a in range(acquisitions_per_processor):
+            for _ in range(spin_attempts):
+                script.append(rmw(lock_addr, 1, expect=0))  # try lock
+            script.append(load(counter_addr))
+            script.append(store(counter_addr, (p + 1) * 100 + a))
+            script.append(store(lock_addr, 0))  # unlock
+        scripts.append(script)
+    initial = {lock_addr: 0, counter_addr: 0}
+    return scripts, initial

@@ -1,0 +1,39 @@
+"""The paper's reductions, as executable constructions.
+
+Each module builds the instance a figure of the paper describes and
+packages it with decoding machinery, so tests and benchmarks can verify
+*faithfulness* in both directions:
+
+* satisfiable formula ⇒ the constructed execution is coherent/SC, and a
+  witness schedule decodes back to a satisfying assignment;
+* unsatisfiable formula ⇒ the constructed execution has no legal
+  schedule.
+
+Modules:
+
+* :mod:`repro.reductions.sat_to_vmc` — Figure 4.1 (general SAT → VMC)
+  and the Figure 4.2 worked example;
+* :mod:`repro.reductions.tsat_to_vmc_restricted` — Figure 5.1 (3SAT →
+  VMC with ≤3 operations/process and values written at most twice);
+* :mod:`repro.reductions.tsat_to_vmc_rmw` — Figure 5.2 (3SAT → VMC with
+  ≤2 RMWs/process and values written at most three times);
+* :mod:`repro.reductions.sat_to_vscc` — Figure 6.2 (SAT → VSCC,
+  coherent by construction, Figure 6.3);
+* :mod:`repro.reductions.sync_wrap` — Figure 6.1 (acquire/release
+  wrapping for models that relax coherence, e.g. LRC).
+"""
+
+from repro.reductions.sat_to_vmc import SatToVmc, fig_4_2_example
+from repro.reductions.tsat_to_vmc_restricted import TsatToVmcRestricted
+from repro.reductions.tsat_to_vmc_rmw import TsatToVmcRmw
+from repro.reductions.sat_to_vscc import SatToVscc
+from repro.reductions.sync_wrap import wrap_with_sync
+
+__all__ = [
+    "SatToVmc",
+    "fig_4_2_example",
+    "TsatToVmcRestricted",
+    "TsatToVmcRmw",
+    "SatToVscc",
+    "wrap_with_sync",
+]

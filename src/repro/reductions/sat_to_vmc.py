@@ -1,0 +1,219 @@
+"""Figure 4.1: the general SAT → VMC reduction (Theorem 4.2).
+
+Given a SAT instance with variables ``u_1..u_m`` and clauses
+``c_1..c_n``, build a single-address execution with ``2m+3`` process
+histories and ``O(mn)`` operations such that a coherent schedule exists
+iff the formula is satisfiable:
+
+* ``h_1`` writes ``d_{u_i}`` for every variable, ``h_2`` writes
+  ``d_{ū_i}``; the interleaving order of each pair encodes the truth
+  assignment (equation 4.1: ``W(d_u) before W(d_ū)  ⇔  T(u) = True``);
+* per literal ``l`` a history ``h_l`` reads the pair in the order that
+  corresponds to the literal being *true*, then writes the clause value
+  ``d_c`` for every clause containing ``l``;
+* ``h_3`` reads every clause value (possible only if every clause has a
+  true literal), then re-writes all variable values so the histories of
+  *false* literals can finally run.
+
+The class also implements both directions of Lemma 4.3 constructively:
+:meth:`decode_assignment` extracts ``T`` from any coherent schedule and
+:meth:`schedule_from_assignment` builds a coherent schedule from any
+satisfying ``T`` (the paper's converse argument, made executable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import Execution, Operation, read, write
+from repro.sat.cnf import CNF, Assignment
+
+# Value naming: d_u -> ("u", i, True), d_ū -> ("u", i, False),
+# d_c -> ("c", j).  Tuples keep values hashable and self-describing.
+ADDR = "a"
+
+
+def _d_lit(var: int, positive: bool) -> tuple:
+    return ("u", var, positive)
+
+
+def _d_clause(j: int) -> tuple:
+    return ("c", j)
+
+
+@dataclass
+class SatToVmc:
+    """The Figure 4.1 construction for one CNF formula.
+
+    Attributes after construction:
+
+    * ``execution`` — the VMC instance (single address, no final-value
+      constraint, fresh initial value);
+    * ``num_histories`` — ``2m + 3`` (paper's stated size);
+    * ``literal_proc`` — process index of each literal history.
+    """
+
+    cnf: CNF
+    execution: Execution = field(init=False)
+    literal_proc: dict[tuple[int, bool], int] = field(init=False)
+
+    # Process numbering: 0 = h1, 1 = h2, 2 = h3, then literal histories.
+    H1, H2, H3 = 0, 1, 2
+
+    def __post_init__(self) -> None:
+        m = self.cnf.num_vars
+        clauses = self.cnf.clauses
+        variables = list(range(1, m + 1))
+
+        h1 = [write(ADDR, _d_lit(u, True)) for u in variables]
+        h2 = [write(ADDR, _d_lit(u, False)) for u in variables]
+        h3 = [read(ADDR, _d_clause(j)) for j in range(len(clauses))]
+        for u in variables:
+            h3.append(write(ADDR, _d_lit(u, True)))
+            h3.append(write(ADDR, _d_lit(u, False)))
+
+        # Clause memberships per literal, in clause order (the ordered
+        # list D_l of the figure).  Duplicate occurrences collapse.
+        membership: dict[tuple[int, bool], list[int]] = {}
+        for j, clause in enumerate(clauses):
+            for lit in clause:
+                key = (abs(lit), lit > 0)
+                lst = membership.setdefault(key, [])
+                if not lst or lst[-1] != j:
+                    lst.append(j)
+
+        histories: list[list[Operation]] = [h1, h2, h3]
+        self.literal_proc = {}
+        for u in variables:
+            for positive in (True, False):
+                ops = [
+                    read(ADDR, _d_lit(u, positive)),
+                    read(ADDR, _d_lit(u, not positive)),
+                ]
+                for j in membership.get((u, positive), []):
+                    ops.append(write(ADDR, _d_clause(j)))
+                self.literal_proc[(u, positive)] = len(histories)
+                histories.append(ops)
+
+        self.execution = Execution.from_ops(histories)
+
+    # -- paper-stated size properties ----------------------------------
+    @property
+    def num_histories(self) -> int:
+        return self.execution.num_processes
+
+    @property
+    def num_operations(self) -> int:
+        return self.execution.num_ops
+
+    # -- decoding -------------------------------------------------------
+    def decode_assignment(self, schedule: list[Operation]) -> Assignment:
+        """Read the truth assignment off a coherent schedule (eq. 4.1).
+
+        ``T(u)`` is true iff ``h_1``'s write of ``d_u`` precedes
+        ``h_2``'s write of ``d_ū``.
+        """
+        pos: dict[tuple[int, int], int] = {
+            op.uid: i for i, op in enumerate(schedule)
+        }
+        m = self.cnf.num_vars
+        assignment: Assignment = {}
+        for u in range(1, m + 1):
+            # h1's i-th op writes d_{u_i}; h2's i-th writes d_{ū_i}.
+            p1 = pos[(self.H1, u - 1)]
+            p2 = pos[(self.H2, u - 1)]
+            assignment[u] = p1 < p2
+        return assignment
+
+    # -- the constructive converse (Lemma 4.3, part 2) -------------------
+    def schedule_from_assignment(self, assignment: Assignment) -> list[Operation]:
+        """Build a coherent schedule from a satisfying assignment.
+
+        Raises ``ValueError`` if the assignment does not satisfy the
+        formula (then no schedule following the construction exists).
+        """
+        if not self.cnf.evaluate(assignment):
+            raise ValueError("assignment does not satisfy the formula")
+        ex = self.execution
+        m = self.cnf.num_vars
+        h = {p: list(ex.histories[p].operations) for p in range(ex.num_processes)}
+        schedule: list[Operation] = []
+
+        # Phase 1: interleave h1/h2 per equation 4.1, serving the first
+        # two reads of every *true*-literal history inline, plus the
+        # first read of every *false*-literal history (it reads the
+        # second-written value).
+        for u in range(1, m + 1):
+            t = assignment.get(u, False)
+            first_writer, second_writer = (self.H1, self.H2) if t else (self.H2, self.H1)
+            true_lit = self.literal_proc[(u, t)]
+            false_lit = self.literal_proc[(u, not t)]
+            schedule.append(h[first_writer][u - 1])
+            schedule.append(h[true_lit][0])  # R(first value)
+            schedule.append(h[second_writer][u - 1])
+            schedule.append(h[true_lit][1])  # R(second value)
+            schedule.append(h[false_lit][0])  # also reads the second value
+
+        # Phase 2: clause writes of true literals, merged in clause
+        # order with h3's clause reads.
+        true_procs = [
+            self.literal_proc[(u, assignment.get(u, False))]
+            for u in range(1, m + 1)
+        ]
+        cursor = {p: 2 for p in true_procs}  # next unscheduled op index
+        for j in range(len(self.cnf.clauses)):
+            served = False
+            for p in true_procs:
+                ops = h[p]
+                while cursor[p] < len(ops) and ops[cursor[p]].value_written == _d_clause(j):
+                    schedule.append(ops[cursor[p]])
+                    cursor[p] += 1
+                    served = True
+            if not served:
+                raise AssertionError(
+                    f"clause {j} unserved despite satisfying assignment"
+                )
+            schedule.append(h[self.H3][j])  # R(d_c_j)
+
+        # Phase 3: h3 re-writes every variable's pair (always d_u then
+        # d_ū — the fixed order of the construction); the false-literal
+        # history's remaining read is served right after the matching
+        # re-write.  Its trailing clause writes are dead writes: flushed
+        # at the very end, where nothing reads anymore.
+        n_clauses = len(self.cnf.clauses)
+        tail: list[Operation] = []
+        for u in range(1, m + 1):
+            t = assignment.get(u, False)
+            false_lit = self.literal_proc[(u, not t)]
+            w_pos = h[self.H3][n_clauses + 2 * (u - 1)]  # W(d_u)
+            w_neg = h[self.H3][n_clauses + 2 * (u - 1) + 1]  # W(d_ū)
+            if t:
+                # False literal is h_ū; its pending second read is
+                # R(d_u), served between the re-writes.
+                schedule.extend([w_pos, h[false_lit][1], w_neg])
+            else:
+                # False literal is h_u; its pending second read is
+                # R(d_ū), served after both re-writes.
+                schedule.extend([w_pos, w_neg, h[false_lit][1]])
+            tail.extend(h[false_lit][2:])
+        schedule.extend(tail)
+        return schedule
+
+    def describe(self) -> str:
+        """Human-readable summary (paper's size claims)."""
+        m, n = self.cnf.num_vars, self.cnf.num_clauses
+        return (
+            f"SAT(m={m} vars, n={n} clauses) -> VMC("
+            f"{self.num_histories} histories = 2m+3, "
+            f"{self.num_operations} operations)"
+        )
+
+
+def fig_4_2_example() -> SatToVmc:
+    """The worked example of Figure 4.2: the formula Q = u (one variable,
+    one unit clause).  The resulting instance has histories
+    h1=[W(d_u)], h2=[W(d_ū)], h3=[R(d_c), W(d_u), W(d_ū)],
+    h_u=[R(d_u), R(d_ū), W(d_c)], h_ū=[R(d_ū), R(d_u)]."""
+    cnf = CNF(num_vars=1)
+    cnf.add_clause([1])
+    return SatToVmc(cnf)

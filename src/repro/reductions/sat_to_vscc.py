@@ -1,0 +1,233 @@
+"""Figure 6.2: SAT → VSCC (sequential consistency of *coherent* executions).
+
+Given a SAT instance with ``m`` variables and ``n`` clauses, build an
+execution over ``2m+3`` processes and ``m+n+1`` shared locations that is
+**coherent by construction** (Figure 6.3) yet has a sequentially
+consistent schedule iff the formula is satisfiable — the paper's proof
+that the coherence promise does not make VSC tractable.
+
+Layout (values ``d_X``, ``d_Y``, ``d_Z``):
+
+* one location ``a_{u_i}`` per variable; ``h_1`` writes ``d_X`` to each,
+  ``h_2`` writes ``d_Y``; the order of the two writes *to that location*
+  encodes ``T(u_i)`` (equation 6.1);
+* literal histories ``h_{u_i}`` / ``h_{ū_i}`` read the pair in their
+  truth order, then write ``d_Z`` to ``a_{c_j}`` for each clause ``c_j``
+  containing the literal;
+* ``h_3`` reads ``d_Z`` from every clause location, then writes the
+  release location ``a_Δ``;
+* after reading ``a_Δ``, ``h_1`` and ``h_2`` re-write every variable
+  location with the *opposite* values, releasing false literals.
+
+Coherence per address (Figure 6.3): each ``a_{u_i}`` sees writes
+``X,Y`` then ``Y,X`` — interleave the uncomplemented literal's reads
+with ``h_1`` and the complemented with ``h_2``; each ``a_{c_j}`` and
+``a_Δ`` only ever holds ``d_Z``.  :func:`per_address_schedules` returns
+those witnesses explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import Execution, Operation, read, write
+from repro.sat.cnf import CNF, Assignment
+
+D_X = "X"
+D_Y = "Y"
+D_Z = "Z"
+
+
+def a_var(i: int) -> tuple:
+    return ("a_u", i)
+
+
+def a_clause(j: int) -> tuple:
+    return ("a_c", j)
+
+
+A_DELTA = ("a_delta",)
+
+
+@dataclass
+class SatToVscc:
+    """The Figure 6.2 construction for one CNF formula."""
+
+    cnf: CNF
+    execution: Execution = field(init=False)
+    literal_proc: dict[tuple[int, bool], int] = field(init=False)
+
+    H1, H2, H3 = 0, 1, 2
+
+    def __post_init__(self) -> None:
+        m = self.cnf.num_vars
+        clauses = self.cnf.clauses
+        n = len(clauses)
+        variables = list(range(1, m + 1))
+
+        h1 = [write(a_var(u), D_X) for u in variables]
+        h1.append(read(A_DELTA, D_Z))
+        h1.extend(write(a_var(u), D_Y) for u in variables)
+
+        h2 = [write(a_var(u), D_Y) for u in variables]
+        h2.append(read(A_DELTA, D_Z))
+        h2.extend(write(a_var(u), D_X) for u in variables)
+
+        h3 = [read(a_clause(j), D_Z) for j in range(n)]
+        h3.append(write(A_DELTA, D_Z))
+
+        membership: dict[tuple[int, bool], list[int]] = {}
+        for j, clause in enumerate(clauses):
+            for lit in clause:
+                key = (abs(lit), lit > 0)
+                lst = membership.setdefault(key, [])
+                if not lst or lst[-1] != j:
+                    lst.append(j)
+
+        histories: list[list[Operation]] = [h1, h2, h3]
+        self.literal_proc = {}
+        for u in variables:
+            for positive in (True, False):
+                first, second = (D_X, D_Y) if positive else (D_Y, D_X)
+                ops = [read(a_var(u), first), read(a_var(u), second)]
+                ops.extend(
+                    write(a_clause(j), D_Z)
+                    for j in membership.get((u, positive), [])
+                )
+                self.literal_proc[(u, positive)] = len(histories)
+                histories.append(ops)
+
+        self.execution = Execution.from_ops(histories)
+
+    # -- paper-stated size properties ------------------------------------
+    @property
+    def num_processes(self) -> int:
+        return self.execution.num_processes  # 2m + 3
+
+    @property
+    def num_addresses(self) -> int:
+        return len(self.execution.addresses())  # m + n + 1
+
+    # -- Figure 6.3: coherence witnesses --------------------------------
+    def per_address_schedules(self) -> dict:
+        """One coherent schedule per address (the instance's promise).
+
+        Variable locations follow Figure 6.3: the uncomplemented
+        literal's reads interleaved with ``h_1``'s two writes, then the
+        complemented literal's reads interleaved with ``h_2``'s.
+        Clause locations hold only ``d_Z``: one write, the reader, then
+        the remaining (idempotent) writes.  ``a_Δ`` has a single write
+        followed by its readers.
+        """
+        ex = self.execution
+        m = self.cnf.num_vars
+        n = len(self.cnf.clauses)
+        out: dict = {}
+        for u in range(1, m + 1):
+            addr = a_var(u)
+            h1w1 = ex.histories[self.H1][u - 1]
+            h1w2 = ex.histories[self.H1][m + 1 + (u - 1)]
+            h2w1 = ex.histories[self.H2][u - 1]
+            h2w2 = ex.histories[self.H2][m + 1 + (u - 1)]
+            pos_lit = ex.histories[self.literal_proc[(u, True)]]
+            neg_lit = ex.histories[self.literal_proc[(u, False)]]
+            # Block A: h1 writes X, h_u reads X; h1 (phase 2) writes Y,
+            # h_u reads Y.  Block B symmetric with h2 / h_ū.
+            out[addr] = [
+                h1w1, pos_lit[0], h1w2, pos_lit[1],
+                h2w1, neg_lit[0], h2w2, neg_lit[1],
+            ]
+        for j in range(n):
+            addr = a_clause(j)
+            writes_j = [
+                op
+                for h in ex.histories
+                for op in h
+                if op.addr == addr and op.kind.writes
+            ]
+            if not writes_j:
+                raise ValueError(
+                    f"clause {j} is empty: no literal history writes "
+                    f"{addr!r}, so the instance is not coherent"
+                )
+            out[addr] = [writes_j[0], ex.histories[self.H3][j]] + writes_j[1:]
+        # a_Δ: the single write, then its readers.
+        out[A_DELTA] = [
+            ex.histories[self.H3][n],
+            ex.histories[self.H1][m],
+            ex.histories[self.H2][m],
+        ]
+        return out
+
+    # -- decoding ---------------------------------------------------------
+    def decode_assignment(self, schedule: list[Operation]) -> Assignment:
+        """Equation 6.1: T(u) iff W(a_u, d_X) precedes W(a_u, d_Y)."""
+        pos = {op.uid: i for i, op in enumerate(schedule)}
+        assignment: Assignment = {}
+        for u in range(1, self.cnf.num_vars + 1):
+            assignment[u] = pos[(self.H1, u - 1)] < pos[(self.H2, u - 1)]
+        return assignment
+
+    # -- constructive converse ---------------------------------------------
+    def schedule_from_assignment(self, assignment: Assignment) -> list[Operation]:
+        """Build a sequentially consistent schedule from a model."""
+        if not self.cnf.evaluate(assignment):
+            raise ValueError("assignment does not satisfy the formula")
+        ex = self.execution
+        m = self.cnf.num_vars
+        n = len(self.cnf.clauses)
+        h = {p: list(ex.histories[p].operations) for p in range(ex.num_processes)}
+        schedule: list[Operation] = []
+
+        # Phase 1: first-phase writes in truth order per variable;
+        # true-literal reads inline; false literal's first read too.
+        for u in range(1, m + 1):
+            t = assignment.get(u, False)
+            true_lit = self.literal_proc[(u, t)]
+            false_lit = self.literal_proc[(u, not t)]
+            w_first = h[self.H1][u - 1] if t else h[self.H2][u - 1]
+            w_second = h[self.H2][u - 1] if t else h[self.H1][u - 1]
+            schedule.append(w_first)
+            schedule.append(h[true_lit][0])
+            schedule.append(w_second)
+            schedule.append(h[true_lit][1])
+            schedule.append(h[false_lit][0])
+
+        # Phase 2: true literals' clause writes, h3's reads, the release.
+        true_procs = [
+            self.literal_proc[(u, assignment.get(u, False))]
+            for u in range(1, m + 1)
+        ]
+        for p in true_procs:
+            schedule.extend(h[p][2:])
+        schedule.extend(h[self.H3])  # reads of d_Z then W(a_Δ)
+
+        # Phase 3: h1/h2 read the release, re-write opposite values,
+        # serving each false literal's pending read at the right moment.
+        schedule.append(h[self.H1][m])  # R(a_Δ)
+        schedule.append(h[self.H2][m])
+        for u in range(1, m + 1):
+            t = assignment.get(u, False)
+            false_lit = self.literal_proc[(u, not t)]
+            h1w2 = h[self.H1][m + 1 + (u - 1)]  # W(a_u, d_Y)
+            h2w2 = h[self.H2][m + 1 + (u - 1)]  # W(a_u, d_X)
+            if t:
+                # h_ū pending read is R(a_u, d_X): h1's Y write first.
+                schedule.extend([h1w2, h2w2, h[false_lit][1]])
+            else:
+                # h_u pending read is R(a_u, d_Y): h2's X write first.
+                schedule.extend([h2w2, h1w2, h[false_lit][1]])
+
+        # Tail: false literals' clause writes (locations already d_Z).
+        for u in range(1, m + 1):
+            t = assignment.get(u, False)
+            schedule.extend(h[self.literal_proc[(u, not t)]][2:])
+        return schedule
+
+    def describe(self) -> str:
+        m, n = self.cnf.num_vars, self.cnf.num_clauses
+        return (
+            f"SAT(m={m}, n={n}) -> VSCC({self.num_processes} processes "
+            f"= 2m+3, {self.num_addresses} addresses = m+n+1, "
+            f"{self.execution.num_ops} ops)"
+        )

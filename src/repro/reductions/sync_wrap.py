@@ -1,0 +1,81 @@
+"""Figure 6.1: extending the reductions to models that relax coherence.
+
+Consistency models such as Lazy Release Consistency do not order plain
+accesses to a location, so the Figure 4.1 instance alone says nothing
+about them.  But every such model gives the programmer synchronization
+primitives; bracketing *every* memory operation with an acquire/release
+pair of one global lock forces the data operations to appear serialized
+— and then the Figure 4.1 argument applies verbatim.  Hence verifying
+adherence to these models is NP-Hard too (Section 6.2).
+
+:func:`wrap_with_sync` performs the bracketing.  The library's
+checkers give the wrapped instance exactly the semantics the argument
+needs: under :func:`repro.consistency.lrc.lrc_holds`, properly-locked
+operations must appear serialized per location, so the wrapped instance
+is LRC-consistent iff the original instance is coherent — which tests
+verify against the ground-truth VMC decision.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Address, Execution, OpKind, Operation
+
+
+def wrap_with_sync(execution: Execution, lock: Address = "lock") -> Execution:
+    """Bracket every data operation with ``Acq(lock)`` / ``Rel(lock)``.
+
+    Mirrors Figure 6.1: each ``R``/``W``/``RW`` in each history becomes
+    the triple ``Acq, op, Rel``.  Existing sync operations are passed
+    through unchanged.  Initial/final value constraints are preserved.
+    """
+    wrapped: list[list[Operation]] = []
+    for h in execution.histories:
+        ops: list[Operation] = []
+        for op in h:
+            if op.kind.is_sync:
+                ops.append(op)
+                continue
+            ops.append(Operation(OpKind.ACQUIRE, lock, op.proc, 0))
+            ops.append(op)
+            ops.append(Operation(OpKind.RELEASE, lock, op.proc, 0))
+        wrapped.append(ops)
+    return Execution.from_ops(
+        wrapped, initial=execution.initial, final=execution.final
+    )
+
+
+def strip_sync(execution: Execution) -> Execution:
+    """Inverse of :func:`wrap_with_sync` (drops *all* sync operations)."""
+    return execution.drop_sync_ops()
+
+
+def critical_sections(execution: Execution, lock: Address) -> list[list[Operation]]:
+    """The acquire-to-release blocks per process, for lock ``lock``.
+
+    Used by the LRC checker: operations inside a critical section of the
+    same lock must appear serialized across processes.  Raises
+    ``ValueError`` on unbalanced acquire/release nesting — the wrapped
+    instances this library builds are always properly bracketed.
+    """
+    sections: list[list[Operation]] = []
+    for h in execution.histories:
+        current: list[Operation] | None = None
+        for op in h:
+            if op.kind is OpKind.ACQUIRE and op.addr == lock:
+                if current is not None:
+                    raise ValueError(
+                        f"nested acquire of {lock!r} in process {h.proc}"
+                    )
+                current = []
+            elif op.kind is OpKind.RELEASE and op.addr == lock:
+                if current is None:
+                    raise ValueError(
+                        f"release without acquire of {lock!r} in process {h.proc}"
+                    )
+                sections.append(current)
+                current = None
+            elif current is not None and not op.kind.is_sync:
+                current.append(op)
+        if current is not None:
+            raise ValueError(f"unreleased acquire of {lock!r} in process {h.proc}")
+    return sections

@@ -1,0 +1,286 @@
+"""Figure 5.1: 3SAT → VMC with ≤3 operations per process and every
+value written at most twice.
+
+The Figure 4.1 construction concentrates long histories in ``h_1``,
+``h_2``, ``h_3`` and lets clause values be written once per satisfying
+literal.  To meet the restrictions, every long history is shredded into
+≤3-op pieces:
+
+* ``h_{1,r}`` / ``h_{2,r}`` — the variable-value writers, three writes
+  per history (chunks of the old ``h_1``/``h_2``);
+* ``h_{l,q}`` — one history per *occurrence* ``q`` of literal ``l``:
+  the two truth-order reads, then the single write of that occurrence's
+  clause value ``d_{c_j,k}`` (``l`` is the ``k``-th literal of ``c_j``);
+* ``h_{3,k,j}`` — a 3-cycle per clause: ``R(d_{c_j,k}) W(d_{c_j,k+1})``
+  (indices mod 3), so *any one* literal write unlocks all three clause
+  values, in particular ``d_{c_j,1}``;
+* ``V_j`` — the verification chain: ``R(y_{j-1}) R(d_{c_j,1}) W(y_j)``.
+  The chain values ``y_j`` are written exactly once, so ``y_n`` is
+  unforgeable: it exists only after every clause, in order, produced
+  its ``d_{c_j,1}``;
+* ``h_{4,i}`` — per variable: the gate read ``R(y_n)`` then the
+  re-writes ``W(d_{u_i}) W(d_{ū_i})`` releasing the false literals.
+
+.. note::
+   The copy of the paper available to us renders Figure 5.1 with the
+   inter-clause sequencing folded into ``h_{3,1,j}`` (a leading read of
+   ``d_{c_{j-1},1}``) and the gate reading ``d_{c_n,1}``.  As stated,
+   that gate is forgeable: if the *last* clause is satisfied by its
+   first literal, ``d_{c_n,1}`` is written directly and the release
+   writes can then retroactively bootstrap every earlier clause with
+   false literals, making some unsatisfiable formulas map to coherent
+   executions.  We therefore use the dedicated once-written chain
+   values ``y_j`` above.  This keeps every stated restriction (the
+   ``y_j`` are written once; ``V_j`` has three operations) and the same
+   size; see DESIGN.md.
+
+Every clause value ``d_{c_j,k}`` is written by exactly two histories
+(the occurrence history of the k-th literal and ``h_{3,k-1,j}``), each
+variable value by two (its chunk and ``h_{4,i}``), and each ``y_j`` by
+one — the "2 writes per value" cell of Figure 5.3.  No history exceeds
+three operations — the "3 operations per process" cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import Execution, Operation, read, write
+from repro.sat.cnf import CNF, Assignment
+
+ADDR = "a"
+
+
+def _d_var(var: int, positive: bool) -> tuple:
+    return ("u", var, positive)
+
+
+def _d_clause(j: int, k: int) -> tuple:
+    """Clause value d_{c_j,k}; j is 0-based clause index, k in 1..3."""
+    return ("c", j, k)
+
+
+def _d_chain(j: int) -> tuple:
+    """Verification-chain value y_j (0-based; y_{n-1} is the gate)."""
+    return ("y", j)
+
+
+@dataclass
+class TsatToVmcRestricted:
+    """The Figure 5.1 construction for one strict 3SAT formula."""
+
+    cnf: CNF
+    execution: Execution = field(init=False)
+    chunk1_proc: list[int] = field(init=False)  # per-chunk process ids
+    chunk2_proc: list[int] = field(init=False)
+    occurrence_procs: dict[tuple[int, bool], list[int]] = field(init=False)
+    cycle_proc: dict[tuple[int, int], int] = field(init=False)  # (k, j)
+    chain_proc: list[int] = field(init=False)  # V_j per clause
+    h4_proc: list[int] = field(init=False)  # per variable
+
+    def __post_init__(self) -> None:
+        if any(len(c) != 3 for c in self.cnf.clauses):
+            raise ValueError(
+                "Figure 5.1 requires exactly three literals per clause "
+                "(repeats allowed); convert with "
+                "repro.sat.random_sat.to_3sat first"
+            )
+        m = self.cnf.num_vars
+        clauses = self.cnf.clauses
+        n = len(clauses)
+
+        histories: list[list[Operation]] = []
+
+        def new_history(ops: list[Operation]) -> int:
+            histories.append(ops)
+            return len(histories) - 1
+
+        # Variable-writer chunks (3 writes max per history).
+        self.chunk1_proc = []
+        self.chunk2_proc = []
+        for start in range(1, m + 1, 3):
+            block = list(range(start, min(start + 3, m + 1)))
+            self.chunk1_proc.append(
+                new_history([write(ADDR, _d_var(u, True)) for u in block])
+            )
+            self.chunk2_proc.append(
+                new_history([write(ADDR, _d_var(u, False)) for u in block])
+            )
+
+        # Literal occurrence histories.
+        self.occurrence_procs = {}
+        for j, clause in enumerate(clauses):
+            for k, lit in enumerate(clause, start=1):
+                u, positive = abs(lit), lit > 0
+                ops = [
+                    read(ADDR, _d_var(u, positive)),
+                    read(ADDR, _d_var(u, not positive)),
+                    write(ADDR, _d_clause(j, k)),
+                ]
+                self.occurrence_procs.setdefault((u, positive), []).append(
+                    new_history(ops)
+                )
+
+        # Per-clause 3-cycles.
+        self.cycle_proc = {}
+        for j in range(n):
+            for k in (1, 2, 3):
+                self.cycle_proc[(k, j)] = new_history(
+                    [
+                        read(ADDR, _d_clause(j, k)),
+                        write(ADDR, _d_clause(j, k % 3 + 1)),
+                    ]
+                )
+
+        # Verification chain V_j (y values are written exactly once).
+        self.chain_proc = []
+        for j in range(n):
+            ops = []
+            if j > 0:
+                ops.append(read(ADDR, _d_chain(j - 1)))
+            ops.append(read(ADDR, _d_clause(j, 1)))
+            ops.append(write(ADDR, _d_chain(j)))
+            self.chain_proc.append(new_history(ops))
+
+        # h_{4,i}: gate on y_n, then re-write the pair.
+        self.h4_proc = []
+        for u in range(1, m + 1):
+            ops = []
+            if n > 0:
+                ops.append(read(ADDR, _d_chain(n - 1)))
+            ops.append(write(ADDR, _d_var(u, True)))
+            ops.append(write(ADDR, _d_var(u, False)))
+            self.h4_proc.append(new_history(ops))
+
+        self.execution = Execution.from_ops(histories)
+
+    # -- restriction properties (asserted by tests/benchmarks) ----------
+    @property
+    def max_ops_per_process(self) -> int:
+        return self.execution.max_ops_per_process()
+
+    @property
+    def max_writes_per_value(self) -> int:
+        return self.execution.max_writes_per_value()
+
+    # -- decoding --------------------------------------------------------
+    def decode_assignment(self, schedule: list[Operation]) -> Assignment:
+        """T(u) = True iff the chunk write of d_u precedes that of d_ū."""
+        pos = {op.uid: i for i, op in enumerate(schedule)}
+        assignment: Assignment = {}
+        for u in range(1, self.cnf.num_vars + 1):
+            chunk = (u - 1) // 3
+            offset = (u - 1) % 3
+            p1 = pos[(self.chunk1_proc[chunk], offset)]
+            p2 = pos[(self.chunk2_proc[chunk], offset)]
+            assignment[u] = p1 < p2
+        return assignment
+
+    # -- constructive converse -------------------------------------------
+    def schedule_from_assignment(self, assignment: Assignment) -> list[Operation]:
+        """Build a coherent schedule from a satisfying assignment."""
+        if not self.cnf.evaluate(assignment):
+            raise ValueError("assignment does not satisfy the formula")
+        ex = self.execution
+        h = {p: list(ex.histories[p].operations) for p in range(ex.num_processes)}
+        m = self.cnf.num_vars
+        clauses = self.cnf.clauses
+        n = len(clauses)
+        schedule: list[Operation] = []
+
+        # Phase 1: interleave the chunk writes per the assignment; serve
+        # all true-occurrence reads inline and the first read of every
+        # false occurrence (it reads the second-written value).
+        for u in range(1, m + 1):
+            t = assignment.get(u, False)
+            chunk = (u - 1) // 3
+            offset = (u - 1) % 3
+            w_true = h[self.chunk1_proc[chunk]][offset]
+            w_false = h[self.chunk2_proc[chunk]][offset]
+            first_w, second_w = (w_true, w_false) if t else (w_false, w_true)
+            true_occ = self.occurrence_procs.get((u, t), [])
+            false_occ = self.occurrence_procs.get((u, not t), [])
+            schedule.append(first_w)
+            schedule.extend(h[p][0] for p in true_occ)
+            schedule.append(second_w)
+            schedule.extend(h[p][1] for p in true_occ)
+            schedule.extend(h[p][0] for p in false_occ)
+
+        # Phase 2: per clause in order, fire one satisfying occurrence
+        # write, run the 3-cycle from it, serving V_j's clause read the
+        # first time d_{c_j,1} is current, and append V_j's chain ops
+        # around the cycle.  Occurrence writes not chosen here are dead
+        # writes, flushed at the very end.
+        fired_occurrences: set[int] = set()
+        for j, clause in enumerate(clauses):
+            if j > 0:
+                # V_j's leading chain read: y_{j-1} is current (V_{j-1}
+                # wrote it at the end of the previous iteration).
+                schedule.append(h[self.chain_proc[j]][0])
+            k_star = next(
+                k
+                for k, lit in enumerate(clause, start=1)
+                if assignment.get(abs(lit), False) == (lit > 0)
+            )
+            lit = clause[k_star - 1]
+            u, positive = abs(lit), lit > 0
+            occ = next(
+                p
+                for p in self.occurrence_procs[(u, positive)]
+                if h[p][2].value_written == _d_clause(j, k_star)
+            )
+            v_clause_read = h[self.chain_proc[j]][1 if j > 0 else 0]
+            v_read_emitted = False
+
+            schedule.append(h[occ][2])  # W(d_{c_j,k*})
+            fired_occurrences.add(occ)
+            if k_star == 1:
+                schedule.append(v_clause_read)
+                v_read_emitted = True
+            for step in range(3):
+                k = (k_star - 1 + step) % 3 + 1
+                cyc = self.cycle_proc[(k, j)]
+                schedule.append(h[cyc][0])  # R(d_{c_j,k})
+                schedule.append(h[cyc][1])  # W(d_{c_j,k%3+1})
+                if k % 3 + 1 == 1 and not v_read_emitted:
+                    schedule.append(v_clause_read)
+                    v_read_emitted = True
+            assert v_read_emitted
+            schedule.append(h[self.chain_proc[j]][2 if j > 0 else 1])  # W(y_j)
+
+        # Phase 3: h4 gates then re-writes release the false occurrences.
+        gate = 1 if n > 0 else 0
+        if n > 0:
+            for p in self.h4_proc:
+                schedule.append(h[p][0])  # R(y_n); y_n is current
+        tail: list[Operation] = []
+        for u in range(1, m + 1):
+            t = assignment.get(u, False)
+            h4 = h[self.h4_proc[u - 1]]
+            false_occ = self.occurrence_procs.get((u, not t), [])
+            w_pos, w_neg = h4[gate], h4[gate + 1]  # W(d_u), W(d_ū)
+            if t:
+                schedule.append(w_pos)
+                schedule.extend(h[p][1] for p in false_occ)  # R(d_u)
+                schedule.append(w_neg)
+            else:
+                schedule.append(w_pos)
+                schedule.append(w_neg)
+                schedule.extend(h[p][1] for p in false_occ)  # R(d_ū)
+            tail.extend(h[p][2] for p in false_occ)
+            tail.extend(
+                h[p][2]
+                for p in self.occurrence_procs.get((u, t), [])
+                if p not in fired_occurrences
+            )
+        schedule.extend(tail)
+        return schedule
+
+    def describe(self) -> str:
+        m, n = self.cnf.num_vars, self.cnf.num_clauses
+        return (
+            f"3SAT(m={m}, n={n}) -> VMC({self.execution.num_processes} "
+            f"histories, {self.execution.num_ops} ops; "
+            f"max ops/process={self.max_ops_per_process}, "
+            f"max writes/value={self.max_writes_per_value})"
+        )

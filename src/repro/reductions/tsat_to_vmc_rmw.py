@@ -1,0 +1,276 @@
+"""Figure 5.2: 3SAT → VMC with only read-modify-writes, at most two
+RMWs per process, and every value written at most three times.
+
+.. note::
+   The rendering of Figure 5.2 in the available copy of the paper is
+   OCR-damaged, so this module is a *reconstruction*: a reduction with
+   exactly the properties the paper states (all operations RMW, ≤2 per
+   process, each value written ≤3 times), built from the same visible
+   ingredients (baton values ``B_i`` threading the variable sections,
+   per-clause tokens ``t_j`` / outputs ``c_j``, a final value ``d_F``).
+   See DESIGN.md for the substitution note.
+
+Because *every* operation is an RMW, a coherent schedule is a single
+chain in which each operation reads exactly the value written by its
+predecessor — a token machine: ``RW(x, y)`` consumes the current token
+``x`` and leaves ``y``.  The construction:
+
+* **Wave 1 (assignment):** ``h_1``'s first op turns the initial value
+  into baton ``B_1``.  For each variable ``i`` both literals own a
+  *path* of links ``B_i → x_{l,1} → … → B_{i+1}`` (one link per clause
+  occurrence of the literal; a linkless literal gets one dummy link).
+  Only one path per variable can consume the single ``B_i`` — the
+  choice *is* the truth assignment.
+* **Check:** ``h_1``'s second op turns ``B_{m+1}`` into clause token
+  ``t_1``.  An occurrence of clause ``j`` (second op ``RW(t_j, c_j)``)
+  can consume ``t_j`` only if its first op already ran — i.e. only if
+  its literal was chosen in wave 1.  Forwarder ``F_j = RW(c_j,
+  t_{j+1})`` advances the chain; ``F_n`` emits the wave-2 trigger.
+* **Wave 2 (release):** the two-op gate ``T2 = [RW(W_2, W_2'),
+  RW(B_{m+1}, s_1)]`` and starter ``S = RW(W_2', B_1)`` re-inject
+  ``B_1`` so the *false* paths can run; program order inside ``T2``
+  prevents it from stealing wave 1's ``B_{m+1}`` (the soundness-
+  critical detail).
+* **Sweep:** per clause, injectors ``G_{j,1} = RW(s_j, t_j)`` and
+  ``G_{j,2} = RW(c_j, t_j)`` feed the two remaining occurrences and
+  ``G_{j,3} = RW(c_j, s_{j+1})`` passes the sweep on; the last sweep
+  op writes the required final value ``d_F``.
+
+Write counts: ``t_j`` ×3, ``c_j`` ×3, ``B_i`` ×2, everything else ×1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import INITIAL, Execution, Operation, rmw
+from repro.sat.cnf import CNF, Assignment
+
+ADDR = "a"
+
+D_FINAL = ("final",)
+
+
+def _baton(i: int) -> tuple:
+    return ("B", i)
+
+
+def _link_val(var: int, positive: bool, q: int) -> tuple:
+    return ("x", var, positive, q)
+
+
+def _token(j: int) -> tuple:
+    return ("t", j)
+
+
+def _clause_out(j: int) -> tuple:
+    return ("c", j)
+
+
+def _sweep(j: int) -> tuple:
+    return ("s", j)
+
+
+W2 = ("W2",)
+W2P = ("W2'",)
+
+
+@dataclass
+class TsatToVmcRmw:
+    """The RMW-only restricted reduction (reconstruction of Figure 5.2)."""
+
+    cnf: CNF
+    execution: Execution = field(init=False)
+    literal_paths: dict[tuple[int, bool], list[int]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if any(len(c) != 3 for c in self.cnf.clauses):
+            raise ValueError(
+                "the RMW reduction requires exactly three literals per "
+                "clause (repeats allowed); convert with "
+                "repro.sat.random_sat.to_3sat first"
+            )
+        m = self.cnf.num_vars
+        clauses = self.cnf.clauses
+        n = len(clauses)
+        histories: list[list[Operation]] = []
+
+        def new_history(ops: list[Operation]) -> int:
+            histories.append(ops)
+            return len(histories) - 1
+
+        # Occurrence lists per literal: (clause, literal position) pairs
+        # in clause order.
+        occurrences: dict[tuple[int, bool], list[tuple[int, int]]] = {}
+        for j, clause in enumerate(clauses):
+            for k, lit in enumerate(clause, start=1):
+                occurrences.setdefault((abs(lit), lit > 0), []).append((j, k))
+
+        # h_1: start wave 1; then B_{m+1} -> t_1 (or W_2 when n == 0).
+        after_batons = _token(0) if n > 0 else W2
+        self.h1 = new_history(
+            [rmw(ADDR, INITIAL, _baton(1)), rmw(ADDR, _baton(m + 1), after_batons)]
+        )
+
+        # Literal paths: one 2-op history per occurrence (link, clause
+        # op); a literal with no occurrences gets a single dummy link.
+        self.literal_paths = {}
+        self.occ_proc: dict[tuple[int, int], int] = {}  # (clause, k) -> proc
+        for var in range(1, m + 1):
+            for positive in (True, False):
+                occ = occurrences.get((var, positive), [])
+                length = len(occ)
+                procs: list[int] = []
+                for q, (j, k) in enumerate(occ):
+                    src = (
+                        _baton(var)
+                        if q == 0
+                        else _link_val(var, positive, q)
+                    )
+                    dst = (
+                        _baton(var + 1)
+                        if q == length - 1
+                        else _link_val(var, positive, q + 1)
+                    )
+                    proc = new_history(
+                        [rmw(ADDR, src, dst), rmw(ADDR, _token(j), _clause_out(j))]
+                    )
+                    procs.append(proc)
+                    self.occ_proc[(j, k)] = proc
+                if not occ:
+                    procs.append(
+                        new_history([rmw(ADDR, _baton(var), _baton(var + 1))])
+                    )
+                self.literal_paths[(var, positive)] = procs
+
+        # Forwarders: F_j consumes c_j, emits t_{j+1}; F_n emits W_2.
+        self.forwarders = []
+        for j in range(n):
+            dst = _token(j + 1) if j + 1 < n else W2
+            self.forwarders.append(
+                new_history([rmw(ADDR, _clause_out(j), dst)])
+            )
+
+        # Wave-2 gate and starter.
+        sweep_start = _sweep(0) if n > 0 else D_FINAL
+        self.t2 = new_history(
+            [rmw(ADDR, W2, W2P), rmw(ADDR, _baton(m + 1), sweep_start)]
+        )
+        self.starter = new_history([rmw(ADDR, W2P, _baton(1))])
+
+        # Sweep injectors per clause.
+        self.injectors = []
+        for j in range(n):
+            g1 = new_history([rmw(ADDR, _sweep(j), _token(j))])
+            g2 = new_history([rmw(ADDR, _clause_out(j), _token(j))])
+            nxt = _sweep(j + 1) if j + 1 < n else D_FINAL
+            g3 = new_history([rmw(ADDR, _clause_out(j), nxt)])
+            self.injectors.append((g1, g2, g3))
+
+        self.execution = Execution.from_ops(
+            histories, initial={ADDR: INITIAL}, final={ADDR: D_FINAL}
+        )
+
+    # -- restriction properties ------------------------------------------
+    @property
+    def max_ops_per_process(self) -> int:
+        return self.execution.max_ops_per_process()
+
+    @property
+    def max_writes_per_value(self) -> int:
+        return self.execution.max_writes_per_value()
+
+    @property
+    def rmw_only(self) -> bool:
+        return self.execution.is_rmw_only()
+
+    # -- decoding ----------------------------------------------------------
+    def decode_assignment(self, schedule: list[Operation]) -> Assignment:
+        """T(u) = True iff the u-path's first link precedes the ū-path's."""
+        pos = {op.uid: i for i, op in enumerate(schedule)}
+        assignment: Assignment = {}
+        for var in range(1, self.cnf.num_vars + 1):
+            p_true = self.literal_paths[(var, True)][0]
+            p_false = self.literal_paths[(var, False)][0]
+            assignment[var] = pos[(p_true, 0)] < pos[(p_false, 0)]
+        return assignment
+
+    # -- constructive converse ---------------------------------------------
+    def schedule_from_assignment(self, assignment: Assignment) -> list[Operation]:
+        """Build the coherent schedule realizing a satisfying assignment."""
+        if not self.cnf.evaluate(assignment):
+            raise ValueError("assignment does not satisfy the formula")
+        ex = self.execution
+        h = {p: list(ex.histories[p].operations) for p in range(ex.num_processes)}
+        m = self.cnf.num_vars
+        clauses = self.cnf.clauses
+        n = len(clauses)
+        schedule: list[Operation] = []
+
+        def run_paths(truth_selector: bool) -> None:
+            # One full baton wave: for each variable, the links of the
+            # selected literal's path, in order.
+            for var in range(1, m + 1):
+                chosen = assignment.get(var, False) == truth_selector
+                lit = (var, chosen if truth_selector else not chosen)
+                # truth_selector=True: run the true literal's path;
+                # False: run the false literal's path.
+                sel = (var, assignment.get(var, False)) if truth_selector else (
+                    var,
+                    not assignment.get(var, False),
+                )
+                for p in self.literal_paths[sel]:
+                    schedule.append(h[p][0])
+
+        # Wave 1.
+        schedule.append(h[self.h1][0])
+        run_paths(True)
+        schedule.append(h[self.h1][1])  # B_{m+1} -> t_1 (or W_2)
+
+        # Check: per clause, one satisfied occurrence answers the token.
+        consumed: set[tuple[int, int]] = set()  # (proc, op-index) used
+        for j, clause in enumerate(clauses):
+            occ_proc = self._first_true_occurrence(j, clause, assignment)
+            schedule.append(h[occ_proc][1])  # RW(t_j, c_j)
+            consumed.add((occ_proc, 1))
+            schedule.append(h[self.forwarders[j]][0])
+
+        # Wave 2.
+        schedule.append(h[self.t2][0])  # W_2 -> W_2'
+        schedule.append(h[self.starter][0])  # W_2' -> B_1
+        run_paths(False)
+        schedule.append(h[self.t2][1])  # B_{m+1} -> s_1
+
+        # Sweep: the two remaining occurrences per clause.
+        for j, clause in enumerate(clauses):
+            remaining = [
+                p for p in self._occurrence_procs(j, clause) if (p, 1) not in consumed
+            ]
+            assert len(remaining) == 2, remaining
+            g1, g2, g3 = self.injectors[j]
+            schedule.append(h[g1][0])  # s_j -> t_j
+            schedule.append(h[remaining[0]][1])  # t_j -> c_j
+            schedule.append(h[g2][0])  # c_j -> t_j
+            schedule.append(h[remaining[1]][1])  # t_j -> c_j
+            schedule.append(h[g3][0])  # c_j -> s_{j+1} / d_F
+        return schedule
+
+    def _occurrence_procs(self, j: int, clause: list[int]) -> list[int]:
+        return [self.occ_proc[(j, k)] for k in range(1, len(clause) + 1)]
+
+    def _first_true_occurrence(
+        self, j: int, clause: list[int], assignment: Assignment
+    ) -> int:
+        for k, lit in enumerate(clause):
+            if assignment.get(abs(lit), False) == (lit > 0):
+                return self._occurrence_procs(j, clause)[k]
+        raise AssertionError(f"clause {j} unsatisfied")
+
+    def describe(self) -> str:
+        m, n = self.cnf.num_vars, self.cnf.num_clauses
+        return (
+            f"3SAT(m={m}, n={n}) -> RMW-VMC({self.execution.num_processes} "
+            f"histories, {self.execution.num_ops} ops; "
+            f"max RMWs/process={self.max_ops_per_process}, "
+            f"max writes/value={self.max_writes_per_value})"
+        )

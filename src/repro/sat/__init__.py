@@ -1,0 +1,62 @@
+"""A self-contained SAT substrate.
+
+The paper's reductions run from SAT/3SAT *to* coherence problems, and our
+practical VMC/VSC verifiers run the other way, encoding trace-verification
+questions *into* CNF.  Both directions need a SAT toolkit; no solver
+package is available offline, so this subpackage provides one from
+scratch:
+
+* :mod:`repro.sat.cnf` — formula representation, assignments, evaluation;
+* :mod:`repro.sat.dimacs` — DIMACS CNF reader/writer;
+* :mod:`repro.sat.dpll` — classic DPLL with unit propagation and pure
+  literals (reference solver, easy to audit);
+* :mod:`repro.sat.cdcl` — conflict-driven clause learning with
+  two-watched-literal propagation, first-UIP learning, VSIDS branching,
+  and Luby restarts (the production solver);
+* :mod:`repro.sat.random_sat` — uniform random k-SAT, planted instances,
+  and the standard SAT-to-3SAT clause splitting;
+* :mod:`repro.sat.enumerate_models` — brute-force enumeration, used as a
+  ground-truth oracle in tests;
+* :mod:`repro.sat.simplify` — cheap preprocessing.
+"""
+
+from repro.sat.cnf import CNF, Assignment, Lit, neg, var_of, is_pos
+from repro.sat.dpll import solve_dpll
+from repro.sat.cdcl import CDCLSolver, solve_cdcl
+from repro.sat.random_sat import random_ksat, planted_ksat, to_3sat
+from repro.sat.enumerate_models import brute_force_satisfiable, enumerate_models
+from repro.sat.dimacs import parse_dimacs, write_dimacs
+
+__all__ = [
+    "CNF",
+    "Assignment",
+    "Lit",
+    "neg",
+    "var_of",
+    "is_pos",
+    "solve_dpll",
+    "CDCLSolver",
+    "solve_cdcl",
+    "random_ksat",
+    "planted_ksat",
+    "to_3sat",
+    "brute_force_satisfiable",
+    "enumerate_models",
+    "parse_dimacs",
+    "write_dimacs",
+]
+
+
+def solve(cnf: CNF, solver: str = "cdcl") -> Assignment | None:
+    """Solve ``cnf``; return a satisfying assignment or ``None`` (UNSAT).
+
+    ``solver`` selects the backend: ``"cdcl"`` (default), ``"dpll"``, or
+    ``"brute"`` (exponential enumeration, only for tiny formulas).
+    """
+    if solver == "cdcl":
+        return solve_cdcl(cnf)
+    if solver == "dpll":
+        return solve_dpll(cnf)
+    if solver == "brute":
+        return brute_force_satisfiable(cnf)
+    raise ValueError(f"unknown SAT backend {solver!r}")

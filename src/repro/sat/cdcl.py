@@ -1,0 +1,416 @@
+"""CDCL: the production SAT solver.
+
+Conflict-driven clause learning in the MiniSat lineage:
+
+* two-watched-literal unit propagation;
+* first-UIP conflict analysis with learned-clause minimisation
+  (self-subsumption against reason clauses);
+* VSIDS-style exponential decay activity branching with phase saving;
+* Luby-sequence restarts;
+* learned-clause database reduction by activity.
+
+Literals use the DIMACS convention of :mod:`repro.sat.cnf`.  Internally
+literals are mapped to dense indices ``2*var + (0 if positive else 1)``
+so watch lists are plain Python lists.
+"""
+
+from __future__ import annotations
+
+from repro.sat.cnf import CNF, Assignment, Lit
+
+
+def solve_cdcl(
+    cnf: CNF, max_conflicts: int | None = None, seed: int = 0
+) -> Assignment | None:
+    """Solve ``cnf`` with CDCL; return a model or ``None`` (UNSAT).
+
+    ``max_conflicts`` bounds total conflicts (raises ``TimeoutError``
+    when exhausted) so benchmarks can cap runaway instances.
+    """
+    solver = CDCLSolver(cnf, seed=seed)
+    return solver.solve(max_conflicts=max_conflicts)
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence (0-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+
+    If ``i + 1`` is exactly ``2^k - 1`` the value is ``2^(k-1)``;
+    otherwise recurse into the trailing copy of the previous block.
+    """
+    while True:
+        k = 1
+        while (1 << k) - 1 < i + 1:
+            k += 1
+        if (1 << k) - 1 == i + 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+_UNASSIGNED = -1
+
+
+class _Clause:
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: list[int], learned: bool = False):
+        self.lits = lits  # internal literal encoding
+        self.learned = learned
+        self.activity = 0.0
+
+
+class CDCLSolver:
+    """A reusable CDCL solver instance.
+
+    Build once per formula; :meth:`solve` may be called once.  Use
+    :func:`solve_cdcl` for the common case.
+    """
+
+    def __init__(self, cnf: CNF, seed: int = 0):
+        self.nvars = cnf.num_vars
+        nlits = 2 * (self.nvars + 1)
+        # value[v] in {-1 unassigned, 0 false, 1 true}
+        self.value = [_UNASSIGNED] * (self.nvars + 1)
+        self.level = [0] * (self.nvars + 1)
+        self.reason: list[_Clause | None] = [None] * (self.nvars + 1)
+        self.trail: list[int] = []  # internal lits, assignment order
+        self.trail_lim: list[int] = []  # decision-level boundaries
+        self.qhead = 0
+        self.watches: list[list[_Clause]] = [[] for _ in range(nlits)]
+        self.activity = [0.0] * (self.nvars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.saved_phase = [False] * (self.nvars + 1)
+        self.clauses: list[_Clause] = []
+        self.learned: list[_Clause] = []
+        self.ok = True
+        self.conflicts = 0
+        self._order_dirty = True
+        self._seed = seed
+        for clause in cnf.clauses:
+            if not self._add_clause([self._to_internal(l) for l in clause]):
+                self.ok = False
+                break
+
+    # ------------------------------------------------------------------
+    # Literal encoding helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _to_internal(lit: Lit) -> int:
+        v = abs(lit)
+        return 2 * v + (0 if lit > 0 else 1)
+
+    @staticmethod
+    def _to_external(ilit: int) -> Lit:
+        v = ilit >> 1
+        return v if (ilit & 1) == 0 else -v
+
+    @staticmethod
+    def _ineg(ilit: int) -> int:
+        return ilit ^ 1
+
+    def _lit_value(self, ilit: int) -> int:
+        """-1 unassigned / 0 false / 1 true for an internal literal."""
+        v = self.value[ilit >> 1]
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v ^ (ilit & 1)
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+    def _add_clause(self, ilits: list[int]) -> bool:
+        """Add an original clause; return False on immediate conflict.
+
+        Clauses are added at decision level 0, so the clause is
+        simplified against the current root assignment first: literals
+        already false are dropped (they can never help), and a clause
+        containing a true literal is permanently satisfied.  Without
+        this, a clause falsified by prior root units would be watched
+        on dead literals and its conflict silently missed.
+        """
+        # Dedup / tautology check.
+        seen: set[int] = set()
+        out: list[int] = []
+        for l in ilits:
+            if l in seen:
+                continue
+            if self._ineg(l) in seen:
+                return True  # tautology
+            val = self._lit_value(l)
+            if val == 1:
+                return True  # satisfied at the root level
+            if val == 0:
+                continue  # dead literal
+            seen.add(l)
+            out.append(l)
+        if not out:
+            return False
+        if len(out) == 1:
+            self._enqueue(out[0], None)
+            return self._propagate() is None
+        clause = _Clause(out)
+        self.clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def _watch(self, clause: _Clause) -> None:
+        self.watches[self._ineg(clause.lits[0])].append(clause)
+        self.watches[self._ineg(clause.lits[1])].append(clause)
+
+    # ------------------------------------------------------------------
+    # Trail / assignment
+    # ------------------------------------------------------------------
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _enqueue(self, ilit: int, reason: _Clause | None) -> None:
+        v = ilit >> 1
+        self.value[v] = 1 - (ilit & 1)
+        self.level[v] = self._decision_level()
+        self.reason[v] = reason
+        self.trail.append(ilit)
+
+    def _cancel_until(self, lvl: int) -> None:
+        if self._decision_level() <= lvl:
+            return
+        bound = self.trail_lim[lvl]
+        for ilit in reversed(self.trail[bound:]):
+            v = ilit >> 1
+            self.saved_phase[v] = (ilit & 1) == 0
+            self.value[v] = _UNASSIGNED
+            self.reason[v] = None
+        del self.trail[bound:]
+        del self.trail_lim[lvl:]
+        self.qhead = len(self.trail)
+        self._order_dirty = True
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> _Clause | None:
+        """Two-watched-literal BCP; return the conflicting clause or None."""
+        while self.qhead < len(self.trail):
+            p = self.trail[self.qhead]
+            self.qhead += 1
+            false_lit = self._ineg(p)
+            watchlist = self.watches[p]
+            i = j = 0
+            n = len(watchlist)
+            while i < n:
+                clause = watchlist[i]
+                i += 1
+                lits = clause.lits
+                # Ensure the false literal is at position 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) == 1:
+                    watchlist[j] = clause
+                    j += 1
+                    continue
+                # Look for a new literal to watch.
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self.watches[self._ineg(lits[1])].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Unit or conflict.
+                watchlist[j] = clause
+                j += 1
+                if self._lit_value(first) == 0:
+                    # Conflict: restore remaining watches and bail.
+                    while i < n:
+                        watchlist[j] = watchlist[i]
+                        j += 1
+                        i += 1
+                    del watchlist[j:]
+                    self.qhead = len(self.trail)
+                    return clause
+                self._enqueue(first, clause)
+            del watchlist[j:]
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        """Return (learned clause, backjump level)."""
+        learned: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.nvars + 1)
+        counter = 0
+        p: int | None = None
+        clause: _Clause | None = conflict
+        idx = len(self.trail) - 1
+        cur_level = self._decision_level()
+        while True:
+            assert clause is not None
+            self._bump_clause(clause)
+            start = 0 if p is None else 1
+            for q in clause.lits[start:]:
+                v = q >> 1
+                if not seen[v] and self.level[v] > 0:
+                    seen[v] = True
+                    self._bump_var(v)
+                    if self.level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Walk the trail backwards to the next marked literal.
+            while not seen[self.trail[idx] >> 1]:
+                idx -= 1
+            p = self.trail[idx]
+            v = p >> 1
+            clause = self.reason[v]
+            seen[v] = False
+            counter -= 1
+            idx -= 1
+            if counter == 0:
+                break
+        learned[0] = self._ineg(p)
+        # Clause minimisation: drop literals implied by the rest.
+        learned = self._minimize(learned, seen)
+        # Compute backjump level = second-highest level in the clause.
+        if len(learned) == 1:
+            bj = 0
+        else:
+            max_i = 1
+            for k in range(2, len(learned)):
+                if self.level[learned[k] >> 1] > self.level[learned[max_i] >> 1]:
+                    max_i = k
+            learned[1], learned[max_i] = learned[max_i], learned[1]
+            bj = self.level[learned[1] >> 1]
+        return learned, bj
+
+    def _minimize(self, learned: list[int], seen: list[bool]) -> list[int]:
+        """Self-subsumption: remove lits whose reasons lie within the clause."""
+        marked = set(l >> 1 for l in learned)
+        out = [learned[0]]
+        for lit in learned[1:]:
+            v = lit >> 1
+            r = self.reason[v]
+            if r is None:
+                out.append(lit)
+                continue
+            redundant = all(
+                (q >> 1) in marked or self.level[q >> 1] == 0
+                for q in r.lits
+                if (q >> 1) != v
+            )
+            if not redundant:
+                out.append(lit)
+        return out
+
+    # ------------------------------------------------------------------
+    # Activity
+    # ------------------------------------------------------------------
+    def _bump_var(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for u in range(1, self.nvars + 1):
+                self.activity[u] *= 1e-100
+            self.var_inc *= 1e-100
+        self._order_dirty = True
+
+    def _bump_clause(self, c: _Clause) -> None:
+        if c.learned:
+            c.activity += self.cla_inc
+            if c.activity > 1e20:
+                for cl in self.learned:
+                    cl.activity *= 1e-20
+                self.cla_inc *= 1e-20
+
+    def _decay(self) -> None:
+        self.var_inc /= self.var_decay
+        self.cla_inc /= self.cla_decay
+
+    # ------------------------------------------------------------------
+    # Learned clause DB reduction
+    # ------------------------------------------------------------------
+    def _reduce_db(self) -> None:
+        self.learned.sort(key=lambda c: c.activity)
+        keep = self.learned[len(self.learned) // 2 :]
+        drop = set(id(c) for c in self.learned[: len(self.learned) // 2])
+        # Never drop reason clauses of current assignments.
+        for v in range(1, self.nvars + 1):
+            r = self.reason[v]
+            if r is not None and id(r) in drop:
+                drop.discard(id(r))
+                keep.append(r)
+        self.learned = keep
+        kept_ids = set(id(c) for c in self.learned) | set(
+            id(c) for c in self.clauses
+        )
+        for wl in self.watches:
+            wl[:] = [c for c in wl if id(c) in kept_ids]
+
+    # ------------------------------------------------------------------
+    # Branching
+    # ------------------------------------------------------------------
+    def _pick_branch(self) -> int | None:
+        best_v = -1
+        best_a = -1.0
+        for v in range(1, self.nvars + 1):
+            if self.value[v] == _UNASSIGNED and self.activity[v] > best_a:
+                best_v = v
+                best_a = self.activity[v]
+        if best_v < 0:
+            return None
+        phase = self.saved_phase[best_v]
+        return 2 * best_v + (0 if phase else 1)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(self, max_conflicts: int | None = None) -> Assignment | None:
+        if not self.ok:
+            return None
+        if self._propagate() is not None:
+            return None
+        restart_idx = 0
+        conflicts_until_restart = 32 * _luby(0)
+        max_learned = max(100, len(self.clauses) // 2)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                if max_conflicts is not None and self.conflicts > max_conflicts:
+                    raise TimeoutError("CDCL conflict budget exhausted")
+                if self._decision_level() == 0:
+                    return None  # UNSAT
+                learned, bj = self._analyze(conflict)
+                self._cancel_until(bj)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    clause = _Clause(learned, learned=True)
+                    self.learned.append(clause)
+                    self._watch(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learned[0], clause)
+                self._decay()
+                conflicts_until_restart -= 1
+            else:
+                if conflicts_until_restart <= 0:
+                    restart_idx += 1
+                    conflicts_until_restart = 32 * _luby(restart_idx)
+                    self._cancel_until(0)
+                if len(self.learned) > max_learned:
+                    max_learned = int(max_learned * 1.5)
+                    self._reduce_db()
+                branch = self._pick_branch()
+                if branch is None:
+                    return self._model()
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(branch, None)
+
+    def _model(self) -> Assignment:
+        return {
+            v: self.value[v] == 1 if self.value[v] != _UNASSIGNED else False
+            for v in range(1, self.nvars + 1)
+        }

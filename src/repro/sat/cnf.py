@@ -1,0 +1,141 @@
+"""CNF formula representation.
+
+Literal convention (DIMACS-style): variables are positive integers
+``1..num_vars``; a literal is ``+v`` (variable true) or ``-v`` (variable
+false).  Zero is never a literal.  An :class:`Assignment` maps variables
+to booleans; partial assignments simply omit variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+Lit = int
+Assignment = dict[int, bool]
+
+
+def neg(lit: Lit) -> Lit:
+    """Negation of a literal."""
+    return -lit
+
+
+def var_of(lit: Lit) -> int:
+    """Variable underlying a literal."""
+    return abs(lit)
+
+
+def is_pos(lit: Lit) -> bool:
+    """Whether the literal is the positive phase of its variable."""
+    return lit > 0
+
+
+def lit_value(lit: Lit, assignment: Assignment) -> bool | None:
+    """Truth value of ``lit`` under a (possibly partial) assignment."""
+    v = assignment.get(abs(lit))
+    if v is None:
+        return None
+    return v if lit > 0 else not v
+
+
+@dataclass
+class CNF:
+    """A CNF formula: a conjunction of clauses, each a list of literals.
+
+    ``num_vars`` tracks the largest variable id mentioned (or reserved
+    via :meth:`new_var`), so fresh auxiliary variables can be minted
+    during encodings.
+    """
+
+    num_vars: int = 0
+    clauses: list[list[Lit]] = field(default_factory=list)
+    comments: list[str] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        """Reserve and return a fresh variable id."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        """Reserve ``count`` fresh variable ids."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: Iterable[Lit]) -> None:
+        """Append one clause, updating ``num_vars``.
+
+        An empty clause is legal and makes the formula trivially UNSAT.
+        Duplicate literals are collapsed; a tautological clause (contains
+        both ``l`` and ``-l``) is dropped.
+        """
+        clause: list[Lit] = []
+        seen: set[Lit] = set()
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            if lit in seen:
+                continue
+            if -lit in seen:
+                return  # tautology: x or not-x
+            seen.add(lit)
+            clause.append(lit)
+            if abs(lit) > self.num_vars:
+                self.num_vars = abs(lit)
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[Lit]]) -> None:
+        for c in clauses:
+            self.add_clause(c)
+
+    def add_at_most_one(self, lits: list[Lit]) -> None:
+        """Pairwise at-most-one constraint over ``lits``."""
+        for i in range(len(lits)):
+            for j in range(i + 1, len(lits)):
+                self.add_clause([-lits[i], -lits[j]])
+
+    def add_exactly_one(self, lits: list[Lit]) -> None:
+        self.add_clause(lits)
+        self.add_at_most_one(lits)
+
+    def add_implies(self, premise: Lit, conclusion: Lit) -> None:
+        self.add_clause([-premise, conclusion])
+
+    def add_implies_all(self, premise: Lit, conclusions: Iterable[Lit]) -> None:
+        for c in conclusions:
+            self.add_clause([-premise, c])
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def variables(self) -> Iterator[int]:
+        return iter(range(1, self.num_vars + 1))
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        """Whether a *total* assignment satisfies every clause.
+
+        Unassigned variables are treated as false.
+        """
+        for clause in self.clauses:
+            if not any(
+                (assignment.get(abs(l), False)) == (l > 0) for l in clause
+            ):
+                return False
+        return True
+
+    def unsatisfied_clauses(self, assignment: Assignment) -> list[list[Lit]]:
+        """Clauses falsified by a total assignment (for diagnostics)."""
+        return [
+            c
+            for c in self.clauses
+            if not any((assignment.get(abs(l), False)) == (l > 0) for l in c)
+        ]
+
+    def copy(self) -> "CNF":
+        return CNF(
+            num_vars=self.num_vars,
+            clauses=[list(c) for c in self.clauses],
+            comments=list(self.comments),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CNF(num_vars={self.num_vars}, num_clauses={self.num_clauses})"

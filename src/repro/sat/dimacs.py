@@ -1,0 +1,78 @@
+"""DIMACS CNF reader and writer.
+
+The de-facto interchange format for SAT: a ``p cnf <vars> <clauses>``
+header, ``c`` comment lines, then clauses as whitespace-separated
+literals terminated by ``0`` (clauses may span lines).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.sat.cnf import CNF
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse DIMACS CNF text into a :class:`CNF`.
+
+    Tolerant of missing headers (infers counts) but validates a header
+    when present: a clause count mismatch raises ``ValueError``.
+    """
+    cnf = CNF()
+    declared_vars: int | None = None
+    declared_clauses: int | None = None
+    pending: list[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("c"):
+            cnf.comments.append(line[1:].strip())
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        if line == "%":  # SATLIB files end with '%\n0'
+            break
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        # Final clause without terminating 0 — accept it.
+        cnf.add_clause(pending)
+    if declared_vars is not None and declared_vars > cnf.num_vars:
+        cnf.num_vars = declared_vars
+    if declared_clauses is not None and declared_clauses != cnf.num_clauses:
+        raise ValueError(
+            f"header declares {declared_clauses} clauses, found {cnf.num_clauses}"
+        )
+    return cnf
+
+
+def read_dimacs(path: str | Path) -> CNF:
+    """Read a DIMACS CNF file from disk."""
+    return parse_dimacs(Path(path).read_text())
+
+
+def write_dimacs(cnf: CNF, path: str | Path | None = None) -> str:
+    """Serialize ``cnf`` to DIMACS; optionally also write to ``path``."""
+    buf = io.StringIO()
+    for comment in cnf.comments:
+        buf.write(f"c {comment}\n")
+    buf.write(f"p cnf {cnf.num_vars} {cnf.num_clauses}\n")
+    for clause in cnf.clauses:
+        buf.write(" ".join(str(l) for l in clause))
+        buf.write(" 0\n")
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,124 @@
+"""DPLL: the reference SAT solver.
+
+Recursive Davis–Putnam–Logemann–Loveland with unit propagation and
+pure-literal elimination.  Deliberately simple — it exists so CDCL has
+an independently-implemented oracle to agree with in tests, and so the
+benchmark harness can contrast naive search against clause learning.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.sat.cnf import CNF, Assignment, Lit
+
+
+def solve_dpll(cnf: CNF, max_decisions: int | None = None) -> Assignment | None:
+    """Return a satisfying total assignment, or ``None`` if UNSAT.
+
+    ``max_decisions`` bounds branching for benchmark timeouts; exceeding
+    it raises ``TimeoutError``.
+    """
+    solver = _DPLL(cnf, max_decisions)
+    model = solver.run()
+    if model is None:
+        return None
+    # Complete the assignment: unconstrained variables default to False.
+    for v in range(1, cnf.num_vars + 1):
+        model.setdefault(v, False)
+    return model
+
+
+class _DPLL:
+    def __init__(self, cnf: CNF, max_decisions: int | None):
+        self.clauses = [list(c) for c in cnf.clauses]
+        self.num_vars = cnf.num_vars
+        self.max_decisions = max_decisions
+        self.decisions = 0
+
+    def run(self) -> Assignment | None:
+        sys.setrecursionlimit(max(10000, self.num_vars * 4 + 1000))
+        return self._search(self.clauses, {})
+
+    def _search(
+        self, clauses: list[list[Lit]], assignment: Assignment
+    ) -> Assignment | None:
+        clauses, assignment, ok = self._propagate(clauses, dict(assignment))
+        if not ok:
+            return None
+        if not clauses:
+            return assignment
+        lit = self._choose(clauses)
+        self.decisions += 1
+        if self.max_decisions is not None and self.decisions > self.max_decisions:
+            raise TimeoutError("DPLL decision budget exhausted")
+        for phase in (lit, -lit):
+            result = self._search(
+                self._assign(clauses, phase), {**assignment, abs(phase): phase > 0}
+            )
+            if result is not None:
+                return result
+        return None
+
+    @staticmethod
+    def _assign(clauses: list[list[Lit]], lit: Lit) -> list[list[Lit]]:
+        """Simplify clause set under ``lit`` := true."""
+        out: list[list[Lit]] = []
+        for c in clauses:
+            if lit in c:
+                continue  # satisfied
+            if -lit in c:
+                out.append([l for l in c if l != -lit])
+            else:
+                out.append(c)
+        return out
+
+    def _propagate(
+        self, clauses: list[list[Lit]], assignment: Assignment
+    ) -> tuple[list[list[Lit]], Assignment, bool]:
+        """Unit propagation + pure literal elimination to fixpoint."""
+        changed = True
+        while changed:
+            changed = False
+            # Unit clauses.
+            for c in clauses:
+                if len(c) == 0:
+                    return clauses, assignment, False
+                if len(c) == 1:
+                    lit = c[0]
+                    assignment[abs(lit)] = lit > 0
+                    clauses = self._assign(clauses, lit)
+                    changed = True
+                    break
+            if changed:
+                continue
+            # Pure literals.
+            polarity: dict[int, int] = {}  # var -> +1, -1, or 0 (mixed)
+            for c in clauses:
+                for lit in c:
+                    v = abs(lit)
+                    sign = 1 if lit > 0 else -1
+                    prev = polarity.get(v)
+                    if prev is None:
+                        polarity[v] = sign
+                    elif prev != sign:
+                        polarity[v] = 0
+            for v, sign in polarity.items():
+                if sign != 0:
+                    lit = v * sign
+                    assignment[v] = lit > 0
+                    clauses = self._assign(clauses, lit)
+                    changed = True
+                    break
+        return clauses, assignment, True
+
+    @staticmethod
+    def _choose(clauses: list[list[Lit]]) -> Lit:
+        """Branch on the most frequent literal in the shortest clauses."""
+        min_len = min(len(c) for c in clauses)
+        counts: dict[Lit, int] = {}
+        for c in clauses:
+            if len(c) == min_len:
+                for lit in c:
+                    counts[lit] = counts.get(lit, 0) + 1
+        return max(counts, key=lambda l: counts[l])

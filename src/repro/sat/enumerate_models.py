@@ -1,0 +1,38 @@
+"""Brute-force SAT: exhaustive truth-table enumeration.
+
+Exponential in the variable count — used only as a ground-truth oracle
+in tests (up to ~20 variables) and to count models of small formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sat.cnf import CNF, Assignment
+
+
+def enumerate_models(cnf: CNF, limit: int | None = None) -> Iterator[Assignment]:
+    """Yield every satisfying total assignment (up to ``limit``)."""
+    n = cnf.num_vars
+    if n > 30:
+        raise ValueError(f"{n} variables is too many to enumerate")
+    count = 0
+    for bits in range(1 << n):
+        assignment = {v: bool((bits >> (v - 1)) & 1) for v in range(1, n + 1)}
+        if cnf.evaluate(assignment):
+            yield assignment
+            count += 1
+            if limit is not None and count >= limit:
+                return
+
+
+def brute_force_satisfiable(cnf: CNF) -> Assignment | None:
+    """First model found by enumeration, or ``None`` if UNSAT."""
+    for model in enumerate_models(cnf, limit=1):
+        return model
+    return None
+
+
+def count_models(cnf: CNF) -> int:
+    """Number of satisfying assignments (exact, exponential)."""
+    return sum(1 for _ in enumerate_models(cnf))

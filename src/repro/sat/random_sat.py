@@ -1,0 +1,149 @@
+"""Random CNF generators and the SAT-to-3SAT conversion.
+
+Used by tests and by the benchmark harness: the paper's reductions run
+from SAT (Figure 4.1) and 3SAT (Figures 5.1, 5.2), so we need instance
+families on both sides of the satisfiability threshold.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sat.cnf import CNF
+from repro.util.rng import make_rng
+
+
+def random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int = 3,
+    seed: int | random.Random | None = None,
+) -> CNF:
+    """Uniform random k-SAT: each clause picks k distinct variables with
+    independent random polarities.
+
+    At clause/variable ratio ~4.27 (k=3) instances sit near the phase
+    transition and are empirically hardest.
+    """
+    if k > num_vars:
+        raise ValueError(f"k={k} exceeds num_vars={num_vars}")
+    rng = make_rng(seed)
+    cnf = CNF(num_vars=num_vars)
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), k)
+        clause = [v if rng.random() < 0.5 else -v for v in variables]
+        cnf.add_clause(clause)
+    return cnf
+
+
+def planted_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int = 3,
+    seed: int | random.Random | None = None,
+) -> tuple[CNF, dict[int, bool]]:
+    """Random k-SAT guaranteed satisfiable by a hidden planted assignment.
+
+    Returns ``(formula, planted_model)``.  Each clause is resampled until
+    it is satisfied by the planted assignment, which biases the
+    distribution but guarantees SAT — exactly what equivalence tests of
+    the reductions need ("SAT side says yes ⇒ coherence side must too").
+    """
+    rng = make_rng(seed)
+    planted = {v: rng.random() < 0.5 for v in range(1, num_vars + 1)}
+    cnf = CNF(num_vars=num_vars)
+    for _ in range(num_clauses):
+        while True:
+            variables = rng.sample(range(1, num_vars + 1), k)
+            clause = [v if rng.random() < 0.5 else -v for v in variables]
+            if any(planted[abs(l)] == (l > 0) for l in clause):
+                cnf.add_clause(clause)
+                break
+    return cnf, planted
+
+
+def random_unsat_core(seed: int | random.Random | None = None) -> CNF:
+    """A small definitely-UNSAT formula (all eight 3-clauses over 3 vars,
+    randomly relabelled).  Handy for 'no' instances in reduction tests."""
+    rng = make_rng(seed)
+    perm = list(range(1, 4))
+    rng.shuffle(perm)
+    cnf = CNF(num_vars=3)
+    for bits in range(8):
+        clause = [
+            perm[i] if (bits >> i) & 1 else -perm[i] for i in range(3)
+        ]
+        cnf.add_clause(clause)
+    return cnf
+
+
+def to_3sat(cnf: CNF) -> CNF:
+    """Standard clause-splitting conversion of arbitrary CNF to 3SAT.
+
+    * 1-clause (l): becomes (l ∨ a ∨ b)(l ∨ a ∨ ¬b)(l ∨ ¬a ∨ b)(l ∨ ¬a ∨ ¬b)
+    * 2-clause (l1 ∨ l2): (l1 ∨ l2 ∨ a)(l1 ∨ l2 ∨ ¬a)
+    * 3-clause: unchanged
+    * longer clause (l1..lk): chained with fresh variables
+      (l1 ∨ l2 ∨ a1)(¬a1 ∨ l3 ∨ a2)...(¬a_{k-3} ∨ l_{k-1} ∨ l_k)
+
+    Satisfiability is preserved exactly; every clause in the result has
+    exactly three literals.
+    """
+    out = CNF(num_vars=cnf.num_vars)
+    for clause in cnf.clauses:
+        k = len(clause)
+        if k == 0:
+            # Empty clause: produce an unsatisfiable 3SAT gadget.
+            a, b, c = out.new_var(), out.new_var(), out.new_var()
+            for bits in range(8):
+                out.add_clause(
+                    [
+                        (a if bits & 1 else -a),
+                        (b if bits & 2 else -b),
+                        (c if bits & 4 else -c),
+                    ]
+                )
+        elif k == 1:
+            (l,) = clause
+            a, b = out.new_var(), out.new_var()
+            out.add_clause([l, a, b])
+            out.add_clause([l, a, -b])
+            out.add_clause([l, -a, b])
+            out.add_clause([l, -a, -b])
+        elif k == 2:
+            l1, l2 = clause
+            a = out.new_var()
+            out.add_clause([l1, l2, a])
+            out.add_clause([l1, l2, -a])
+        elif k == 3:
+            out.add_clause(clause)
+        else:
+            prev = out.new_var()
+            out.add_clause([clause[0], clause[1], prev])
+            for i in range(2, k - 2):
+                nxt = out.new_var()
+                out.add_clause([-prev, clause[i], nxt])
+                prev = nxt
+            out.add_clause([-prev, clause[k - 2], clause[k - 1]])
+    return out
+
+
+def is_3sat(cnf: CNF) -> bool:
+    """Whether every clause has exactly three (distinct-variable) literals."""
+    return all(
+        len(c) == 3 and len({abs(l) for l in c}) == 3 for c in cnf.clauses
+    )
+
+
+def tiny_unsat_3sat() -> CNF:
+    """The smallest 3-literal-per-clause UNSAT formula: (x∨x∨x) ∧ (¬x∨¬x∨¬x).
+
+    Clause literals repeat (``CNF.add_clause`` would collapse them, so
+    the clauses are installed directly); the restricted reductions of
+    Figures 5.1/5.2 accept repeated literals, which keeps their UNSAT
+    test instances small enough for exhaustive search.
+    """
+    cnf = CNF(num_vars=1)
+    cnf.clauses.append([1, 1, 1])
+    cnf.clauses.append([-1, -1, -1])
+    return cnf

@@ -1,0 +1,102 @@
+"""Cheap CNF preprocessing.
+
+Run before handing a formula to a solver: unit propagation, pure-literal
+elimination, duplicate/subsumed-clause removal.  Returns a simplified
+formula plus the forced partial assignment so callers can reconstruct a
+model of the original formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sat.cnf import CNF, Assignment, Lit
+
+
+@dataclass
+class SimplifyResult:
+    """Outcome of preprocessing.
+
+    ``forced`` holds variable assignments implied at the root level; if
+    ``unsat`` the formula is already contradictory.  ``cnf`` is the
+    residual formula over the remaining variables (original numbering).
+    """
+
+    cnf: CNF
+    forced: Assignment = field(default_factory=dict)
+    unsat: bool = False
+
+    def extend_model(self, model: Assignment | None) -> Assignment | None:
+        """Merge a residual-formula model with the forced assignment."""
+        if self.unsat or model is None:
+            return None
+        merged = dict(model)
+        merged.update(self.forced)
+        return merged
+
+
+def simplify(cnf: CNF) -> SimplifyResult:
+    """Apply unit propagation + pure literals + subsumption to fixpoint."""
+    clauses = [list(c) for c in cnf.clauses]
+    forced: Assignment = {}
+
+    def assign(lit: Lit) -> bool:
+        """Set lit true; simplify in place; False on contradiction."""
+        forced[abs(lit)] = lit > 0
+        out = []
+        for c in clauses:
+            if lit in c:
+                continue
+            if -lit in c:
+                c = [l for l in c if l != -lit]
+                if not c:
+                    return False
+            out.append(c)
+        clauses[:] = out
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        for c in clauses:
+            if len(c) == 1:
+                if not assign(c[0]):
+                    return SimplifyResult(CNF(num_vars=cnf.num_vars), forced, True)
+                changed = True
+                break
+        if changed:
+            continue
+        polarity: dict[int, int] = {}
+        for c in clauses:
+            for lit in c:
+                v = abs(lit)
+                s = 1 if lit > 0 else -1
+                if polarity.get(v, s) != s:
+                    polarity[v] = 0
+                else:
+                    polarity.setdefault(v, s)
+        for v, s in polarity.items():
+            if s != 0:
+                if not assign(v * s):  # pure literal is always safe
+                    return SimplifyResult(CNF(num_vars=cnf.num_vars), forced, True)
+                changed = True
+                break
+
+    # Deduplicate and drop subsumed clauses (small-formula quadratic pass).
+    unique: list[frozenset[Lit]] = []
+    seen: set[frozenset[Lit]] = set()
+    for c in clauses:
+        f = frozenset(c)
+        if f not in seen:
+            seen.add(f)
+            unique.append(f)
+    unique.sort(key=len)
+    kept: list[frozenset[Lit]] = []
+    for f in unique:
+        if not any(g <= f for g in kept):
+            kept.append(f)
+
+    out = CNF(num_vars=cnf.num_vars)
+    for f in kept:
+        out.add_clause(sorted(f, key=abs))
+    return SimplifyResult(out, forced, False)

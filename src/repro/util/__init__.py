@@ -1,0 +1,20 @@
+"""Shared utilities: lightweight digraphs, timing helpers, seeded RNG.
+
+These are deliberately dependency-free (pure Python) so that the hot
+verification paths do not pay for generic-graph-library overhead; the
+digraph here stores adjacency as plain lists keyed by dense integer ids.
+"""
+
+from repro.util.digraph import Digraph, CycleError
+from repro.util.timing import RepeatTimer, fit_loglog_slope, time_callable
+from repro.util.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "Digraph",
+    "CycleError",
+    "RepeatTimer",
+    "fit_loglog_slope",
+    "time_callable",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,50 @@
+"""Seeded random-number helpers.
+
+Everything stochastic in the library (workload generators, random SAT,
+fault injection) threads an explicit ``random.Random`` so that every
+test, example, and benchmark is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+
+def make_rng(seed: int | random.Random | None) -> random.Random:
+    """Coerce ``seed`` into a ``random.Random`` instance.
+
+    Passing an existing ``Random`` returns it unchanged so call chains
+    can share one stream; passing ``None`` produces an OS-seeded stream.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn_rngs(seed: int | None, count: int) -> list[random.Random]:
+    """Derive ``count`` independent streams from one master seed."""
+    master = make_rng(seed)
+    return [random.Random(master.getrandbits(64)) for _ in range(count)]
+
+
+def weighted_choice(rng: random.Random, weights: dict[str, float]) -> str:
+    """Pick a key of ``weights`` with probability proportional to value."""
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    x = rng.random() * total
+    acc = 0.0
+    for key, w in weights.items():
+        acc += w
+        if x < acc:
+            return key
+    return key  # numeric slack lands on the last key
+
+
+def partition_indices(rng: random.Random, n: int, parts: int) -> Iterator[list[int]]:
+    """Randomly partition ``range(n)`` into ``parts`` (possibly empty) lists."""
+    buckets: list[list[int]] = [[] for _ in range(parts)]
+    for i in range(n):
+        buckets[rng.randrange(parts)].append(i)
+    return iter(buckets)

@@ -1,0 +1,80 @@
+"""Timing and empirical-complexity helpers for the benchmark harness.
+
+The paper's Figure 5.3 states asymptotic bounds; we validate them
+empirically by timing each algorithm across a range of input sizes and
+fitting the slope of ``log(time)`` against ``log(n)`` by least squares.
+A measured slope near the stated exponent (within generous tolerance:
+constant factors, cache effects, and interpreter noise shift small-n
+measurements) counts as reproducing the cell.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``fn()``."""
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@dataclass
+class RepeatTimer:
+    """Accumulates (size, seconds) samples and fits a power law."""
+
+    samples: list[tuple[int, float]] = field(default_factory=list)
+
+    def measure(self, size: int, fn: Callable[[], object], repeats: int = 3) -> float:
+        t = time_callable(fn, repeats=repeats)
+        self.samples.append((size, t))
+        return t
+
+    def slope(self) -> float:
+        sizes = [n for n, _ in self.samples]
+        times = [t for _, t in self.samples]
+        return fit_loglog_slope(sizes, times)
+
+    def table(self) -> str:
+        lines = [f"{'n':>10}  {'seconds':>12}"]
+        for n, t in self.samples:
+            lines.append(f"{n:>10}  {t:>12.6f}")
+        return "\n".join(lines)
+
+
+def fit_loglog_slope(sizes: Sequence[int], times: Sequence[float]) -> float:
+    """Least-squares slope of log(time) vs log(size).
+
+    For an algorithm running in ``Theta(n^p)`` the slope converges to
+    ``p`` as n grows.  Zero or negative timings are clamped to a small
+    positive epsilon (timer resolution).
+    """
+    if len(sizes) != len(times):
+        raise ValueError("sizes and times must have the same length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two samples to fit a slope")
+    xs = [math.log(float(n)) for n in sizes]
+    ys = [math.log(max(t, 1e-9)) for t in times]
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx == 0.0:
+        raise ValueError("all sizes identical; slope undefined")
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    return sxy / sxx
+
+
+def doubling_ratios(sizes: Sequence[int], times: Sequence[float]) -> list[float]:
+    """time[i+1]/time[i] ratios — handy for eyeballing exponential growth."""
+    out = []
+    for (_, t0), (_, t1) in zip(zip(sizes, times), zip(sizes[1:], times[1:])):
+        out.append(t1 / max(t0, 1e-9))
+    return out

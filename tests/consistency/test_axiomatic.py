@@ -1,0 +1,94 @@
+"""The table-driven relaxed checker."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.consistency.axiomatic import relaxed_schedule_exists
+from repro.consistency.models import PSO_MODEL, RMO, SC, TSO_MODEL
+from repro.core.builder import parse_trace
+from repro.core.checker import is_sc_schedule
+from repro.core.exact import exact_vsc
+
+from tests.conftest import coherent_executions
+
+
+def trace(text, **kw):
+    kw.setdefault("initial", {"x": 0, "y": 0})
+    return parse_trace(text, **kw)
+
+
+class TestScEquivalence:
+    @given(coherent_executions(addresses=("x", "y"), max_ops=8, max_procs=3))
+    @settings(max_examples=40, deadline=None)
+    def test_sc_table_agrees_with_exact_vsc(self, pair):
+        execution, _ = pair
+        table = relaxed_schedule_exists(execution, SC)
+        exact = exact_vsc(execution)
+        assert bool(table) == bool(exact)
+
+    def test_sc_witness_is_a_legal_schedule(self):
+        ex = trace("P0: W(x,1) W(y,1)\nP1: R(y,1) R(x,1)")
+        r = relaxed_schedule_exists(ex, SC)
+        assert r and is_sc_schedule(ex, r.schedule)
+
+
+class TestRelaxations:
+    def test_sb_allowed_by_wr_relaxation(self):
+        ex = trace("P0: W(x,1) R(y,0)\nP1: W(y,1) R(x,0)")
+        assert not relaxed_schedule_exists(ex, SC)
+        assert relaxed_schedule_exists(ex, TSO_MODEL)
+
+    def test_mp_needs_ww_relaxation(self):
+        ex = trace("P0: W(x,1) W(y,1)\nP1: R(y,1) R(x,0)")
+        assert not relaxed_schedule_exists(ex, TSO_MODEL)
+        assert relaxed_schedule_exists(ex, PSO_MODEL)
+
+    def test_lb_needs_rw_relaxation(self):
+        ex = trace("P0: R(x,1) W(y,1)\nP1: R(y,1) W(x,1)")
+        assert not relaxed_schedule_exists(ex, PSO_MODEL)
+        assert relaxed_schedule_exists(ex, RMO)
+
+    def test_same_address_order_kept_even_under_rmo(self):
+        ex = trace("P0: W(x,1) W(x,2)\nP1: R(x,2) R(x,1)")
+        assert not relaxed_schedule_exists(ex, RMO)
+
+    def test_sync_ops_fence_rmo(self):
+        # RMO relaxes everything except fences; SB-with-fences is
+        # forbidden exactly because ACQ orders W before R.
+        ex = trace(
+            "P0: W(x,1) ACQ(f) R(y,0)\nP1: W(y,1) ACQ(f) R(x,0)"
+        )
+        assert not relaxed_schedule_exists(ex, RMO)
+        # Without the fences the same shape is allowed.
+        assert relaxed_schedule_exists(
+            trace("P0: W(x,1) R(y,0)\nP1: W(y,1) R(x,0)"), RMO
+        )
+
+    def test_no_forwarding_modelled(self):
+        # SB+fwd needs forwarding: the table checker (no buffers)
+        # rejects it even under TSO's table, documenting the gap the
+        # operational checker fills.
+        ex = trace("P0: W(x,1) R(x,1) R(y,0)\nP1: W(y,1) R(y,1) R(x,0)")
+        assert not relaxed_schedule_exists(ex, TSO_MODEL)
+
+
+class TestBudget:
+    def test_state_budget_enforced(self):
+        execution = trace(
+            "P0: W(x,1) W(x,2) W(x,3) W(x,4)\n"
+            "P1: W(y,1) W(y,2) W(y,3) W(y,4)"
+        )
+        with pytest.raises(RuntimeError):
+            relaxed_schedule_exists(execution, RMO, max_states=2)
+
+    def test_final_values(self):
+        ex = parse_trace(
+            "P0: W(x,1)\nP1: W(x,2)", initial={"x": 0}, final={"x": 1}
+        )
+        r = relaxed_schedule_exists(ex, RMO)
+        assert r and r.schedule[-1].value_written == 1
+
+    def test_empty_execution(self):
+        from repro.core.types import Execution
+
+        assert relaxed_schedule_exists(Execution.from_ops([]), SC)

@@ -1,0 +1,95 @@
+"""Outcome enumeration (the herd-style classifier)."""
+
+import pytest
+
+from repro.consistency.generate import (
+    UNKNOWN,
+    enumerate_outcomes,
+    outcome_table,
+    skeleton,
+)
+from repro.core.types import OpKind
+
+
+def sb_skeleton():
+    return skeleton(
+        "P0: W(x,1) R(y,?)\nP1: W(y,1) R(x,?)",
+        initial={"x": 0, "y": 0},
+    )
+
+
+class TestSkeleton:
+    def test_unknown_reads_marked(self):
+        prog = sb_skeleton()
+        unknowns = [
+            op for op in prog.all_ops()
+            if op.kind is OpKind.READ and op.value_read == UNKNOWN
+        ]
+        assert len(unknowns) == 2
+
+    def test_fixed_values_preserved(self):
+        prog = skeleton("P0: W(x,5) R(x,5) R(x,?)", initial={"x": 0})
+        values = [op.value_read for op in prog.all_ops() if op.kind.reads]
+        assert values[0] == 5 and values[1] == UNKNOWN
+
+
+class TestEnumeration:
+    def test_sb_classification(self):
+        outcomes = enumerate_outcomes(sb_skeleton())
+        assert len(outcomes) == 4  # 2 reads x {0, 1}
+        by_values = {
+            (o.value_of(0, 1), o.value_of(1, 1)): o for o in outcomes
+        }
+        # Only the 0/0 outcome distinguishes SC from TSO.
+        assert not by_values[(0, 0)].allowed_under("SC")
+        assert by_values[(0, 0)].allowed_under("TSO")
+        for pair in [(0, 1), (1, 0), (1, 1)]:
+            assert by_values[pair].allowed_under("SC")
+
+    def test_mp_classification(self):
+        prog = skeleton(
+            "P0: W(x,1) W(y,1)\nP1: R(y,?) R(x,?)",
+            initial={"x": 0, "y": 0},
+        )
+        outcomes = enumerate_outcomes(prog)
+        bad = next(
+            o for o in outcomes
+            if o.value_of(1, 0) == 1 and o.value_of(1, 1) == 0
+        )
+        assert not bad.allowed_under("SC")
+        assert not bad.allowed_under("TSO")
+        assert bad.allowed_under("PSO")
+
+    def test_monotone_across_models(self):
+        for o in enumerate_outcomes(sb_skeleton()):
+            chain = ["SC", "TSO", "PSO", "RMO"]
+            verdicts = [o.allowed_under(m) for m in chain]
+            for i in range(len(verdicts) - 1):
+                if verdicts[i]:
+                    assert verdicts[i + 1]
+
+    def test_candidate_values_include_initial(self):
+        prog = skeleton("P0: R(x,?)", initial={"x": 7})
+        outcomes = enumerate_outcomes(prog, models=["SC"])
+        assert len(outcomes) == 1
+        assert outcomes[0].value_of(0, 0) == 7
+
+    def test_cap_enforced(self):
+        lines = ["P0: " + " ".join("W(x,%d)" % i for i in range(8))]
+        lines.append("P1: " + " ".join("R(x,?)" for _ in range(5)))
+        prog = skeleton("\n".join(lines), initial={"x": 0})
+        with pytest.raises(ValueError):
+            enumerate_outcomes(prog, max_outcomes=100)
+
+    def test_outcome_value_lookup_errors(self):
+        o = enumerate_outcomes(sb_skeleton())[0]
+        with pytest.raises(KeyError):
+            o.value_of(9, 9)
+        with pytest.raises(KeyError):
+            o.allowed_under("Alpha")
+
+
+def test_table_renders():
+    text = outcome_table(sb_skeleton())
+    assert "P0:r1(y)=0 P1:r1(x)=0" in text
+    assert text.count("\n") == 4

@@ -1,0 +1,86 @@
+"""The model strength hierarchy: tables and observed behaviour."""
+
+from hypothesis import given, settings
+
+from repro.consistency.hierarchy import (
+    observed_hierarchy,
+    strength_chain,
+    table_at_least_as_strong,
+)
+from repro.consistency.litmus import LITMUS_TESTS
+from repro.consistency.models import MODELS, PSO_MODEL, RMO, SC, TSO_MODEL
+
+from tests.conftest import coherent_executions, make_coherent_execution
+
+
+class TestTables:
+    def test_canonical_chain_holds(self):
+        assert strength_chain() == ["SC", "TSO", "PSO", "RMO", "coherence"]
+
+    def test_sc_strongest(self):
+        for model in MODELS.values():
+            assert table_at_least_as_strong(SC, model)
+
+    def test_reflexive(self):
+        for model in MODELS.values():
+            assert table_at_least_as_strong(model, model)
+
+    def test_antisymmetry_between_distinct_tables(self):
+        assert table_at_least_as_strong(TSO_MODEL, PSO_MODEL)
+        assert not table_at_least_as_strong(PSO_MODEL, TSO_MODEL)
+
+    def test_rmo_weakest_nontrivial(self):
+        for name in ("SC", "TSO", "PSO"):
+            assert not table_at_least_as_strong(RMO, MODELS[name])
+
+
+class TestObserved:
+    def test_litmus_suite_respects_chain(self):
+        executions = [t.execution() for t in LITMUS_TESTS]
+        for stronger, weaker in [("SC", "TSO"), ("TSO", "PSO"), ("PSO", "RMO")]:
+            checked, violations = observed_hierarchy(
+                executions, stronger, weaker
+            )
+            assert checked == len(LITMUS_TESTS)
+            assert not violations, (stronger, weaker)
+
+    @given(coherent_executions(addresses=("x", "y"), max_ops=7, max_procs=3))
+    @settings(max_examples=25, deadline=None)
+    def test_random_traces_respect_chain(self, pair):
+        execution, _ = pair
+        _, violations = observed_hierarchy([execution], "SC", "TSO")
+        assert not violations
+        _, violations = observed_hierarchy([execution], "TSO", "PSO")
+        assert not violations
+
+    def test_mutated_traces_respect_chain(self):
+        import random
+
+        from repro.core.types import Execution, OpKind, Operation
+
+        executions = []
+        for seed in range(10):
+            execution, _ = make_coherent_execution(
+                7, 2, seed, addresses=("x", "y"), num_values=2
+            )
+            histories = [list(h.operations) for h in execution.histories]
+            rng = random.Random(seed)
+            reads = [
+                (p, i)
+                for p, h in enumerate(histories)
+                for i, op in enumerate(h)
+                if op.kind is OpKind.READ
+            ]
+            if reads:
+                p, i = rng.choice(reads)
+                old = histories[p][i]
+                histories[p][i] = Operation(
+                    OpKind.READ, old.addr, old.proc, old.index,
+                    value_read=(old.value_read + 1) % 2,
+                )
+            executions.append(
+                Execution.from_ops(histories, initial=execution.initial)
+            )
+        for stronger, weaker in [("SC", "TSO"), ("TSO", "PSO")]:
+            _, violations = observed_hierarchy(executions, stronger, weaker)
+            assert not violations, (stronger, weaker)

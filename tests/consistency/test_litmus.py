@@ -1,0 +1,50 @@
+"""The litmus-test table against the literature."""
+
+import pytest
+
+from repro.consistency.litmus import LITMUS_TESTS, check_litmus, litmus_table
+
+
+@pytest.mark.parametrize(
+    "test,model",
+    [
+        (t, m)
+        for t in LITMUS_TESTS
+        for m in sorted(t.allowed)
+    ],
+    ids=lambda v: v.name if hasattr(v, "name") else v,
+)
+def test_verdict_matches_literature(test, model):
+    assert check_litmus(test, model) == test.allowed[model], (
+        f"{test.name} under {model}: {test.description}"
+    )
+
+
+def test_strength_hierarchy_on_every_test():
+    """SC ⊆ TSO ⊆ PSO ⊆ RMO in terms of allowed outcomes."""
+    order = ["SC", "TSO", "PSO", "RMO"]
+    for t in LITMUS_TESTS:
+        verdicts = [check_litmus(t, m) for m in order]
+        # Once a weaker model allows, all weaker-still models allow.
+        for i in range(len(verdicts) - 1):
+            if verdicts[i]:
+                assert verdicts[i + 1], (t.name, order[i], order[i + 1])
+
+
+def test_coherence_violations_forbidden_everywhere():
+    # CoWR is the *legal* coherence shape (another write intervenes);
+    # the violating Co* shapes must be forbidden under every model.
+    for t in LITMUS_TESTS:
+        if t.name.startswith("Co") and t.name != "CoWR":
+            assert all(not allowed for allowed in t.allowed.values())
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ValueError):
+        check_litmus(LITMUS_TESTS[0], "Alpha")
+
+
+def test_table_renders_all_tests():
+    text = litmus_table()
+    for t in LITMUS_TESTS:
+        assert t.name in text

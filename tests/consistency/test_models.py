@@ -1,0 +1,69 @@
+"""The model zoo: ordering tables."""
+
+from repro.consistency.models import (
+    COHERENCE_ONLY,
+    MODELS,
+    PC,
+    PSO_MODEL,
+    RMO,
+    SC,
+    TSO_MODEL,
+)
+from repro.core.types import OpKind
+
+R, W, RW = OpKind.READ, OpKind.WRITE, OpKind.RMW
+ACQ = OpKind.ACQUIRE
+
+
+class TestTables:
+    def test_sc_enforces_everything(self):
+        for a in (R, W):
+            for b in (R, W):
+                assert SC.enforces(a, b)
+
+    def test_tso_relaxes_only_wr(self):
+        assert not TSO_MODEL.enforces(W, R)
+        assert TSO_MODEL.enforces(R, R)
+        assert TSO_MODEL.enforces(R, W)
+        assert TSO_MODEL.enforces(W, W)
+
+    def test_pso_relaxes_wr_and_ww(self):
+        assert not PSO_MODEL.enforces(W, R)
+        assert not PSO_MODEL.enforces(W, W)
+        assert PSO_MODEL.enforces(R, R)
+
+    def test_rmo_relaxes_all(self):
+        for a in (R, W):
+            for b in (R, W):
+                assert not RMO.enforces(a, b)
+
+    def test_coherence_only_matches_rmo_table(self):
+        for a in (R, W):
+            for b in (R, W):
+                assert COHERENCE_ONLY.enforces(a, b) == RMO.enforces(a, b)
+
+    def test_pc_is_tso_shaped(self):
+        assert not PC.enforces(W, R) and PC.enforces(W, W)
+
+
+class TestRmwAndSync:
+    def test_rmw_is_ordered_when_any_component_is(self):
+        # Under TSO, RMW;R has components (R,R) ordered and (W,R) not:
+        # the pair is ordered because one component pair is.
+        assert TSO_MODEL.enforces(RW, R)
+        assert TSO_MODEL.enforces(W, RW)  # (W,W) ordered
+        # Under RMO nothing is.
+        assert not RMO.enforces(RW, RW)
+
+    def test_sync_ops_fence_every_model(self):
+        for model in MODELS.values():
+            assert model.enforces(ACQ, R)
+            assert model.enforces(W, ACQ)
+
+    def test_forwarding_flags(self):
+        assert TSO_MODEL.store_forwarding and PSO_MODEL.store_forwarding
+        assert not SC.store_forwarding
+
+
+def test_registry_contains_the_zoo():
+    assert {"SC", "TSO", "PC", "PSO", "RMO", "coherence"} <= set(MODELS)

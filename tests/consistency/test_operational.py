@@ -1,0 +1,104 @@
+"""Operational TSO/PSO checkers: buffers, forwarding, drains."""
+
+from hypothesis import given, settings
+
+from repro.consistency.pso import pso_holds
+from repro.consistency.tso import tso_holds
+from repro.core.builder import parse_trace
+from repro.core.exact import exact_vsc
+
+from tests.conftest import coherent_executions
+
+
+def trace(text, **kw):
+    kw.setdefault("initial", {"x": 0, "y": 0})
+    return parse_trace(text, **kw)
+
+
+class TestTsoSemantics:
+    def test_sc_traces_are_tso(self):
+        ex = trace("P0: W(x,1) W(y,1)\nP1: R(y,1) R(x,1)")
+        assert tso_holds(ex)
+
+    def test_store_buffering_allowed(self):
+        ex = trace("P0: W(x,1) R(y,0)\nP1: W(y,1) R(x,0)")
+        assert tso_holds(ex)
+
+    def test_forwarding_from_own_buffer(self):
+        # R(x,1) must come from the unflushed own store while y is 0.
+        ex = trace("P0: W(x,1) R(x,1) R(y,0)\nP1: W(y,1) R(y,1) R(x,0)")
+        assert tso_holds(ex)
+
+    def test_mp_forbidden(self):
+        ex = trace("P0: W(x,1) W(y,1)\nP1: R(y,1) R(x,0)")
+        assert not tso_holds(ex)
+
+    def test_corr_forbidden(self):
+        ex = trace("P0: W(x,1)\nP1: R(x,1) R(x,0)")
+        assert not tso_holds(ex)
+
+    def test_rmw_requires_drained_buffer(self):
+        # P0's RMW acts on memory after its own store drained: the
+        # trace where the RMW reads a value proving the buffer had NOT
+        # drained must be rejected.
+        ex = trace("P0: W(x,1) RW(x,0,2)")
+        assert not tso_holds(ex)
+        ex_ok = trace("P0: W(x,1) RW(x,1,2)")
+        assert tso_holds(ex_ok)
+
+    def test_fence_orders_wr(self):
+        # SB with fences (acquire as fence) becomes forbidden.
+        ex = trace(
+            "P0: W(x,1) ACQ(f) R(y,0)\nP1: W(y,1) ACQ(f) R(x,0)"
+        )
+        assert not tso_holds(ex)
+
+    def test_final_values_respected(self):
+        ex = parse_trace(
+            "P0: W(x,1)\nP1: W(x,2)", initial={"x": 0}, final={"x": 2}
+        )
+        assert tso_holds(ex)
+        ex2 = parse_trace(
+            "P0: W(x,1)\nP1: W(x,2)", initial={"x": 0}, final={"x": 7}
+        )
+        assert not tso_holds(ex2)
+
+    def test_final_value_on_untouched_address(self):
+        ex = parse_trace("P0: W(x,1)", initial={"x": 0}, final={"y": 3})
+        assert not tso_holds(ex)
+
+    @given(coherent_executions(addresses=("x", "y"), max_ops=8, max_procs=3))
+    @settings(max_examples=40, deadline=None)
+    def test_sc_implies_tso(self, pair):
+        execution, _ = pair
+        # TSO is weaker than SC: anything SC-consistent is TSO-consistent.
+        if exact_vsc(execution):
+            assert tso_holds(execution)
+
+
+class TestPsoSemantics:
+    def test_mp_allowed_under_pso(self):
+        ex = trace("P0: W(x,1) W(y,1)\nP1: R(y,1) R(x,0)")
+        assert pso_holds(ex)
+        assert not tso_holds(ex)
+
+    def test_same_address_stores_stay_fifo(self):
+        # Two stores to x cannot reorder: a reader seeing 2 then 1
+        # violates even PSO.
+        ex = trace("P0: W(x,1) W(x,2)\nP1: R(x,2) R(x,1)")
+        assert not pso_holds(ex)
+
+    def test_sb_allowed(self):
+        ex = trace("P0: W(x,1) R(y,0)\nP1: W(y,1) R(x,0)")
+        assert pso_holds(ex)
+
+    def test_lb_forbidden(self):
+        ex = trace("P0: R(x,1) W(y,1)\nP1: R(y,1) W(x,1)")
+        assert not pso_holds(ex)
+
+    @given(coherent_executions(addresses=("x", "y"), max_ops=8, max_procs=3))
+    @settings(max_examples=30, deadline=None)
+    def test_tso_implies_pso(self, pair):
+        execution, _ = pair
+        if tso_holds(execution):
+            assert pso_holds(execution)

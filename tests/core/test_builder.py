@@ -1,0 +1,97 @@
+"""Builder and trace-format parser."""
+
+import pytest
+
+from repro.core.builder import ExecutionBuilder, parse_trace
+from repro.core.types import INITIAL, OpKind
+
+
+class TestExecutionBuilder:
+    def test_fluent_chain(self):
+        b = ExecutionBuilder(initial={"x": 0})
+        b.process().write("x", 1).read("x", 1).rmw("x", 1, 2)
+        b.process().read("x", 2)
+        ex = b.build(final={"x": 2})
+        assert ex.num_processes == 2
+        assert ex.num_ops == 4
+        assert ex.final_value("x") == 2
+        kinds = [op.kind for op in ex.histories[0]]
+        assert kinds == [OpKind.WRITE, OpKind.READ, OpKind.RMW]
+
+    def test_sync_ops(self):
+        b = ExecutionBuilder()
+        b.process().acquire("l").write("x", 1).release("l")
+        ex = b.build()
+        assert [op.kind for op in ex.histories[0]] == [
+            OpKind.ACQUIRE,
+            OpKind.WRITE,
+            OpKind.RELEASE,
+        ]
+
+    def test_empty_build(self):
+        assert ExecutionBuilder().build().num_ops == 0
+
+
+class TestParseTrace:
+    def test_two_arg_ops(self):
+        ex = parse_trace("P0: W(x,1) R(x,1)\nP1: R(x,0)")
+        assert ex.num_processes == 2
+        assert ex.histories[0][0].addr == "x"
+        assert ex.histories[0][0].value_written == 1
+
+    def test_single_address_shorthand(self):
+        ex = parse_trace("P0: W(1) R(1) RW(1,2)", default_addr="a")
+        assert all(op.addr == "a" for op in ex.all_ops())
+        assert ex.histories[0][2].value_read == 1
+        assert ex.histories[0][2].value_written == 2
+
+    def test_init_keyword(self):
+        ex = parse_trace("P0: R(x,init)")
+        assert ex.histories[0][0].value_read is INITIAL
+
+    def test_string_values(self):
+        ex = parse_trace("P0: W(x,hello)")
+        assert ex.histories[0][0].value_written == "hello"
+
+    def test_sync_tokens(self):
+        ex = parse_trace("P0: ACQ(l) W(x,1) REL(l)")
+        assert ex.histories[0][0].kind is OpKind.ACQUIRE
+        assert ex.histories[0][2].kind is OpKind.RELEASE
+
+    def test_comments_and_blank_lines(self):
+        ex = parse_trace("# a comment\n\nP0: W(x,1)\n")
+        assert ex.num_ops == 1
+
+    def test_missing_processes_get_empty_histories(self):
+        ex = parse_trace("P2: W(x,1)")
+        assert ex.num_processes == 3
+        assert len(ex.histories[0]) == 0
+
+    def test_same_process_on_two_lines_concatenates(self):
+        ex = parse_trace("P0: W(x,1)\nP0: R(x,1)")
+        assert len(ex.histories[0]) == 2
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_trace("what is this")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            parse_trace("P0: R(x,1,2)")
+        with pytest.raises(ValueError):
+            parse_trace("P0: RW(1)")
+        with pytest.raises(ValueError):
+            parse_trace("P0: ACQ(a,b)")
+
+    def test_unrecognized_body_rejected(self):
+        with pytest.raises(ValueError):
+            parse_trace("P0: FOO(x)")
+
+    def test_initial_final_passthrough(self):
+        ex = parse_trace("P0: W(x,1)", initial={"x": 9}, final={"x": 1})
+        assert ex.initial_value("x") == 9
+        assert ex.final_value("x") == 1
+
+    def test_case_insensitive_ops(self):
+        ex = parse_trace("P0: w(x,1) r(x,1)")
+        assert ex.num_ops == 2

@@ -1,0 +1,137 @@
+"""The CNF encodings of VMC/VSC against the exact solver."""
+
+from hypothesis import given, settings
+
+from repro.core.builder import parse_trace
+from repro.core.checker import is_coherent_schedule, is_sc_schedule
+from repro.core.encode import encode_legal_schedule, sat_vmc, sat_vsc
+from repro.core.exact import exact_vmc, exact_vsc
+
+from tests.conftest import coherent_executions, make_coherent_execution
+
+
+class TestVmcEncoding:
+    @given(coherent_executions(max_ops=8, max_procs=3))
+    @settings(max_examples=50, deadline=None)
+    def test_sat_vmc_accepts_coherent_with_valid_witness(self, pair):
+        execution, _ = pair
+        r = sat_vmc(execution)
+        assert r.holds
+        assert is_coherent_schedule(execution, r.schedule)
+
+    def test_classic_violation_rejected(self):
+        ex = parse_trace("P0: W(x,1) R(x,1)\nP1: R(x,1) R(x,0)", initial={"x": 0})
+        assert not sat_vmc(ex)
+        assert not sat_vmc(ex, solver="dpll")
+
+    def test_agrees_with_exact_on_ambiguous_traces(self):
+        # Small-value-set traces with mutated reads: both verdicts agree.
+        import random
+
+        from repro.core.types import Execution, OpKind, Operation
+
+        for seed in range(40):
+            execution, _ = make_coherent_execution(
+                8, 2, seed=seed, num_values=2
+            )
+            rng = random.Random(seed)
+            # Mutate one read's value half the time.
+            histories = [list(h.operations) for h in execution.histories]
+            reads = [
+                (p, i)
+                for p, h in enumerate(histories)
+                for i, op in enumerate(h)
+                if op.kind is OpKind.READ
+            ]
+            if reads and rng.random() < 0.6:
+                p, i = rng.choice(reads)
+                old = histories[p][i]
+                histories[p][i] = Operation(
+                    OpKind.READ, old.addr, old.proc, old.index,
+                    value_read=(old.value_read + 1) % 2,
+                )
+            mutated = Execution.from_ops(
+                histories, initial=execution.initial, final=execution.final
+            )
+            assert bool(sat_vmc(mutated)) == bool(exact_vmc(mutated)), seed
+
+    def test_infeasible_read_short_circuits(self):
+        ex = parse_trace("P0: R(x,42)", initial={"x": 0})
+        r = sat_vmc(ex)
+        assert not r and "never written" in r.reason
+
+    def test_final_value_encoding(self):
+        ex = parse_trace("P0: W(x,1)\nP1: W(x,2)", initial={"x": 0}, final={"x": 1})
+        r = sat_vmc(ex)
+        assert r and r.schedule[-1].value_written == 1
+
+        ex2 = parse_trace("P0: W(x,1)", initial={"x": 0}, final={"x": 9})
+        assert not sat_vmc(ex2)
+
+    def test_final_without_writes(self):
+        ex = parse_trace("P0: R(x,0)", initial={"x": 0}, final={"x": 0})
+        assert sat_vmc(ex)
+        ex2 = parse_trace("P0: R(x,0)", initial={"x": 0}, final={"x": 3})
+        assert not sat_vmc(ex2)
+
+    def test_rmw_encoding(self):
+        ex = parse_trace("P0: RW(0,1) RW(2,3)\nP1: RW(1,2)", initial={"a": 0})
+        r = sat_vmc(ex)
+        assert r and is_coherent_schedule(ex, r.schedule)
+
+    def test_rmw_reading_initial(self):
+        ex = parse_trace("P0: RW(init,1)\nP1: R(1)")
+        r = sat_vmc(ex)
+        assert r and is_coherent_schedule(ex, r.schedule)
+
+
+class TestVscEncoding:
+    def test_sb_rejected(self):
+        ex = parse_trace(
+            "P0: W(x,1) R(y,0)\nP1: W(y,1) R(x,0)", initial={"x": 0, "y": 0}
+        )
+        assert not sat_vsc(ex)
+
+    @given(coherent_executions(addresses=("x", "y"), max_ops=8, max_procs=3))
+    @settings(max_examples=40, deadline=None)
+    def test_sc_traces_accepted_with_valid_witness(self, pair):
+        execution, _ = pair
+        r = sat_vsc(execution)
+        assert r.holds
+        assert is_sc_schedule(execution, r.schedule)
+
+    def test_agrees_with_exact_vsc(self):
+        for seed in range(20):
+            execution, _ = make_coherent_execution(
+                8, 2, seed=seed, addresses=("x", "y"), num_values=2
+            )
+            assert bool(sat_vsc(execution)) == bool(exact_vsc(execution))
+
+    def test_sync_ops_reinserted_into_witness(self):
+        ex = parse_trace("P0: ACQ(l) W(x,1) REL(l)\nP1: R(x,1)")
+        r = sat_vsc(ex)
+        assert r
+        assert len(r.schedule) == 4
+        assert is_sc_schedule(ex, r.schedule)
+
+
+class TestEncodingInternals:
+    def test_encoding_size(self):
+        ex = parse_trace("P0: W(x,1) R(x,1)\nP1: R(x,1)")
+        enc = encode_legal_schedule(ex)
+        n = 3
+        assert len(enc.before) == n * (n - 1) // 2
+        assert enc.cnf.num_clauses > 0
+
+    def test_lit_before_antisymmetry(self):
+        ex = parse_trace("P0: W(x,1)\nP1: R(x,1)")
+        enc = encode_legal_schedule(ex)
+        assert enc.lit_before(0, 1) == -enc.lit_before(1, 0)
+
+    def test_lit_before_self_rejected(self):
+        import pytest
+
+        ex = parse_trace("P0: W(x,1)")
+        enc = encode_legal_schedule(ex)
+        with pytest.raises(ValueError):
+            enc.lit_before(0, 0)

@@ -1,0 +1,98 @@
+"""Counterexample minimization."""
+
+import pytest
+
+from repro.core.builder import parse_trace
+from repro.core.exact import exact_vmc
+from repro.core.explain import MinimalViolation, minimize_violation
+from repro.core.types import Execution, OpKind, Operation
+
+from tests.conftest import make_coherent_execution
+
+
+class TestBasics:
+    def test_coherent_input_rejected(self):
+        ex = parse_trace("P0: W(x,1) R(x,1)")
+        with pytest.raises(ValueError):
+            minimize_violation(ex)
+
+    def test_corr_shrinks_to_itself(self):
+        ex = parse_trace(
+            "P0: W(x,1)\nP1: R(x,1) R(x,0)", initial={"x": 0}
+        )
+        mv = minimize_violation(ex)
+        assert not exact_vmc(mv.execution)
+        assert mv.core_ops <= 3
+
+    def test_noise_processes_removed(self):
+        ex = parse_trace(
+            """
+            P0: W(x,1)
+            P1: R(x,1) R(x,0)
+            P2: W(x,5) R(x,5) W(x,6)
+            P3: R(x,6) R(x,5)
+            """,
+            initial={"x": 0},
+        )
+        mv = minimize_violation(ex)
+        assert not exact_vmc(mv.execution)
+        # Two independent violations exist; the core keeps only one.
+        assert mv.core_ops <= 3
+        assert mv.execution.num_processes <= 2
+
+    def test_long_histories_truncated(self):
+        lines = ["P0: " + " ".join(f"W(x,{i})" for i in range(1, 9))]
+        lines.append("P1: R(x,8) R(x,1)")  # new then old: violation
+        ex = parse_trace("\n".join(lines), initial={"x": 0})
+        mv = minimize_violation(ex)
+        assert not exact_vmc(mv.execution)
+        assert mv.core_ops <= 4
+
+    def test_narrative_renders(self):
+        ex = parse_trace("P0: R(x,9)", initial={"x": 0})
+        mv = minimize_violation(ex)
+        text = mv.narrative()
+        assert "minimal incoherent core" in text
+        assert "R(x,9)" in text
+
+    def test_oracle_budget_enforced(self):
+        ex = parse_trace(
+            "P0: W(x,1)\nP1: R(x,1) R(x,0)", initial={"x": 0}
+        )
+        with pytest.raises(RuntimeError):
+            minimize_violation(ex, max_oracle_calls=1)
+
+
+class TestOnMutatedTraces:
+    def test_cores_stay_incoherent_and_small(self):
+        import random
+
+        shrunk_sizes = []
+        for seed in range(12):
+            execution, _ = make_coherent_execution(14, 3, seed, num_values=2)
+            rng = random.Random(seed)
+            histories = [list(h.operations) for h in execution.histories]
+            reads = [
+                (p, i)
+                for p, h in enumerate(histories)
+                for i, op in enumerate(h)
+                if op.kind is OpKind.READ
+            ]
+            if not reads:
+                continue
+            p, i = rng.choice(reads)
+            old = histories[p][i]
+            histories[p][i] = Operation(
+                OpKind.READ, old.addr, old.proc, old.index,
+                value_read="bogus",
+            )
+            broken = Execution.from_ops(
+                histories, initial=execution.initial, final=execution.final
+            )
+            mv = minimize_violation(broken)
+            assert not exact_vmc(mv.execution)
+            assert mv.core_ops <= broken.num_ops
+            shrunk_sizes.append((broken.num_ops, mv.core_ops))
+        # The cores should usually be dramatically smaller.
+        assert shrunk_sizes
+        assert any(core <= 2 for _, core in shrunk_sizes)

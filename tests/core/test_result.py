@@ -1,0 +1,54 @@
+"""VerificationResult semantics."""
+
+from repro.core.result import VerificationResult
+from repro.core.types import read, write
+
+
+class TestTruthiness:
+    def test_holds_is_truthy(self):
+        assert VerificationResult(holds=True, method="x")
+        assert not VerificationResult(holds=False, method="x")
+
+    def test_bool_protocol(self):
+        results = [
+            VerificationResult(holds=True, method="a"),
+            VerificationResult(holds=False, method="b"),
+        ]
+        assert [bool(r) for r in results] == [True, False]
+
+
+class TestWitness:
+    def test_witness_str_with_schedule(self):
+        r = VerificationResult(
+            holds=True,
+            method="exact",
+            schedule=[write("x", 1, 0, 0), read("x", 1, 1, 0)],
+        )
+        assert "P0.W(x,1)" in r.witness_str()
+
+    def test_witness_str_without_schedule(self):
+        r = VerificationResult(holds=False, method="exact")
+        assert r.witness_str() == "<none>"
+
+
+class TestRepr:
+    def test_repr_mentions_verdict_and_method(self):
+        r = VerificationResult(holds=True, method="readmap", address="x")
+        text = repr(r)
+        assert "holds" in text and "readmap" in text and "x" in text
+
+    def test_repr_violated(self):
+        assert "violated" in repr(VerificationResult(holds=False, method="m"))
+
+
+class TestAggregation:
+    def test_per_address_defaults_empty(self):
+        r = VerificationResult(holds=True, method="m")
+        assert r.per_address == {}
+        assert r.stats == {}
+
+    def test_stats_are_instance_local(self):
+        a = VerificationResult(holds=True, method="m")
+        b = VerificationResult(holds=True, method="m")
+        a.stats["k"] = 1
+        assert "k" not in b.stats

@@ -1,0 +1,105 @@
+"""JSON serialization round-trips."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.builder import ExecutionBuilder, parse_trace
+from repro.core.serialize import (
+    dumps,
+    execution_from_dict,
+    execution_to_dict,
+    load,
+    loads,
+    save,
+)
+from repro.core.types import INITIAL, Execution, OpKind
+
+from tests.conftest import coherent_executions
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        ex = parse_trace(
+            "P0: W(x,1) R(x,1)\nP1: RW(x,1,2)",
+            initial={"x": 0},
+            final={"x": 2},
+        )
+        back = loads(dumps(ex))
+        assert back.num_ops == ex.num_ops
+        assert back.initial == ex.initial
+        assert back.final == ex.final
+        assert [str(op) for op in back.all_ops()] == [
+            str(op) for op in ex.all_ops()
+        ]
+
+    def test_sync_ops(self):
+        b = ExecutionBuilder()
+        b.process().acquire("l").write("x", 1).release("l")
+        back = loads(dumps(b.build()))
+        assert [op.kind for op in back.histories[0]] == [
+            OpKind.ACQUIRE, OpKind.WRITE, OpKind.RELEASE,
+        ]
+
+    def test_initial_sentinel_roundtrips(self):
+        ex = parse_trace("P0: R(x,init)")
+        back = loads(dumps(ex))
+        assert back.histories[0][0].value_read is INITIAL
+
+    def test_tuple_values_roundtrip(self):
+        from repro.reductions.sat_to_vmc import fig_4_2_example
+
+        ex = fig_4_2_example().execution
+        back = loads(dumps(ex))
+        assert [str(op) for op in back.all_ops()] == [
+            str(op) for op in ex.all_ops()
+        ]
+
+    def test_int_addresses_roundtrip(self):
+        b = ExecutionBuilder(initial={0: 0})
+        b.process().write(0, 1)
+        back = loads(dumps(b.build()))
+        assert back.histories[0][0].addr == 0
+        assert back.initial == {0: 0}
+
+    @given(coherent_executions(max_ops=10, max_procs=3))
+    @settings(max_examples=40, deadline=None)
+    def test_random_executions(self, pair):
+        execution, _ = pair
+        back = loads(dumps(execution))
+        assert back.num_processes == execution.num_processes
+        assert [str(op) for op in back.all_ops()] == [
+            str(op) for op in execution.all_ops()
+        ]
+
+    def test_file_roundtrip(self, tmp_path):
+        ex = parse_trace("P0: W(x,1)")
+        path = tmp_path / "trace.json"
+        save(ex, path)
+        assert load(path).num_ops == 1
+
+
+class TestValidation:
+    def test_bad_format_tag(self):
+        with pytest.raises(ValueError):
+            execution_from_dict({"format": "something-else"})
+
+    def test_unknown_op_kind(self):
+        data = execution_to_dict(parse_trace("P0: W(x,1)"))
+        data["histories"][0][0]["op"] = "Z"
+        with pytest.raises(ValueError):
+            execution_from_dict(data)
+
+    def test_unserializable_value(self):
+        b = ExecutionBuilder()
+        b.process().write("x", object())
+        with pytest.raises(TypeError):
+            dumps(b.build())
+
+    def test_unknown_value_object(self):
+        data = execution_to_dict(parse_trace("P0: W(x,1)"))
+        data["histories"][0][0]["value"] = {"$mystery": 1}
+        with pytest.raises(ValueError):
+            execution_from_dict(data)
+
+    def test_empty_execution(self):
+        assert loads(dumps(Execution.from_ops([]))).num_ops == 0

@@ -1,0 +1,159 @@
+"""The 1-operation-per-process fast path (Figure 5.3 row 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import ExecutionBuilder
+from repro.core.checker import is_coherent_schedule
+from repro.core.exact import exact_vmc
+from repro.core.single_op import applicable, single_op_vmc
+from repro.core.types import Execution, read, rmw, write
+from repro.util.rng import make_rng
+
+
+def single_ops_execution(ops, initial=None, final=None):
+    return Execution.from_ops([[op] for op in ops], initial=initial, final=final)
+
+
+class TestApplicability:
+    def test_one_op_simple(self):
+        assert applicable(single_ops_execution([read("x", 0), write("x", 1)]))
+
+    def test_two_ops_rejected(self):
+        b = ExecutionBuilder()
+        b.process().write("x", 1).read("x", 1)
+        assert not applicable(b.build())
+
+    def test_mixed_rmw_and_simple_rejected(self):
+        assert not applicable(single_ops_execution([rmw("x", 0, 1), read("x", 1)]))
+
+    def test_rmw_only_accepted(self):
+        assert applicable(single_ops_execution([rmw("x", 0, 1), rmw("x", 1, 2)]))
+
+
+class TestSimple:
+    def test_reads_need_a_source(self):
+        ex = single_ops_execution([read("x", 5)], initial={"x": 0})
+        r = single_op_vmc(ex)
+        assert not r and "never written" in r.reason
+
+    def test_initial_reads_ok(self):
+        ex = single_ops_execution(
+            [read("x", 0), write("x", 1), read("x", 1)], initial={"x": 0}
+        )
+        r = single_op_vmc(ex)
+        assert r and is_coherent_schedule(ex, r.schedule)
+
+    def test_final_value_must_be_written(self):
+        ex = single_ops_execution([write("x", 1)], initial={"x": 0}, final={"x": 9})
+        assert not single_op_vmc(ex)
+
+    def test_final_value_no_writes_matches_initial(self):
+        ex = single_ops_execution([read("x", 0)], initial={"x": 0}, final={"x": 0})
+        assert single_op_vmc(ex)
+
+    def test_final_value_no_writes_mismatch(self):
+        ex = single_ops_execution([read("x", 0)], initial={"x": 0}, final={"x": 1})
+        assert not single_op_vmc(ex)
+
+    def test_final_group_scheduled_last(self):
+        ex = single_ops_execution(
+            [write("x", 1), write("x", 2)], initial={"x": 0}, final={"x": 1}
+        )
+        r = single_op_vmc(ex)
+        assert r and r.schedule[-1].value_written == 1
+
+    @given(st.integers(0, 40), st.integers(0, 2**32 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_agrees_with_exact_on_random_single_op_instances(self, n, seed):
+        rng = make_rng(seed)
+        ops = []
+        for _ in range(n):
+            if rng.random() < 0.5:
+                ops.append(write("x", rng.randrange(4)))
+            else:
+                ops.append(read("x", rng.randrange(4)))
+        ex = single_ops_execution(ops, initial={"x": 0})
+        fast = single_op_vmc(ex)
+        slow = exact_vmc(ex) if n <= 9 else None
+        if fast:
+            assert is_coherent_schedule(ex, fast.schedule)
+        if slow is not None:
+            assert bool(fast) == bool(slow)
+
+
+class TestRmwEulerian:
+    def test_simple_chain(self):
+        ex = single_ops_execution(
+            [rmw("x", 0, 1), rmw("x", 1, 2)], initial={"x": 0}
+        )
+        r = single_op_vmc(ex)
+        assert r and is_coherent_schedule(ex, r.schedule)
+
+    def test_branching_multigraph(self):
+        # 0->1, 1->0, 0->2: Eulerian path 0,1,0,2.
+        ex = single_ops_execution(
+            [rmw("x", 0, 1), rmw("x", 1, 0), rmw("x", 0, 2)], initial={"x": 0}
+        )
+        r = single_op_vmc(ex)
+        assert r and is_coherent_schedule(ex, r.schedule)
+
+    def test_degree_imbalance_rejected(self):
+        # Two RMWs both consume 0 but nothing re-creates it.
+        ex = single_ops_execution(
+            [rmw("x", 0, 1), rmw("x", 0, 2)], initial={"x": 0}
+        )
+        assert not single_op_vmc(ex)
+
+    def test_disconnected_component_rejected(self):
+        ex = single_ops_execution(
+            [rmw("x", 5, 5)], initial={"x": 0}
+        )
+        assert not single_op_vmc(ex)
+
+    def test_disconnected_cycle_rejected(self):
+        # A balanced cycle 5->6->5 unreachable from initial 0.
+        ex = single_ops_execution(
+            [rmw("x", 0, 1), rmw("x", 5, 6), rmw("x", 6, 5)], initial={"x": 0}
+        )
+        assert not single_op_vmc(ex)
+
+    def test_final_value_checked(self):
+        ex = single_ops_execution(
+            [rmw("x", 0, 1)], initial={"x": 0}, final={"x": 1}
+        )
+        assert single_op_vmc(ex)
+        ex2 = single_ops_execution(
+            [rmw("x", 0, 1)], initial={"x": 0}, final={"x": 9}
+        )
+        assert not single_op_vmc(ex2)
+
+    def test_empty(self):
+        assert single_op_vmc(Execution.from_ops([]))
+
+    @given(st.integers(1, 30), st.integers(0, 2**32 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_agrees_with_exact_on_random_rmw_instances(self, n, seed):
+        rng = make_rng(seed)
+        ops = [
+            rmw("x", rng.randrange(3), rng.randrange(3)) for _ in range(n)
+        ]
+        ex = single_ops_execution(ops, initial={"x": 0})
+        fast = single_op_vmc(ex)
+        if fast:
+            assert is_coherent_schedule(ex, fast.schedule)
+        if n <= 8:
+            assert bool(fast) == bool(exact_vmc(ex))
+
+
+class TestErrors:
+    def test_not_applicable_raises(self):
+        b = ExecutionBuilder()
+        b.process().write("x", 1).write("x", 2)
+        with pytest.raises(ValueError):
+            single_op_vmc(b.build())
+
+    def test_multi_address_raises(self):
+        ex = single_ops_execution([write("x", 1), write("y", 1)])
+        with pytest.raises(ValueError):
+            single_op_vmc(ex)

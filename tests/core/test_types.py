@@ -1,0 +1,174 @@
+"""Unit tests for the execution data model."""
+
+import pickle
+
+import pytest
+
+from repro.core.types import (
+    INITIAL,
+    Execution,
+    OpKind,
+    Operation,
+    ProcessHistory,
+    read,
+    rmw,
+    schedule_str,
+    write,
+)
+
+
+class TestOperation:
+    def test_read_constructor(self):
+        op = read("x", 5, proc=1, index=2)
+        assert op.kind is OpKind.READ
+        assert op.value_read == 5 and op.value_written is None
+        assert op.uid == (1, 2)
+
+    def test_write_constructor(self):
+        op = write("x", 7)
+        assert op.kind.writes and not op.kind.reads
+
+    def test_rmw_reads_and_writes(self):
+        op = rmw("x", 1, 2)
+        assert op.kind.reads and op.kind.writes
+
+    def test_invalid_read_with_written_value(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.READ, "x", 0, 0, value_written=1)
+
+    def test_invalid_write_with_read_value(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.WRITE, "x", 0, 0, value_read=1)
+
+    def test_rmw_requires_values(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.RMW, "x", 0, 0)
+
+    def test_str_forms(self):
+        assert str(read("x", 1, 0, 0)) == "P0.R(x,1)"
+        assert str(write("x", 2, 1, 0)) == "P1.W(x,2)"
+        assert str(rmw("x", 1, 2, 2, 3)) == "P2.RW(x,1,2)"
+
+    def test_sync_kinds(self):
+        acq = Operation(OpKind.ACQUIRE, "l", 0, 0)
+        assert acq.kind.is_sync and not acq.kind.reads and not acq.kind.writes
+
+
+class TestInitialSentinel:
+    def test_singleton(self):
+        from repro.core.types import _InitialValue
+
+        assert _InitialValue() is INITIAL
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(INITIAL)) is INITIAL
+
+    def test_repr(self):
+        assert repr(INITIAL) == "INITIAL"
+
+
+class TestProcessHistory:
+    def test_mislabelled_ops_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessHistory(0, (read("x", 1, proc=1, index=0),))
+        with pytest.raises(ValueError):
+            ProcessHistory(0, (read("x", 1, proc=0, index=5),))
+
+    def test_iteration_and_indexing(self):
+        h = ProcessHistory(0, (write("x", 1, 0, 0), read("x", 1, 0, 1)))
+        assert len(h) == 2
+        assert h[1].kind is OpKind.READ
+        assert [op.index for op in h] == [0, 1]
+
+    def test_ops_at(self):
+        h = ProcessHistory(
+            0, (write("x", 1, 0, 0), write("y", 2, 0, 1), read("x", 1, 0, 2))
+        )
+        assert len(h.ops_at("x")) == 2
+
+
+class TestExecution:
+    def make(self):
+        return Execution.from_ops(
+            [
+                [write("x", 1), read("y", 0)],
+                [read("x", 1)],
+            ],
+            initial={"x": 0, "y": 0},
+            final={"x": 1},
+        )
+
+    def test_from_ops_relabels(self):
+        ex = self.make()
+        assert [op.uid for op in ex.histories[0]] == [(0, 0), (0, 1)]
+        assert ex.histories[1][0].uid == (1, 0)
+
+    def test_misnumbered_histories_rejected(self):
+        h = ProcessHistory(1, (write("x", 1, 1, 0),))
+        with pytest.raises(ValueError):
+            Execution([h])
+
+    def test_counts(self):
+        ex = self.make()
+        assert ex.num_processes == 2
+        assert ex.num_ops == 3
+        assert set(ex.addresses()) == {"x", "y"}
+
+    def test_initial_and_final_values(self):
+        ex = self.make()
+        assert ex.initial_value("x") == 0
+        assert ex.initial_value("unknown") is INITIAL
+        assert ex.final_value("x") == 1
+        assert ex.final_value("y") is None
+
+    def test_restrict_to_address(self):
+        ex = self.make()
+        sub = ex.restrict_to_address("x")
+        assert sub.num_ops == 2
+        assert sub.addresses() == ["x"]
+        # Original po indices preserved for matching back.
+        assert sub.histories[0][0].index == 0
+        assert sub.final == {"x": 1}
+
+    def test_restrict_keeps_empty_histories(self):
+        ex = self.make()
+        sub = ex.restrict_to_address("y")
+        assert sub.num_processes == 2
+        assert len(sub.histories[1]) == 0
+
+    def test_max_ops_per_process(self):
+        assert self.make().max_ops_per_process() == 2
+
+    def test_max_writes_per_value(self):
+        ex = Execution.from_ops(
+            [[write("x", 1), write("x", 1), write("x", 2)]]
+        )
+        assert ex.max_writes_per_value() == 2
+        assert ex.max_writes_per_value("y") == 0
+
+    def test_rmw_only(self):
+        ex = Execution.from_ops([[rmw("x", 0, 1)], [rmw("x", 1, 2)]])
+        assert ex.is_rmw_only()
+        assert not self.make().is_rmw_only()
+
+    def test_drop_sync_ops(self):
+        ex = Execution.from_ops(
+            [[Operation(OpKind.ACQUIRE, "l", 0, 0), write("x", 1, 0, 1)]]
+        )
+        stripped = ex.drop_sync_ops()
+        assert stripped.num_ops == 1
+        assert stripped.histories[0][0].index == 0  # renumbered
+
+    def test_pretty_renders_columns(self):
+        text = self.make().pretty()
+        assert "h0" in text and "h1" in text and "W(x,1)" in text
+
+    def test_single_address_predicate(self):
+        assert not self.make().is_single_address()
+        ex = Execution.from_ops([[write("x", 1)]])
+        assert ex.is_single_address()
+
+
+def test_schedule_str():
+    ops = [write("x", 1, 0, 0), read("x", 1, 1, 0)]
+    assert schedule_str(ops) == "P0.W(x,1) ; P1.R(x,1)"

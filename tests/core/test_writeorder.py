@@ -1,0 +1,99 @@
+"""The Section 5.2 algorithms: write-order supplied."""
+
+from hypothesis import given, settings
+
+from repro.core.builder import parse_trace
+from repro.core.checker import is_coherent_schedule
+from repro.core.writeorder import writeorder_vmc
+
+from tests.conftest import coherent_executions, make_coherent_execution
+
+
+def write_order_of(execution, witness):
+    """Extract the witness schedule's write serialization."""
+    return [op for op in witness if op.kind.writes]
+
+
+class TestAcceptance:
+    @given(coherent_executions(max_ops=14, max_procs=4))
+    @settings(max_examples=100, deadline=None)
+    def test_true_write_order_accepted(self, pair):
+        execution, witness = pair
+        r = writeorder_vmc(execution, write_order_of(execution, witness))
+        assert r.holds, r.reason
+        assert is_coherent_schedule(execution, r.schedule)
+
+    @given(coherent_executions(max_ops=12, max_procs=3, rmw=True))
+    @settings(max_examples=80, deadline=None)
+    def test_rmw_traces_accepted(self, pair):
+        execution, witness = pair
+        r = writeorder_vmc(execution, write_order_of(execution, witness))
+        assert r.holds, r.reason
+        assert is_coherent_schedule(execution, r.schedule)
+
+    def test_pure_rmw_total_order_check(self):
+        ex = parse_trace("P0: RW(0,1) RW(2,3)\nP1: RW(1,2)", initial={"a": 0})
+        h0, h1 = ex.histories
+        order = [h0[0], h1[0], h0[1]]
+        assert writeorder_vmc(ex, order)
+
+    def test_no_writes_at_all(self):
+        ex = parse_trace("P0: R(x,0)\nP1: R(x,0)", initial={"x": 0})
+        assert writeorder_vmc(ex, [])
+
+
+class TestRejection:
+    def test_wrong_op_set_rejected(self):
+        ex = parse_trace("P0: W(x,1)\nP1: W(x,2)")
+        h0 = ex.histories[0]
+        r = writeorder_vmc(ex, [h0[0]])  # missing P1's write
+        assert not r and "exactly" in r.reason
+
+    def test_order_contradicting_po_rejected(self):
+        ex = parse_trace("P0: W(x,1) W(x,2)")
+        h0 = ex.histories[0]
+        r = writeorder_vmc(ex, [h0[1], h0[0]])
+        assert not r and "program order" in r.reason
+
+    def test_unserveable_read_rejected(self):
+        ex = parse_trace("P0: W(x,1) R(x,0)", initial={"x": 0})
+        h0 = ex.histories[0]
+        r = writeorder_vmc(ex, [h0[0]])
+        assert not r
+
+    def test_read_after_next_po_write_rejected(self):
+        # P0: R(x,2) then W(x,1); value 2 written only after W(x,1) in
+        # the supplied order: the read cannot be served in its window.
+        ex = parse_trace("P0: R(x,2) W(x,1)\nP1: W(x,2)", initial={"x": 0})
+        w1 = ex.histories[0][1]
+        w2 = ex.histories[1][0]
+        r = writeorder_vmc(ex, [w1, w2])
+        assert not r
+
+    def test_rmw_read_component_checked_against_slot(self):
+        ex = parse_trace("P0: RW(0,1)\nP1: RW(0,2)", initial={"a": 0})
+        a = ex.histories[0][0]
+        b = ex.histories[1][0]
+        r = writeorder_vmc(ex, [a, b])
+        assert not r and "serialized at write position" in r.reason
+
+    def test_final_value_mismatch_rejected(self):
+        ex = parse_trace("P0: W(x,1) W(x,2)", initial={"x": 0}, final={"x": 1})
+        h0 = ex.histories[0]
+        r = writeorder_vmc(ex, [h0[0], h0[1]])
+        assert not r and "final" in r.reason
+
+    def test_value_never_written_rejected(self):
+        ex = parse_trace("P0: R(x,5)", initial={"x": 0})
+        r = writeorder_vmc(ex, [])
+        assert not r and "no write" in r.reason
+
+
+class TestWitnessShape:
+    def test_witness_respects_supplied_order(self):
+        execution, witness = make_coherent_execution(20, 3, seed=11)
+        order = write_order_of(execution, witness)
+        r = writeorder_vmc(execution, order)
+        assert r
+        got_writes = [op for op in r.schedule if op.kind.writes]
+        assert [op.uid for op in got_writes] == [op.uid for op in order]

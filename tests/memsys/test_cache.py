@@ -1,0 +1,92 @@
+"""Cache array mechanics: geometry, LRU, install/evict."""
+
+import pytest
+
+from repro.memsys.cache import Cache, CacheLine
+from repro.memsys.protocol import LineState
+
+
+class TestGeometry:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(num_sets=0)
+        with pytest.raises(ValueError):
+            Cache(ways=0)
+        with pytest.raises(ValueError):
+            Cache(line_words=-1)
+
+    def test_address_decomposition(self):
+        c = Cache(num_sets=4, ways=1, line_words=4)
+        addr = 4 * 4 * 3 + 4 * 2 + 1  # tag 3, set 2, offset 1
+        assert c.tag(addr) == 3
+        assert c.set_index(addr) == 2
+        assert c.offset(addr) == 1
+        assert c.base_addr(2, 3) == addr - 1
+
+    def test_line_id(self):
+        c = Cache(line_words=8)
+        assert c.line_id(0) == c.line_id(7)
+        assert c.line_id(7) != c.line_id(8)
+
+
+class TestInstallFind:
+    def test_miss_then_hit(self):
+        c = Cache(num_sets=2, ways=1, line_words=2)
+        assert c.find(5) is None
+        c.install(5, LineState.SHARED, {0: "a", 1: "b"})
+        line = c.find(5)
+        assert line is not None
+        assert line.data[c.offset(5)] == "b"
+
+    def test_peek_does_not_touch_lru(self):
+        c = Cache(num_sets=1, ways=2, line_words=1)
+        c.install(0, LineState.SHARED, {0: 1})
+        line = c.peek(0)
+        tick_before = line.lru
+        c.peek(0)
+        assert c.peek(0).lru == tick_before
+        c.find(0)
+        assert c.peek(0).lru > tick_before
+
+    def test_lru_victim_selection(self):
+        c = Cache(num_sets=1, ways=2, line_words=1)
+        c.install(0, LineState.SHARED, {0: "first"})
+        c.install(1, LineState.SHARED, {0: "second"})
+        c.find(0)  # touch line 0: line 1 becomes LRU
+        victim = c.victim_for(2)
+        assert victim.data == {0: "second"}
+
+    def test_invalid_way_preferred_over_eviction(self):
+        c = Cache(num_sets=1, ways=2, line_words=1)
+        c.install(0, LineState.SHARED, {0: 1})
+        victim = c.victim_for(1)
+        assert not victim.valid
+        assert c.stats.evictions == 0
+
+    def test_eviction_counted(self):
+        c = Cache(num_sets=1, ways=1, line_words=1)
+        c.install(0, LineState.SHARED, {0: 1})
+        c.victim_for(1)
+        assert c.stats.evictions == 1
+
+    def test_same_set_aliasing(self):
+        c = Cache(num_sets=2, ways=1, line_words=1)
+        c.install(0, LineState.MODIFIED, {0: "x"})
+        c.install(2, LineState.SHARED, {0: "y"})  # same set, kicks 0
+        assert c.find(0) is None
+        assert c.find(2) is not None
+
+
+class TestSnapshot:
+    def test_lines_snapshot(self):
+        c = Cache(num_sets=2, ways=1, line_words=1)
+        c.install(0, LineState.MODIFIED, {0: 1})
+        c.install(1, LineState.SHARED, {0: 2})
+        snap = sorted(c.lines_snapshot())
+        assert snap == [(0, 0, "M"), (1, 0, "S")]
+
+
+def test_cacheline_defaults_invalid():
+    line = CacheLine()
+    assert not line.valid
+    assert line.state is LineState.INVALID

@@ -1,0 +1,57 @@
+"""Fault-injection campaigns."""
+
+from repro.memsys.campaign import (
+    SUBSTRATES,
+    CampaignResult,
+    campaign_table,
+    run_campaign,
+)
+from repro.memsys.faults import FaultKind
+
+
+class TestCampaign:
+    def test_small_campaign_runs(self):
+        results = run_campaign(
+            kinds=[FaultKind.CORRUPTED_VALUE],
+            substrates=["bus"],
+            runs_per_cell=8,
+            ops_per_processor=30,
+        )
+        assert len(results) == 1
+        cell = results[0]
+        assert cell.runs == 8
+        assert cell.injected >= 4
+        assert cell.false_alarms == 0
+
+    def test_both_substrates(self):
+        results = run_campaign(
+            kinds=[FaultKind.DROPPED_WRITE],
+            runs_per_cell=6,
+            ops_per_processor=30,
+        )
+        assert {r.substrate for r in results} == set(SUBSTRATES)
+        assert all(r.false_alarms == 0 for r in results)
+
+    def test_value_faults_detected_at_nonzero_rate(self):
+        results = run_campaign(
+            kinds=[FaultKind.CORRUPTED_VALUE],
+            substrates=["bus"],
+            runs_per_cell=15,
+            write_fraction=0.3,
+            fault_rate=0.15,
+        )
+        assert results[0].detected >= 2
+
+    def test_table_rendering(self):
+        cell = CampaignResult(
+            kind=FaultKind.STALE_MEMORY, substrate="bus",
+            runs=10, injected=8, detected=2,
+        )
+        table = campaign_table([cell])
+        assert "stale-memory" in table
+        assert "25%" in table
+
+    def test_detection_rate_zero_when_nothing_injected(self):
+        cell = CampaignResult(kind=FaultKind.STALE_MEMORY, substrate="bus")
+        assert cell.detection_rate == 0.0
+        assert "n/a" in cell.row()

@@ -1,0 +1,156 @@
+"""Bus, memory, recorder, processor, workloads — component tests."""
+
+import pytest
+
+from repro.core.types import INITIAL, OpKind
+from repro.memsys.bus import Bus
+from repro.memsys.memory import MainMemory
+from repro.memsys.processor import Processor, ScriptKind, load, rmw, store
+from repro.memsys.protocol import BusOp
+from repro.memsys.recorder import Recorder
+from repro.memsys.workloads import (
+    false_sharing_workload,
+    lock_contention_workload,
+    producer_consumer_workload,
+    random_shared_workload,
+)
+
+
+class TestBus:
+    def test_sequence_numbers_increase(self):
+        bus = Bus()
+        t1 = bus.record(BusOp.BUS_RD, 0, 4, 4)
+        t2 = bus.record(BusOp.BUS_RDX, 1, 4, 4)
+        assert t2.seq == t1.seq + 1
+        assert bus.num_transactions == 2
+
+    def test_line_filter(self):
+        bus = Bus()
+        bus.record(BusOp.BUS_RD, 0, 0, 0)
+        bus.record(BusOp.BUS_RD, 0, 4, 4)
+        bus.record(BusOp.BUS_RDX, 1, 1, 0)
+        assert len(bus.transactions_for_line(0)) == 2
+
+    def test_traffic_summary(self):
+        bus = Bus()
+        bus.record(BusOp.BUS_RD, 0, 0, 0)
+        bus.record(BusOp.BUS_RD, 1, 0, 0)
+        bus.record(BusOp.WRITEBACK, 0, 0, 0)
+        assert bus.traffic_summary() == {"BusRd": 2, "WB": 1}
+
+
+class TestMemory:
+    def test_uninitialized_reads_initial(self):
+        assert MainMemory().read(7) is INITIAL
+
+    def test_write_then_read(self):
+        mem = MainMemory({0: 5})
+        mem.write(1, 9)
+        assert mem.read(0) == 5 and mem.read(1) == 9
+        assert mem.reads == 2 and mem.writes == 1
+
+    def test_line_io(self):
+        mem = MainMemory()
+        mem.write_line(8, {0: "a", 1: "b"})
+        assert mem.read_line(8, 2) == {0: "a", 1: "b"}
+
+    def test_snapshot_is_a_copy(self):
+        mem = MainMemory({0: 1})
+        snap = mem.snapshot()
+        snap[0] = 99
+        assert mem.read(0) == 1
+
+
+class TestProcessor:
+    def test_script_iteration(self):
+        p = Processor(0, [load(0), store(0, 1)])
+        assert not p.done and p.remaining == 2
+        assert p.current().kind is ScriptKind.LOAD
+        p.advance()
+        assert p.current().kind is ScriptKind.STORE
+        p.advance()
+        assert p.done
+
+    def test_current_after_done_raises(self):
+        p = Processor(0, [])
+        with pytest.raises(IndexError):
+            p.current()
+
+    def test_script_op_constructors(self):
+        assert load(3).addr == 3
+        assert store(3, 7).value == 7
+        assert rmw(3, 1, expect=0).expect == 0
+
+
+class TestRecorder:
+    def test_histories_and_write_order(self):
+        rec = Recorder(2)
+        rec.record_store(0, 5, "a")
+        rec.record_load(1, 5, "a")
+        rec.record_rmw(1, 5, "a", "b")
+        ex = rec.build_execution(initial={5: 0}, final={5: "b"})
+        assert ex.num_ops == 3
+        assert [op.kind for op in ex.histories[1]] == [OpKind.READ, OpKind.RMW]
+        order = rec.write_orders[5]
+        assert [op.kind for op in order] == [OpKind.WRITE, OpKind.RMW]
+        # uids in the write order match the built execution.
+        assert order[0].uid == (0, 0) and order[1].uid == (1, 1)
+
+
+class TestWorkloads:
+    def test_random_shared_shapes(self):
+        scripts, initial = random_shared_workload(
+            num_processors=3, ops_per_processor=10, num_addresses=2, seed=0
+        )
+        assert len(scripts) == 3
+        assert all(len(s) == 10 for s in scripts)
+        assert set(initial) == {0, 1}
+
+    def test_unique_values_are_unique(self):
+        scripts, _ = random_shared_workload(
+            num_processors=4, ops_per_processor=50, values="unique", seed=1
+        )
+        written = [
+            op.value for s in scripts for op in s if op.kind is ScriptKind.STORE
+        ]
+        assert len(written) == len(set(written))
+
+    def test_small_values_bounded(self):
+        scripts, _ = random_shared_workload(
+            num_processors=2, ops_per_processor=30, values="small", seed=1
+        )
+        written = {
+            op.value for s in scripts for op in s if op.kind is ScriptKind.STORE
+        }
+        assert written <= {0, 1, 2, 3}
+
+    def test_producer_consumer_shape(self):
+        scripts, initial = producer_consumer_workload(items=5, num_consumers=2)
+        assert len(scripts) == 3
+        assert len(scripts[0]) == 10  # data+flag per item
+        assert len(scripts[1]) == 10  # poll+read per item
+
+    def test_false_sharing_stays_on_one_line(self):
+        scripts, _ = false_sharing_workload(
+            num_processors=4, ops_per_processor=10, line_words=4, seed=0
+        )
+        addrs = {op.addr for s in scripts for op in s}
+        assert addrs <= {0, 1, 2, 3}
+
+    def test_lock_contention_uses_conditional_rmw(self):
+        scripts, initial = lock_contention_workload(
+            num_processors=2, acquisitions_per_processor=1
+        )
+        rmws = [
+            op
+            for s in scripts
+            for op in s
+            if op.kind is ScriptKind.RMW
+        ]
+        assert rmws and all(op.expect == 0 for op in rmws)
+        assert initial[0] == 0
+
+    def test_seed_determinism(self):
+        a, _ = random_shared_workload(seed=5)
+        b, _ = random_shared_workload(seed=5)
+        assert a == b

@@ -1,0 +1,192 @@
+"""The directory-based protocol: same guarantees, different substrate."""
+
+import pytest
+
+from repro.core.vmc import verify_coherence
+from repro.core.vsc import verify_sequential_consistency
+from repro.memsys.directory import DirectorySystem, DirState
+from repro.memsys.faults import FaultConfig, FaultKind
+from repro.memsys.processor import load, rmw, store
+from repro.memsys.system import MultiprocessorSystem, SystemConfig
+from repro.memsys.workloads import (
+    false_sharing_workload,
+    producer_consumer_workload,
+    random_shared_workload,
+)
+
+
+def run_dir(scripts, initial=None, faults=None, **cfg_kwargs):
+    cfg = SystemConfig(num_processors=len(scripts), **cfg_kwargs)
+    return DirectorySystem(cfg, scripts, initial_memory=initial, faults=faults).run()
+
+
+class TestBasics:
+    def test_script_count_must_match(self):
+        with pytest.raises(ValueError):
+            DirectorySystem(SystemConfig(num_processors=2), [[]])
+
+    def test_load_store_roundtrip(self):
+        res = run_dir([[store(0, 42), load(0)]], initial={0: 0})
+        ops = list(res.execution.all_ops())
+        assert ops[1].value_read == 42
+
+    def test_cross_processor_visibility(self):
+        res = run_dir(
+            [[store(0, 7)], [load(0)]],
+            initial={0: 0},
+            scheduler="round-robin",
+        )
+        reads = [op for op in res.execution.all_ops() if op.kind.reads]
+        assert reads[0].value_read == 7
+
+    def test_directory_entry_lifecycle(self):
+        scripts = [[load(0)], [store(0, 1)]]
+        cfg = SystemConfig(num_processors=2, scheduler="round-robin")
+        system = DirectorySystem(cfg, scripts, initial_memory={0: 0})
+        system.step()  # P0 load: SHARED {0}
+        entry = system.directory[0]
+        assert entry.state is DirState.SHARED and entry.sharers == {0}
+        system.step()  # P1 store: EXCLUSIVE owner 1, P0 invalidated
+        assert entry.state is DirState.EXCLUSIVE and entry.owner == 1
+        assert system.dir_stats.invalidations_sent == 1
+
+    def test_recall_on_read_of_dirty_line(self):
+        res = run_dir(
+            [[store(0, 5)], [load(0)]],
+            initial={0: 0},
+            scheduler="round-robin",
+        )
+        reads = [op for op in res.execution.all_ops() if op.kind.reads]
+        assert reads[0].value_read == 5
+
+    def test_rmw_conditional(self):
+        res = run_dir([[rmw(0, 1, expect=0), rmw(0, 1, expect=0)]], initial={0: 0})
+        ops = list(res.execution.all_ops())
+        assert ops[0].value_written == 1
+        assert ops[1].value_read == 1 and ops[1].value_written == 1
+
+
+class TestCorrectness:
+    def test_fault_free_workloads_verify(self):
+        for seed in range(5):
+            scripts, init = random_shared_workload(
+                num_processors=4, ops_per_processor=40, num_addresses=3, seed=seed
+            )
+            res = run_dir(scripts, initial=init, seed=seed)
+            r = verify_coherence(res.execution, write_orders=res.write_orders)
+            assert r, (seed, r.reason)
+
+    def test_fault_free_runs_are_sc(self):
+        scripts, init = producer_consumer_workload(items=8)
+        res = run_dir(scripts, initial=init, seed=2)
+        assert verify_sequential_consistency(res.execution)
+
+    def test_matches_bus_system_verdicts(self):
+        """Same workload, both substrates: both must verify (the traces
+        differ — schedulers interleave differently — but the verdict is
+        substrate-independent)."""
+        for seed in range(4):
+            scripts, init = false_sharing_workload(
+                num_processors=4, ops_per_processor=25, seed=seed
+            )
+            cfg = SystemConfig(num_processors=4, seed=seed)
+            bus = MultiprocessorSystem(cfg, scripts, initial_memory=init).run()
+            cfg2 = SystemConfig(num_processors=4, seed=seed)
+            dr = DirectorySystem(cfg2, scripts, initial_memory=init).run()
+            assert verify_coherence(bus.execution, write_orders=bus.write_orders)
+            assert verify_coherence(dr.execution, write_orders=dr.write_orders)
+
+    def test_eviction_pressure(self):
+        # 1 set x 1 way: constant conflict evictions + directory churn.
+        scripts = [
+            [store(0, 1), store(4, 2), load(0), store(8, 3), load(4)],
+            [load(0), load(4), load(8), load(0), load(8)],
+        ]
+        res = run_dir(
+            scripts,
+            initial={0: 0, 4: 0, 8: 0},
+            num_sets=1,
+            ways=1,
+            seed=3,
+        )
+        r = verify_coherence(res.execution, write_orders=res.write_orders)
+        assert r, r.reason
+
+
+class TestFaults:
+    def test_lost_invalidation_leaves_stale_sharer(self):
+        # Same cascade as the bus test: victim's stale line is merged
+        # by its own later store; a third processor sees old data after
+        # new data.
+        scripts = [
+            [load(8), store(1, 7), load(8)],
+            [load(0), load(8), store(0, 5)],
+            [load(8), load(1), load(1)],
+        ]
+        faults = FaultConfig(
+            kinds=frozenset([FaultKind.LOST_INVALIDATION]),
+            rate=1.0,
+            max_events=1,
+            seed=0,
+        )
+        res = run_dir(
+            scripts,
+            initial={0: 0, 1: 0, 8: 0},
+            faults=faults,
+            scheduler="round-robin",
+        )
+        assert res.faults_injected == 1
+        p2_reads = [
+            op.value_read for op in res.execution.histories[2] if op.addr == 1
+        ]
+        assert p2_reads == [7, 0]
+        assert not verify_coherence(res.execution, write_orders=res.write_orders)
+
+    def test_lost_recall_serves_stale_memory(self):
+        # P0 dirties the line; the recall for P1's read is lost, so P1
+        # reads stale memory — latent (schedulable), like the bus case.
+        faults = FaultConfig(
+            kinds=frozenset([FaultKind.STALE_MEMORY]),
+            rate=1.0,
+            max_events=1,
+            seed=0,
+        )
+        res = run_dir(
+            [[store(0, 5)], [load(0)]],
+            initial={0: 0},
+            faults=faults,
+            scheduler="round-robin",
+        )
+        assert res.faults_injected == 1
+        reads = [op for op in res.execution.all_ops() if op.kind.reads]
+        assert reads[0].value_read == 0  # stale
+        # Latent: the read is schedulable before the write.
+        assert verify_coherence(res.execution, write_orders=res.write_orders)
+
+    def test_dropped_write_detected(self):
+        faults = FaultConfig.single(FaultKind.DROPPED_WRITE, seed=0, rate=1.0)
+        res = run_dir([[store(0, 1), load(0)]], initial={0: 0}, faults=faults)
+        assert res.faults_injected == 1
+        assert not verify_coherence(res.execution)
+
+    def test_detection_campaign(self):
+        injected = detected = 0
+        for seed in range(15):
+            scripts, init = random_shared_workload(
+                num_processors=4, ops_per_processor=40,
+                num_addresses=2, write_fraction=0.3, seed=seed,
+            )
+            res = run_dir(
+                scripts,
+                initial=init,
+                seed=seed,
+                faults=FaultConfig.single(
+                    FaultKind.CORRUPTED_VALUE, seed=seed, rate=0.15
+                ),
+            )
+            if not res.faults_injected:
+                continue
+            injected += 1
+            if not verify_coherence(res.execution, write_orders=res.write_orders):
+                detected += 1
+        assert injected >= 8 and detected >= 2

@@ -1,0 +1,193 @@
+"""Fault injection: each fault kind produces its signature violation."""
+
+import pytest
+
+from repro.core.vmc import verify_coherence
+from repro.memsys.faults import FaultConfig, FaultInjector, FaultKind
+from repro.memsys.processor import load, store
+from repro.memsys.system import MultiprocessorSystem, SystemConfig
+from repro.memsys.workloads import random_shared_workload
+
+
+class TestInjectorMechanics:
+    def test_no_faults_when_unarmed(self):
+        inj = FaultInjector(FaultConfig.none())
+        assert not inj.fire(FaultKind.DROPPED_WRITE, 0, 0, 0)
+        assert inj.injected == 0
+
+    def test_rate_one_always_fires(self):
+        cfg = FaultConfig(kinds=frozenset([FaultKind.DROPPED_WRITE]), rate=1.0)
+        inj = FaultInjector(cfg)
+        assert inj.fire(FaultKind.DROPPED_WRITE, 1, 2, 3, "x")
+        assert inj.events[0].proc == 2
+
+    def test_max_events_cap(self):
+        cfg = FaultConfig(
+            kinds=frozenset([FaultKind.DROPPED_WRITE]), rate=1.0, max_events=1
+        )
+        inj = FaultInjector(cfg)
+        assert inj.fire(FaultKind.DROPPED_WRITE, 0, 0, 0)
+        assert not inj.fire(FaultKind.DROPPED_WRITE, 0, 0, 0)
+
+    def test_unarmed_kind_never_fires(self):
+        cfg = FaultConfig(kinds=frozenset([FaultKind.STALE_MEMORY]), rate=1.0)
+        inj = FaultInjector(cfg)
+        assert not inj.fire(FaultKind.DROPPED_WRITE, 0, 0, 0)
+
+    def test_corrupt_int_flips_a_bit(self):
+        inj = FaultInjector(FaultConfig.none())
+        corrupted = inj.corrupt(5)
+        assert corrupted != 5 and isinstance(corrupted, int)
+
+    def test_corrupt_non_int_wraps(self):
+        inj = FaultInjector(FaultConfig.none())
+        assert inj.corrupt("v") == ("corrupt", "v")
+
+
+def run_with_fault(kind, scripts, initial, seed=0, rate=1.0):
+    cfg = SystemConfig(num_processors=len(scripts), seed=seed, scheduler="round-robin")
+    faults = FaultConfig(kinds=frozenset([kind]), rate=rate, max_events=1, seed=seed)
+    system = MultiprocessorSystem(cfg, scripts, initial_memory=initial, faults=faults)
+    return system.run()
+
+
+class TestSignatureViolations:
+    def test_lost_invalidation_corrupts_a_shared_line(self):
+        """A missed invalidation is architecturally latent until the
+        stale line gets *merged*: the victim later writes its own word
+        into the stale line (upgrade from stale S), resurrecting old
+        data for the other words, which a third processor then observes
+        after having already seen the new value — a CoRR violation.
+
+        Round-robin schedule (addresses 0 and 1 share cache line 0;
+        address 8 is harmless filler on another line):
+
+          1. P0 load(8)            4. P0 store(1,7)  <- P1 misses inval
+          2. P1 load(0)  (S copy)  5. P1 load(8)
+          3. P2 load(8)            6. P2 load(1) -> 7 (new value)
+          7. P0 load(8)            8. P1 store(0,5)  (merges stale line)
+          9. P2 load(1) -> 0 (!)   CoRR: P2 saw 7, then 0.
+        """
+        res = run_with_fault(
+            FaultKind.LOST_INVALIDATION,
+            [
+                [load(8), store(1, 7), load(8)],
+                [load(0), load(8), store(0, 5)],
+                [load(8), load(1), load(1)],
+            ],
+            {0: 0, 1: 0, 8: 0},
+        )
+        assert res.faults_injected == 1
+        p2_reads = [
+            op.value_read
+            for op in res.execution.histories[2]
+            if op.addr == 1
+        ]
+        assert p2_reads == [7, 0]
+        verdict = verify_coherence(res.execution, write_orders=res.write_orders)
+        assert not verdict
+
+    def test_stale_memory_corrupts_a_shared_line(self):
+        """A lost intervention leaves the requester with a stale copy of
+        the whole line; when the victim later merges a write into it, a
+        third processor re-reads an old value it had already moved past.
+
+          1. P0 store(0,5)             2. P1 load(0)  <- stale fill (fault)
+          3. P2 load(1)  (P0 supplies) 4..5. filler
+          6. P2 load(0) -> 5           8. P1 store(1,7) (merges stale line)
+          9. P2 load(0) -> 0 (!)       CoRR on address 0.
+        """
+        res = run_with_fault(
+            FaultKind.STALE_MEMORY,
+            [
+                [store(0, 5), load(8), load(8)],
+                [load(0), load(8), store(1, 7)],
+                [load(1), load(0), load(0)],
+            ],
+            {0: 0, 1: 0, 8: 0},
+        )
+        assert res.faults_injected == 1
+        p2_reads = [
+            op.value_read
+            for op in res.execution.histories[2]
+            if op.addr == 0
+        ]
+        assert p2_reads == [5, 0]
+        verdict = verify_coherence(res.execution, write_orders=res.write_orders)
+        assert not verdict
+
+    def test_dropped_write_detected_via_final_value(self):
+        res = run_with_fault(
+            FaultKind.DROPPED_WRITE, [[store(0, 1)]], {0: 0}
+        )
+        assert res.faults_injected == 1
+        assert res.execution.final_value(0) == 0  # the write never landed
+        verdict = verify_coherence(res.execution)
+        assert not verdict
+
+    def test_corrupted_value_detected_by_reader(self):
+        res = run_with_fault(
+            FaultKind.CORRUPTED_VALUE,
+            [[store(0, 4), load(0)]],
+            {0: 0},
+        )
+        assert res.faults_injected == 1
+        verdict = verify_coherence(res.execution)
+        assert not verdict  # the read returned a never-written value
+
+    def test_single_stale_read_is_architecturally_latent(self):
+        """The flip side of trace-based verification: a victim that only
+        ever reads the *old* value is indistinguishable from a slow but
+        legal execution — the verifier must NOT flag it.  (This is why
+        detection rates below 100% in the campaign are correct.)"""
+        res = run_with_fault(
+            FaultKind.STALE_MEMORY,
+            [
+                [store(0, 5)],
+                [load(0), load(0)],
+            ],
+            {0: 0},
+        )
+        assert res.faults_injected == 1
+        # P1's reads of the pre-write value are schedulable before the
+        # write, so the trace is coherent despite the hardware fault.
+        verdict = verify_coherence(res.execution, write_orders=res.write_orders)
+        assert verdict
+
+    def test_fault_free_control_group(self):
+        for seed in range(5):
+            scripts, init = random_shared_workload(
+                num_processors=3, ops_per_processor=30, seed=seed
+            )
+            cfg = SystemConfig(num_processors=3, seed=seed)
+            res = MultiprocessorSystem(cfg, scripts, initial_memory=init).run()
+            assert res.faults_injected == 0
+            assert verify_coherence(res.execution, write_orders=res.write_orders)
+
+
+class TestDetectionRates:
+    @pytest.mark.parametrize(
+        "kind",
+        [FaultKind.DROPPED_WRITE, FaultKind.CORRUPTED_VALUE],
+    )
+    def test_value_faults_detected_often(self, kind):
+        injected = detected = 0
+        for seed in range(20):
+            scripts, init = random_shared_workload(
+                num_processors=4, ops_per_processor=40,
+                num_addresses=2, write_fraction=0.3, seed=seed,
+            )
+            cfg = SystemConfig(num_processors=4, seed=seed)
+            faults = FaultConfig.single(kind, seed=seed, rate=0.2)
+            res = MultiprocessorSystem(
+                cfg, scripts, initial_memory=init, faults=faults
+            ).run()
+            if not res.faults_injected:
+                continue
+            injected += 1
+            if not verify_coherence(res.execution, write_orders=res.write_orders):
+                detected += 1
+        assert injected >= 10
+        # Value faults are the most visible kind, but still only when a
+        # later read (or the final value) exposes them.
+        assert detected >= 3

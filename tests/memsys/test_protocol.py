@@ -1,0 +1,80 @@
+"""MSI/MESI snoop tables."""
+
+import pytest
+
+from repro.memsys.protocol import (
+    BusOp,
+    LineState,
+    MESI,
+    MSI,
+    make_protocol,
+)
+
+
+class TestStates:
+    def test_readable_writable_dirty(self):
+        assert LineState.MODIFIED.readable and LineState.MODIFIED.writable
+        assert LineState.MODIFIED.dirty
+        assert LineState.EXCLUSIVE.writable and not LineState.EXCLUSIVE.dirty
+        assert LineState.SHARED.readable and not LineState.SHARED.writable
+        assert not LineState.INVALID.readable
+
+
+class TestMsi:
+    def test_m_supplies_on_busrd_and_downgrades(self):
+        p = MSI()
+        action = p.snoop(LineState.MODIFIED, BusOp.BUS_RD)
+        assert action.supply_data and action.next_state is LineState.SHARED
+
+    def test_m_supplies_on_busrdx_and_invalidates(self):
+        p = MSI()
+        action = p.snoop(LineState.MODIFIED, BusOp.BUS_RDX)
+        assert action.supply_data and action.next_state is LineState.INVALID
+
+    def test_s_invalidates_on_upgrade(self):
+        p = MSI()
+        action = p.snoop(LineState.SHARED, BusOp.BUS_UPGR)
+        assert action.next_state is LineState.INVALID and not action.supply_data
+
+    def test_invalid_is_inert(self):
+        p = MSI()
+        action = p.snoop(LineState.INVALID, BusOp.BUS_RDX)
+        assert action.next_state is LineState.INVALID
+
+    def test_read_fill_always_shared(self):
+        p = MSI()
+        assert p.fill_state_after_read(False) is LineState.SHARED
+        assert p.fill_state_after_read(True) is LineState.SHARED
+
+    def test_write_fill_modified(self):
+        assert MSI().fill_state_after_write() is LineState.MODIFIED
+
+
+class TestMesi:
+    def test_exclusive_on_private_read(self):
+        p = MESI()
+        assert p.fill_state_after_read(False) is LineState.EXCLUSIVE
+        assert p.fill_state_after_read(True) is LineState.SHARED
+
+    def test_e_supplies_and_downgrades_on_busrd(self):
+        p = MESI()
+        action = p.snoop(LineState.EXCLUSIVE, BusOp.BUS_RD)
+        assert action.supply_data and action.next_state is LineState.SHARED
+
+    def test_e_invalidates_on_busrdx(self):
+        p = MESI()
+        action = p.snoop(LineState.EXCLUSIVE, BusOp.BUS_RDX)
+        assert action.next_state is LineState.INVALID
+
+    def test_has_exclusive_flag(self):
+        assert MESI().has_exclusive and not MSI().has_exclusive
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("msi", MSI), ("MESI", MESI)])
+    def test_make_protocol(self, name, cls):
+        assert isinstance(make_protocol(name), cls)
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            make_protocol("MOESI")

@@ -1,0 +1,44 @@
+"""End-to-end: solving SAT *through* the verification pipeline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.reductions.decode import solve_sat_via_vmc, solve_sat_via_vscc
+from repro.sat.cnf import CNF
+from repro.sat.enumerate_models import brute_force_satisfiable
+from repro.sat.random_sat import random_unsat_core
+
+from tests.conftest import small_cnfs
+
+
+class TestViaVmc:
+    @given(small_cnfs(max_vars=3, max_clauses=4))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_matches_oracle(self, cnf):
+        expected = brute_force_satisfiable(cnf) is not None
+        model = solve_sat_via_vmc(cnf)
+        assert (model is not None) == expected
+        if model is not None:
+            assert cnf.evaluate(model)
+
+    def test_unsat_returns_none(self):
+        assert solve_sat_via_vmc(random_unsat_core(seed=4)) is None
+
+    def test_explicit_sat_backend(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clauses([[1, 2], [-1]])
+        model = solve_sat_via_vmc(cnf, method="sat")
+        assert model == {1: False, 2: True}
+
+
+class TestViaVscc:
+    @given(small_cnfs(max_vars=2, max_clauses=3))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_matches_oracle(self, cnf):
+        if any(len(c) == 0 for c in cnf.clauses):
+            return
+        expected = brute_force_satisfiable(cnf) is not None
+        model = solve_sat_via_vscc(cnf)
+        assert (model is not None) == expected
+        if model is not None:
+            assert cnf.evaluate(model)

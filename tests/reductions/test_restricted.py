@@ -1,0 +1,87 @@
+"""Figure 5.1: 3SAT → VMC with ≤3 ops/process, ≤2 writes/value."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checker import is_coherent_schedule
+from repro.core.exact import exact_vmc
+from repro.reductions.tsat_to_vmc_restricted import TsatToVmcRestricted
+from repro.sat.cnf import CNF
+from repro.sat.enumerate_models import brute_force_satisfiable, enumerate_models
+from repro.sat.random_sat import random_ksat, tiny_unsat_3sat
+
+
+@st.composite
+def small_3sat(draw):
+    m = draw(st.integers(3, 3))
+    n = draw(st.integers(1, 2))
+    seed = draw(st.integers(0, 500))
+    return random_ksat(m, n, k=3, seed=seed)
+
+
+class TestRestrictions:
+    @given(small_3sat())
+    @settings(max_examples=10, deadline=None)
+    def test_figure_5_3_cells_respected(self, cnf):
+        red = TsatToVmcRestricted(cnf)
+        assert red.max_ops_per_process <= 3
+        assert red.max_writes_per_value <= 2
+
+    def test_non_3sat_rejected(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clause([1, 2])
+        with pytest.raises(ValueError):
+            TsatToVmcRestricted(cnf)
+
+    def test_chain_values_written_once(self):
+        cnf = random_ksat(3, 2, k=3, seed=1)
+        red = TsatToVmcRestricted(cnf)
+        counts = {}
+        for op in red.execution.all_ops():
+            if op.kind.writes and op.value_written[0] == "y":
+                counts[op.value_written] = counts.get(op.value_written, 0) + 1
+        assert counts and all(c == 1 for c in counts.values())
+
+
+class TestEquivalence:
+    @given(small_3sat())
+    @settings(max_examples=12, deadline=None)
+    def test_sat_iff_coherent_with_decode(self, cnf):
+        red = TsatToVmcRestricted(cnf)
+        expected = brute_force_satisfiable(cnf) is not None
+        result = exact_vmc(red.execution)
+        assert bool(result) == expected
+        if result:
+            assert is_coherent_schedule(red.execution, result.schedule)
+            assert cnf.evaluate(red.decode_assignment(result.schedule))
+
+    def test_tiny_unsat_is_incoherent(self):
+        red = TsatToVmcRestricted(tiny_unsat_3sat())
+        assert not exact_vmc(red.execution)
+
+    def test_duplicate_literal_clauses_work(self):
+        cnf = CNF(num_vars=1)
+        cnf.clauses.append([1, 1, 1])
+        red = TsatToVmcRestricted(cnf)
+        r = exact_vmc(red.execution)
+        assert r
+        assert red.decode_assignment(r.schedule) == {1: True}
+
+
+class TestForwardConstruction:
+    @given(small_3sat())
+    @settings(max_examples=10, deadline=None)
+    def test_models_yield_valid_schedules(self, cnf):
+        red = TsatToVmcRestricted(cnf)
+        for model in enumerate_models(cnf, limit=2):
+            schedule = red.schedule_from_assignment(model)
+            outcome = is_coherent_schedule(red.execution, schedule)
+            assert outcome, outcome.reason
+            assert red.decode_assignment(schedule) == model
+
+    def test_non_model_rejected(self):
+        cnf = CNF(num_vars=3)
+        cnf.add_clause([1, 2, 3])
+        red = TsatToVmcRestricted(cnf)
+        with pytest.raises(ValueError):
+            red.schedule_from_assignment({1: False, 2: False, 3: False})

@@ -1,0 +1,99 @@
+"""Figure 5.2 (reconstruction): RMW-only 3SAT → VMC."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checker import is_coherent_schedule
+from repro.core.exact import exact_vmc
+from repro.reductions.tsat_to_vmc_rmw import TsatToVmcRmw
+from repro.sat.cnf import CNF
+from repro.sat.enumerate_models import brute_force_satisfiable, enumerate_models
+from repro.sat.random_sat import random_ksat, tiny_unsat_3sat
+
+
+@st.composite
+def small_3sat(draw):
+    m = draw(st.integers(3, 3))
+    n = draw(st.integers(1, 2))
+    seed = draw(st.integers(0, 500))
+    return random_ksat(m, n, k=3, seed=seed)
+
+
+class TestRestrictions:
+    @given(small_3sat())
+    @settings(max_examples=10, deadline=None)
+    def test_figure_5_3_cells_respected(self, cnf):
+        red = TsatToVmcRmw(cnf)
+        assert red.rmw_only
+        assert red.max_ops_per_process <= 2
+        assert red.max_writes_per_value <= 3
+
+    def test_non_3sat_rejected(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clause([1, 2])
+        with pytest.raises(ValueError):
+            TsatToVmcRmw(cnf)
+
+    def test_batons_written_at_most_twice(self):
+        cnf = random_ksat(3, 2, k=3, seed=7)
+        red = TsatToVmcRmw(cnf)
+        counts = {}
+        for op in red.execution.all_ops():
+            v = op.value_written
+            if isinstance(v, tuple) and v and v[0] == "B":
+                counts[v] = counts.get(v, 0) + 1
+        assert counts and all(c <= 2 for c in counts.values())
+
+    def test_final_value_constrained(self):
+        cnf = random_ksat(3, 1, k=3, seed=0)
+        red = TsatToVmcRmw(cnf)
+        assert red.execution.final_value("a") is not None
+
+
+class TestEquivalence:
+    @given(small_3sat())
+    @settings(max_examples=10, deadline=None)
+    def test_sat_iff_coherent_with_decode(self, cnf):
+        red = TsatToVmcRmw(cnf)
+        expected = brute_force_satisfiable(cnf) is not None
+        result = exact_vmc(red.execution)
+        assert bool(result) == expected
+        if result:
+            assert is_coherent_schedule(red.execution, result.schedule)
+            assert cnf.evaluate(red.decode_assignment(result.schedule))
+
+    def test_tiny_unsat_is_incoherent(self):
+        red = TsatToVmcRmw(tiny_unsat_3sat())
+        assert not exact_vmc(red.execution)
+
+    def test_duplicate_literal_clauses_work(self):
+        cnf = CNF(num_vars=1)
+        cnf.clauses.append([1, 1, 1])
+        red = TsatToVmcRmw(cnf)
+        r = exact_vmc(red.execution)
+        assert r
+        assert red.decode_assignment(r.schedule) == {1: True}
+
+    def test_no_clauses_trivially_coherent(self):
+        cnf = CNF(num_vars=2)
+        red = TsatToVmcRmw(cnf)
+        assert exact_vmc(red.execution)
+
+
+class TestForwardConstruction:
+    @given(small_3sat())
+    @settings(max_examples=10, deadline=None)
+    def test_models_yield_valid_schedules(self, cnf):
+        red = TsatToVmcRmw(cnf)
+        for model in enumerate_models(cnf, limit=2):
+            schedule = red.schedule_from_assignment(model)
+            outcome = is_coherent_schedule(red.execution, schedule)
+            assert outcome, outcome.reason
+            assert red.decode_assignment(schedule) == model
+
+    def test_non_model_rejected(self):
+        cnf = CNF(num_vars=3)
+        cnf.add_clause([1, 2, 3])
+        red = TsatToVmcRmw(cnf)
+        with pytest.raises(ValueError):
+            red.schedule_from_assignment({1: False, 2: False, 3: False})

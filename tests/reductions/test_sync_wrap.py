@@ -1,0 +1,95 @@
+"""Figure 6.1: acquire/release wrapping and critical-section extraction."""
+
+import pytest
+
+from repro.core.builder import ExecutionBuilder, parse_trace
+from repro.core.types import OpKind
+from repro.reductions.sat_to_vmc import SatToVmc
+from repro.reductions.sync_wrap import (
+    critical_sections,
+    strip_sync,
+    wrap_with_sync,
+)
+from repro.sat.random_sat import random_ksat
+
+
+class TestWrap:
+    def test_each_data_op_bracketed(self):
+        ex = parse_trace("P0: W(x,1) R(x,1)")
+        wrapped = wrap_with_sync(ex)
+        kinds = [op.kind for op in wrapped.histories[0]]
+        assert kinds == [
+            OpKind.ACQUIRE, OpKind.WRITE, OpKind.RELEASE,
+            OpKind.ACQUIRE, OpKind.READ, OpKind.RELEASE,
+        ]
+
+    def test_triple_size(self):
+        cnf = random_ksat(2, 3, k=2, seed=0)
+        red = SatToVmc(cnf)
+        wrapped = wrap_with_sync(red.execution)
+        assert wrapped.num_ops == 3 * red.execution.num_ops
+
+    def test_existing_sync_passes_through(self):
+        b = ExecutionBuilder()
+        b.process().acquire("other").write("x", 1).release("other")
+        wrapped = wrap_with_sync(b.build(), lock="L")
+        kinds = [op.kind for op in wrapped.histories[0]]
+        assert kinds == [
+            OpKind.ACQUIRE,  # other (original)
+            OpKind.ACQUIRE,  # L
+            OpKind.WRITE,
+            OpKind.RELEASE,  # L
+            OpKind.RELEASE,  # other (original)
+        ]
+
+    def test_initial_final_preserved(self):
+        ex = parse_trace("P0: W(x,1)", initial={"x": 0}, final={"x": 1})
+        wrapped = wrap_with_sync(ex)
+        assert wrapped.initial_value("x") == 0
+        assert wrapped.final_value("x") == 1
+
+    def test_strip_is_inverse(self):
+        ex = parse_trace("P0: W(x,1) R(x,1)\nP1: R(x,0)")
+        back = strip_sync(wrap_with_sync(ex))
+        assert back.num_ops == ex.num_ops
+        assert [str(op) for op in back.all_ops()] == [
+            str(op) for op in ex.all_ops()
+        ]
+
+
+class TestCriticalSections:
+    def test_sections_extracted(self):
+        ex = parse_trace("P0: W(x,1) R(x,1)\nP1: R(x,0)")
+        wrapped = wrap_with_sync(ex, lock="L")
+        sections = critical_sections(wrapped, "L")
+        assert len(sections) == 3
+        assert all(len(s) == 1 for s in sections)
+
+    def test_multiple_ops_per_section(self):
+        b = ExecutionBuilder()
+        b.process().acquire("L").write("x", 1).read("x", 1).release("L")
+        sections = critical_sections(b.build(), "L")
+        assert len(sections) == 1 and len(sections[0]) == 2
+
+    def test_nested_acquire_rejected(self):
+        b = ExecutionBuilder()
+        b.process().acquire("L").acquire("L")
+        with pytest.raises(ValueError):
+            critical_sections(b.build(), "L")
+
+    def test_release_without_acquire_rejected(self):
+        b = ExecutionBuilder()
+        b.process().release("L")
+        with pytest.raises(ValueError):
+            critical_sections(b.build(), "L")
+
+    def test_unreleased_acquire_rejected(self):
+        b = ExecutionBuilder()
+        b.process().acquire("L").write("x", 1)
+        with pytest.raises(ValueError):
+            critical_sections(b.build(), "L")
+
+    def test_other_locks_ignored(self):
+        b = ExecutionBuilder()
+        b.process().acquire("A").write("x", 1).release("A")
+        assert critical_sections(b.build(), "L") == []

@@ -1,0 +1,96 @@
+"""Unit tests for the CNF representation."""
+
+import pytest
+
+from repro.sat.cnf import CNF, lit_value
+
+
+class TestClauses:
+    def test_add_clause_tracks_num_vars(self):
+        cnf = CNF()
+        cnf.add_clause([3, -7])
+        assert cnf.num_vars == 7
+        assert cnf.num_clauses == 1
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause([1, 0])
+
+    def test_duplicate_literals_collapse(self):
+        cnf = CNF()
+        cnf.add_clause([1, 1, -2])
+        assert cnf.clauses == [[1, -2]]
+
+    def test_tautology_dropped(self):
+        cnf = CNF()
+        cnf.add_clause([1, -1, 2])
+        assert cnf.num_clauses == 0
+
+    def test_empty_clause_kept(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        assert cnf.clauses == [[]]
+        assert not cnf.evaluate({})
+
+    def test_new_var_reserves(self):
+        cnf = CNF(num_vars=3)
+        assert cnf.new_var() == 4
+        assert cnf.new_vars(2) == [5, 6]
+        assert cnf.num_vars == 6
+
+
+class TestCardinality:
+    def test_at_most_one_blocks_pairs(self):
+        cnf = CNF(num_vars=3)
+        cnf.add_at_most_one([1, 2, 3])
+        assert not cnf.evaluate({1: True, 2: True, 3: False})
+        assert cnf.evaluate({1: True, 2: False, 3: False})
+        assert cnf.evaluate({1: False, 2: False, 3: False})
+
+    def test_exactly_one(self):
+        cnf = CNF(num_vars=3)
+        cnf.add_exactly_one([1, 2, 3])
+        assert not cnf.evaluate({1: False, 2: False, 3: False})
+        assert cnf.evaluate({1: False, 2: True, 3: False})
+        assert not cnf.evaluate({1: True, 2: True, 3: False})
+
+    def test_implies(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_implies(1, 2)
+        assert not cnf.evaluate({1: True, 2: False})
+        assert cnf.evaluate({1: True, 2: True})
+        assert cnf.evaluate({1: False, 2: False})
+
+    def test_implies_all(self):
+        cnf = CNF(num_vars=3)
+        cnf.add_implies_all(1, [2, 3])
+        assert not cnf.evaluate({1: True, 2: True, 3: False})
+        assert cnf.evaluate({1: True, 2: True, 3: True})
+
+
+class TestEvaluation:
+    def test_unassigned_vars_default_false(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clause([-1])
+        assert cnf.evaluate({})  # var 1 defaults to False, -1 true
+
+    def test_unsatisfied_clauses_reported(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clause([1])
+        cnf.add_clause([2])
+        bad = cnf.unsatisfied_clauses({1: True, 2: False})
+        assert bad == [[2]]
+
+    def test_copy_is_deep_for_clauses(self):
+        cnf = CNF(num_vars=1)
+        cnf.add_clause([1])
+        clone = cnf.copy()
+        clone.clauses[0].append(-1)
+        assert cnf.clauses == [[1]]
+
+
+def test_lit_value_partial_assignment():
+    assert lit_value(3, {}) is None
+    assert lit_value(3, {3: True}) is True
+    assert lit_value(-3, {3: True}) is False

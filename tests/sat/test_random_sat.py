@@ -1,0 +1,99 @@
+"""Random generators and the SAT-to-3SAT conversion."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sat.cnf import CNF
+from repro.sat.enumerate_models import brute_force_satisfiable
+from repro.sat.random_sat import (
+    is_3sat,
+    planted_ksat,
+    random_ksat,
+    random_unsat_core,
+    tiny_unsat_3sat,
+    to_3sat,
+)
+
+from tests.conftest import small_cnfs
+
+
+class TestRandomKsat:
+    def test_shape(self):
+        cnf = random_ksat(10, 20, k=3, seed=0)
+        assert cnf.num_vars == 10
+        assert cnf.num_clauses == 20
+        assert is_3sat(cnf)
+
+    def test_seed_determinism(self):
+        a = random_ksat(8, 15, seed=4)
+        b = random_ksat(8, 15, seed=4)
+        assert a.clauses == b.clauses
+
+    def test_k_larger_than_vars_rejected(self):
+        with pytest.raises(ValueError):
+            random_ksat(2, 5, k=3)
+
+
+class TestPlanted:
+    def test_planted_model_satisfies(self):
+        for seed in range(5):
+            cnf, model = planted_ksat(10, 40, seed=seed)
+            assert cnf.evaluate(model)
+
+
+class TestUnsatCores:
+    def test_random_unsat_core_is_unsat(self):
+        for seed in range(5):
+            assert brute_force_satisfiable(random_unsat_core(seed=seed)) is None
+
+    def test_tiny_unsat_3sat(self):
+        cnf = tiny_unsat_3sat()
+        assert all(len(c) == 3 for c in cnf.clauses)
+        assert brute_force_satisfiable(cnf) is None
+
+
+class TestTo3Sat:
+    @given(small_cnfs(max_vars=4, max_clauses=5, max_len=3))
+    @settings(max_examples=80, deadline=None)
+    def test_equisatisfiable_short_clauses(self, cnf):
+        converted = to_3sat(cnf)
+        assert all(len(c) == 3 for c in converted.clauses)
+        orig = brute_force_satisfiable(cnf) is not None
+        conv = brute_force_satisfiable(converted) is not None
+        assert orig == conv
+
+    def test_long_clause_split(self):
+        cnf = CNF(num_vars=6)
+        cnf.add_clause([1, 2, 3, 4, 5, 6])
+        converted = to_3sat(cnf)
+        assert all(len(c) == 3 for c in converted.clauses)
+        # Satisfiable: set var 4 true.
+        assert brute_force_satisfiable(converted) is not None
+        # Original model extends to the converted formula's variables.
+        model = brute_force_satisfiable(converted)
+        assert any(model[v] for v in range(1, 7))
+
+    def test_long_clause_unsat_when_all_literals_false(self):
+        # (1..5) plus units forcing all false: converted stays UNSAT.
+        cnf = CNF(num_vars=5)
+        cnf.add_clause([1, 2, 3, 4, 5])
+        for v in range(1, 6):
+            cnf.add_clause([-v])
+        converted = to_3sat(cnf)
+        assert brute_force_satisfiable(converted) is None
+
+    def test_empty_clause_becomes_unsat_gadget(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        converted = to_3sat(cnf)
+        assert all(len(c) == 3 for c in converted.clauses)
+        assert brute_force_satisfiable(converted) is None
+
+    def test_unit_and_binary_padding(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clause([1])
+        cnf.add_clause([1, 2])
+        converted = to_3sat(cnf)
+        assert all(len(c) == 3 for c in converted.clauses)
+        model = brute_force_satisfiable(converted)
+        assert model is not None and model[1] is True

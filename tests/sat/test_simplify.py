@@ -1,0 +1,89 @@
+"""Preprocessing: unit propagation, pure literals, subsumption."""
+
+from hypothesis import given, settings
+
+from repro.sat.cnf import CNF
+from repro.sat.enumerate_models import brute_force_satisfiable
+from repro.sat.simplify import simplify
+from repro.sat.cdcl import solve_cdcl
+
+from tests.conftest import small_cnfs
+
+
+class TestUnits:
+    def test_unit_propagation_forces(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clause([1])
+        cnf.add_clause([-1, 2])
+        res = simplify(cnf)
+        assert not res.unsat
+        assert res.forced == {1: True, 2: True}
+        assert res.cnf.num_clauses == 0
+
+    def test_unit_contradiction_detected(self):
+        cnf = CNF(num_vars=1)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert simplify(cnf).unsat
+
+
+class TestPureLiterals:
+    def test_pure_literal_eliminated(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([1, -2])
+        res = simplify(cnf)
+        assert res.forced.get(1) is True
+        assert res.cnf.num_clauses == 0
+
+
+class TestSubsumption:
+    def test_subsumed_clause_dropped(self):
+        # Mixed polarities everywhere so units/pure literals don't fire;
+        # (1 ∨ 2) subsumes (1 ∨ 2 ∨ 3).
+        cnf = CNF(num_vars=3)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([1, 2, 3])
+        cnf.add_clause([-1, -2])
+        cnf.add_clause([-3, -1, 2])
+        res = simplify(cnf)
+        clause_sets = [frozenset(c) for c in res.cnf.clauses]
+        assert frozenset([1, 2, 3]) not in clause_sets
+        assert frozenset([1, 2]) in clause_sets
+        # No clause in the output is a strict superset of another.
+        assert not any(
+            a < b for a in clause_sets for b in clause_sets if a != b
+        )
+
+    def test_duplicate_clause_removed(self):
+        cnf = CNF(num_vars=3)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([2, 1])
+        cnf.add_clause([-1, -2])
+        cnf.add_clause([1, -2])
+        res = simplify(cnf)
+        seen = {frozenset(c) for c in res.cnf.clauses}
+        assert len(seen) == len(res.cnf.clauses)
+
+
+class TestEquisatisfiability:
+    @given(small_cnfs())
+    @settings(max_examples=120, deadline=None)
+    def test_simplify_preserves_satisfiability(self, cnf):
+        res = simplify(cnf)
+        original = brute_force_satisfiable(cnf) is not None
+        if res.unsat:
+            assert not original
+        else:
+            residual_model = solve_cdcl(res.cnf)
+            if original:
+                assert residual_model is not None
+                merged = res.extend_model(residual_model)
+                assert cnf.evaluate(merged)
+            else:
+                # The residual formula must also be UNSAT.
+                assert residual_model is None
+
+    def test_extend_model_none_passthrough(self):
+        res = simplify(CNF())
+        assert res.extend_model(None) is None

@@ -1,0 +1,155 @@
+"""DPLL and CDCL: correctness against the brute-force oracle."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sat import solve
+from repro.sat.cdcl import CDCLSolver, solve_cdcl, _luby
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve_dpll
+from repro.sat.enumerate_models import (
+    brute_force_satisfiable,
+    count_models,
+    enumerate_models,
+)
+from repro.sat.random_sat import planted_ksat, random_ksat, random_unsat_core
+
+from tests.conftest import small_cnfs
+
+
+class TestBasics:
+    @pytest.mark.parametrize("solver", [solve_dpll, solve_cdcl])
+    def test_empty_formula_sat(self, solver):
+        assert solver(CNF()) is not None
+
+    @pytest.mark.parametrize("solver", [solve_dpll, solve_cdcl])
+    def test_empty_clause_unsat(self, solver):
+        cnf = CNF()
+        cnf.add_clause([])
+        assert solver(cnf) is None
+
+    @pytest.mark.parametrize("solver", [solve_dpll, solve_cdcl])
+    def test_unit_contradiction(self, solver):
+        cnf = CNF()
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert solver(cnf) is None
+
+    @pytest.mark.parametrize("solver", [solve_dpll, solve_cdcl])
+    def test_simple_sat_model_is_valid(self, solver):
+        cnf = CNF()
+        cnf.add_clauses([[1, 2], [-1, 2], [1, -2]])
+        model = solver(cnf)
+        assert model is not None and cnf.evaluate(model)
+
+    @pytest.mark.parametrize("solver", [solve_dpll, solve_cdcl])
+    def test_model_is_total(self, solver):
+        cnf = CNF(num_vars=5)
+        cnf.add_clause([1])
+        model = solver(cnf)
+        assert set(model) == {1, 2, 3, 4, 5}
+
+
+class TestOracle:
+    @given(small_cnfs())
+    @settings(max_examples=150, deadline=None)
+    def test_dpll_matches_brute_force(self, cnf):
+        expected = brute_force_satisfiable(cnf) is not None
+        model = solve_dpll(cnf)
+        assert (model is not None) == expected
+        if model is not None:
+            assert cnf.evaluate(model)
+
+    @given(small_cnfs())
+    @settings(max_examples=150, deadline=None)
+    def test_cdcl_matches_brute_force(self, cnf):
+        expected = brute_force_satisfiable(cnf) is not None
+        model = solve_cdcl(cnf)
+        assert (model is not None) == expected
+        if model is not None:
+            assert cnf.evaluate(model)
+
+    def test_solvers_agree_on_random_3sat_sweep(self):
+        for seed in range(60):
+            cnf = random_ksat(7, 4 + (seed % 26), k=3, seed=seed)
+            d = solve_dpll(cnf) is not None
+            c = solve_cdcl(cnf) is not None
+            assert d == c, f"seed {seed}: dpll={d}, cdcl={c}"
+
+
+class TestHardInstances:
+    def test_unsat_core(self):
+        cnf = random_unsat_core(seed=9)
+        assert solve_cdcl(cnf) is None
+        assert solve_dpll(cnf) is None
+
+    def test_planted_instances_always_sat(self):
+        for seed in range(10):
+            cnf, planted = planted_ksat(12, 50, seed=seed)
+            assert cnf.evaluate(planted)
+            model = solve_cdcl(cnf)
+            assert model is not None and cnf.evaluate(model)
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # var (p, h) = p*2 + h + 1 for p in 0..2, h in 0..1
+        cnf = CNF(num_vars=6)
+        v = lambda p, h: p * 2 + h + 1
+        for p in range(3):
+            cnf.add_clause([v(p, 0), v(p, 1)])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    cnf.add_clause([-v(p1, h), -v(p2, h)])
+        assert solve_cdcl(cnf) is None
+        assert solve_dpll(cnf) is None
+
+    def test_cdcl_handles_larger_planted_instance(self):
+        cnf, _ = planted_ksat(60, 240, seed=5)
+        model = solve_cdcl(cnf)
+        assert model is not None and cnf.evaluate(model)
+
+    def test_conflict_budget_raises(self):
+        cnf = random_unsat_core(seed=2)
+        with pytest.raises(TimeoutError):
+            solve_cdcl(cnf, max_conflicts=1)
+
+
+class TestDispatch:
+    def test_solve_backend_selection(self):
+        cnf = CNF()
+        cnf.add_clause([1])
+        for backend in ("cdcl", "dpll", "brute"):
+            model = solve(cnf, solver=backend)
+            assert model is not None and model[1] is True
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            solve(CNF(), solver="quantum")
+
+
+class TestEnumeration:
+    def test_count_models_exact(self):
+        cnf = CNF(num_vars=2)
+        cnf.add_clause([1, 2])
+        assert count_models(cnf) == 3
+
+    def test_limit(self):
+        cnf = CNF(num_vars=3)
+        assert len(list(enumerate_models(cnf, limit=4))) == 4
+
+    def test_too_many_vars_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_models(CNF(num_vars=31)))
+
+
+def test_luby_sequence_prefix():
+    assert [_luby(i) for i in range(15)] == [
+        1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+    ]
+
+
+def test_cdcl_solver_reusable_state_counts_conflicts():
+    cnf = random_unsat_core(seed=0)
+    solver = CDCLSolver(cnf)
+    assert solver.solve() is None
+    assert solver.conflicts > 0

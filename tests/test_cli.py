@@ -1,0 +1,129 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.builder import parse_trace
+from repro.core.serialize import save
+from repro.sat.cnf import CNF
+from repro.sat.dimacs import write_dimacs
+
+
+@pytest.fixture
+def coherent_trace_file(tmp_path):
+    path = tmp_path / "ok.txt"
+    path.write_text("P0: W(x,1) R(x,1)\nP1: R(x,1)\n")
+    return str(path)
+
+
+@pytest.fixture
+def violation_trace_file(tmp_path):
+    ex = parse_trace(
+        "P0: W(x,1) R(x,1)\nP1: R(x,1) R(x,0)", initial={"x": 0}
+    )
+    path = tmp_path / "bad.json"
+    save(ex, path)
+    return str(path)
+
+
+class TestVerify:
+    def test_coherent_text_trace(self, coherent_trace_file, capsys):
+        assert main(["verify", coherent_trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "holds" in out and "method" in out
+
+    def test_violation_json_trace(self, violation_trace_file, capsys):
+        assert main(["verify", violation_trace_file]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out and "reason" in out
+
+    def test_witness_printed(self, coherent_trace_file, capsys):
+        main(["verify", coherent_trace_file, "--witness"])
+        assert "witness" in capsys.readouterr().out
+
+    def test_sc_flag(self, tmp_path, capsys):
+        path = tmp_path / "sb.txt"
+        path.write_text("P0: W(x,1) R(y,init)\nP1: W(y,1) R(x,init)\n")
+        assert main(["verify", str(path)]) == 0  # coherent
+        assert main(["verify", str(path), "--sc"]) == 1  # not SC
+
+    def test_model_flag(self, tmp_path):
+        path = tmp_path / "sb.txt"
+        path.write_text("P0: W(x,init) R(y,init)\n")
+        # Unknown model -> usage error.
+        assert main(["verify", str(path), "--model", "Alpha"]) == 2
+
+    def test_tso_model(self, tmp_path, capsys):
+        path = tmp_path / "sb.txt"
+        path.write_text("P0: W(x,1) R(y,init)\nP1: W(y,1) R(x,init)\n")
+        assert main(["verify", str(path), "--model", "tso"]) == 0
+        assert "TSO" in capsys.readouterr().out.upper()
+
+    def test_missing_file(self, capsys):
+        assert main(["verify", "/nonexistent/trace.txt"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_garbage_file(self, tmp_path, capsys):
+        path = tmp_path / "junk.txt"
+        path.write_text("this is not a trace")
+        assert main(["verify", str(path)]) == 2
+
+
+class TestSimulate:
+    def test_healthy_run(self, capsys):
+        assert main(["simulate", "--ops", "30", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "coherence: holds" in out
+
+    def test_trace_dump(self, tmp_path):
+        out_file = tmp_path / "run.json"
+        assert main(["simulate", "--ops", "20", "--out", str(out_file)]) == 0
+        assert main(["verify", str(out_file)]) == 0
+
+    def test_unknown_fault(self, capsys):
+        assert main(["simulate", "--fault", "gremlins"]) == 2
+
+    def test_fault_injection_runs(self):
+        # Rate 0 fault config: still exit 0.
+        code = main(
+            ["simulate", "--ops", "30", "--fault", "dropped-write",
+             "--fault-rate", "0.0"]
+        )
+        assert code == 0
+
+
+class TestSolve:
+    def test_sat_formula(self, tmp_path, capsys):
+        cnf = CNF(num_vars=2)
+        cnf.add_clauses([[1, 2], [-1]])
+        path = tmp_path / "f.cnf"
+        write_dimacs(cnf, path)
+        assert main(["solve", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("SAT")
+        assert "v -1 2 0" in out
+
+    def test_unsat_formula(self, tmp_path, capsys):
+        cnf = CNF(num_vars=1)
+        cnf.add_clauses([[1], [-1]])
+        path = tmp_path / "f.cnf"
+        write_dimacs(cnf, path)
+        assert main(["solve", str(path)]) == 1
+        assert "UNSAT" in capsys.readouterr().out
+
+    def test_via_vmc(self, tmp_path, capsys):
+        cnf = CNF(num_vars=2)
+        cnf.add_clauses([[1, 2]])
+        path = tmp_path / "f.cnf"
+        write_dimacs(cnf, path)
+        assert main(["solve", str(path), "--via-vmc"]) == 0
+        assert "Figure 4.1" in capsys.readouterr().out
+
+    def test_missing_cnf(self, capsys):
+        assert main(["solve", "/does/not/exist.cnf"]) == 2
+
+
+def test_litmus_command(capsys):
+    assert main(["litmus"]) == 0
+    out = capsys.readouterr().out
+    assert "IRIW" in out and "SC" in out

@@ -1,0 +1,147 @@
+"""Unit tests for the lightweight digraph."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.digraph import CycleError, Digraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Digraph(0)
+        assert g.topological_order() == []
+        assert g.is_acyclic()
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(ValueError):
+            Digraph(-1)
+
+    def test_add_edge_out_of_range(self):
+        g = Digraph(3)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 3)
+        with pytest.raises(IndexError):
+            g.add_edge(-1, 0)
+
+    def test_duplicate_edge_collapsed(self):
+        g = Digraph(2)
+        assert g.add_edge(0, 1) is True
+        assert g.add_edge(0, 1) is False
+        assert g.edge_count == 1
+
+    def test_has_edge(self):
+        g = Digraph(3)
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_edges_iteration(self):
+        g = Digraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+
+class TestTopologicalOrder:
+    def test_chain(self):
+        g = Digraph(4)
+        for i in range(3):
+            g.add_edge(i, i + 1)
+        assert g.topological_order() == [0, 1, 2, 3]
+
+    def test_cycle_raises_with_cycle(self):
+        g = Digraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 0)
+        with pytest.raises(CycleError) as exc:
+            g.topological_order()
+        cycle = exc.value.cycle
+        assert sorted(cycle) == [0, 1, 2]
+
+    def test_self_loop_is_cycle(self):
+        g = Digraph(1)
+        g.add_edge(0, 0)
+        assert not g.is_acyclic()
+        assert g.find_cycle() == [0]
+
+    def test_tie_break_priority(self):
+        g = Digraph(4)  # no edges: order = priority order
+        order = g.topological_order(tie_break=[3, 1, 2, 0])
+        assert order == [3, 1, 2, 0]
+
+    def test_order_respects_all_edges(self):
+        g = Digraph(6)
+        edges = [(0, 3), (1, 3), (3, 4), (2, 5), (4, 5)]
+        for u, v in edges:
+            g.add_edge(u, v)
+        pos = {n: i for i, n in enumerate(g.topological_order())}
+        for u, v in edges:
+            assert pos[u] < pos[v]
+
+    @given(st.integers(2, 20), st.data())
+    def test_random_dag_orders(self, n, data):
+        # Edges only forward in a random permutation: always acyclic.
+        perm = data.draw(st.permutations(range(n)))
+        g = Digraph(n)
+        edges = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 2), st.integers(0, n - 1)),
+                max_size=3 * n,
+            )
+        )
+        real_edges = []
+        for i, j in edges:
+            lo, hi = sorted((i, min(j, n - 1)))
+            if lo != hi:
+                g.add_edge(perm[lo], perm[hi])
+                real_edges.append((perm[lo], perm[hi]))
+        pos = {v: i for i, v in enumerate(g.topological_order())}
+        assert all(pos[u] < pos[v] for u, v in real_edges)
+
+    @given(st.integers(1, 12), st.data())
+    def test_find_cycle_is_a_real_cycle(self, n, data):
+        g = Digraph(n)
+        edges = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                min_size=1,
+                max_size=4 * n,
+            )
+        )
+        for u, v in edges:
+            g.add_edge(u, v)
+        cycle = g.find_cycle()
+        if cycle:
+            for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+                assert g.has_edge(a, b)
+        else:
+            assert g.is_acyclic()
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        g = Digraph(5)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        assert g.reachable_from([0]) == {0, 1, 2}
+        assert g.reachable_from([3]) == {3, 4}
+        assert g.reachable_from([0, 3]) == {0, 1, 2, 3, 4}
+
+    def test_transitive_closure_on_dag(self):
+        g = Digraph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        reach = g.transitive_closure_matrix()
+        assert reach[0] == {1, 2, 3}
+        assert reach[2] == {3}
+        assert reach[3] == set()
+
+    def test_transitive_closure_on_cyclic_graph(self):
+        g = Digraph(2)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        reach = g.transitive_closure_matrix()
+        assert 1 in reach[0] and 0 in reach[1]

@@ -1,0 +1,53 @@
+"""Unit tests for seeded RNG helpers."""
+
+import random
+
+import pytest
+
+from repro.util.rng import make_rng, partition_indices, spawn_rngs, weighted_choice
+
+
+class TestMakeRng:
+    def test_seed_reproducibility(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_passthrough_of_existing_rng(self):
+        r = random.Random(1)
+        assert make_rng(r) is r
+
+    def test_none_gives_os_seeded(self):
+        assert isinstance(make_rng(None), random.Random)
+
+
+class TestSpawn:
+    def test_streams_are_independent_and_reproducible(self):
+        a = [r.random() for r in spawn_rngs(7, 3)]
+        b = [r.random() for r in spawn_rngs(7, 3)]
+        assert a == b
+        assert len(set(a)) == 3  # distinct streams
+
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+
+class TestWeightedChoice:
+    def test_degenerate_single_key(self):
+        assert weighted_choice(make_rng(0), {"a": 1.0}) == "a"
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0), {"a": 0.0})
+
+    def test_distribution_roughly_matches(self):
+        rng = make_rng(3)
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[weighted_choice(rng, {"a": 3.0, "b": 1.0})] += 1
+        assert counts["a"] > counts["b"] * 2
+
+
+def test_partition_indices_covers_everything():
+    buckets = list(partition_indices(make_rng(1), 100, 4))
+    assert len(buckets) == 4
+    flat = sorted(i for b in buckets for i in b)
+    assert flat == list(range(100))

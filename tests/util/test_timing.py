@@ -1,0 +1,67 @@
+"""Unit tests for timing helpers and power-law fitting."""
+
+import pytest
+
+from repro.util.timing import (
+    RepeatTimer,
+    doubling_ratios,
+    fit_loglog_slope,
+    time_callable,
+)
+
+
+class TestFitSlope:
+    def test_linear_data(self):
+        sizes = [100, 200, 400, 800]
+        times = [0.01 * n for n in sizes]
+        assert fit_loglog_slope(sizes, times) == pytest.approx(1.0)
+
+    def test_quadratic_data(self):
+        sizes = [10, 20, 40, 80]
+        times = [1e-6 * n * n for n in sizes]
+        assert fit_loglog_slope(sizes, times) == pytest.approx(2.0)
+
+    def test_constant_data_is_slope_zero(self):
+        assert fit_loglog_slope([1, 10, 100], [5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1, 2], [1.0])
+
+    def test_single_sample_rejected(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1], [1.0])
+
+    def test_identical_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([5, 5], [1.0, 2.0])
+
+    def test_zero_times_clamped(self):
+        # Must not crash on timer-resolution zeros.
+        slope = fit_loglog_slope([10, 100], [0.0, 0.0])
+        assert slope == pytest.approx(0.0)
+
+
+class TestRepeatTimer:
+    def test_measure_and_slope(self):
+        timer = RepeatTimer()
+        for n in (1000, 2000, 4000):
+            timer.measure(n, lambda n=n: sum(range(n)), repeats=2)
+        assert len(timer.samples) == 3
+        # Summation is linear; generous tolerance for interpreter noise.
+        assert 0.3 < timer.slope() < 2.0
+
+    def test_table_renders(self):
+        timer = RepeatTimer()
+        timer.samples = [(10, 0.001), (20, 0.002)]
+        text = timer.table()
+        assert "10" in text and "0.002" in text
+
+
+def test_time_callable_returns_positive():
+    assert time_callable(lambda: sum(range(100)), repeats=2) >= 0.0
+
+
+def test_doubling_ratios():
+    ratios = doubling_ratios([1, 2, 4], [1.0, 2.0, 8.0])
+    assert ratios == pytest.approx([2.0, 4.0])
