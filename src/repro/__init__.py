@@ -8,6 +8,9 @@ Subpackages:
 
 * :mod:`repro.core` — the verifiers (VMC, VSC, VSCC) with the paper's
   polynomial special cases and NP-complete general-case backends;
+* :mod:`repro.engine` — the unified verification engine: pluggable
+  backend registry (Figure 5.3 as data), per-address planner, parallel
+  executor, and canonical-fingerprint result cache;
 * :mod:`repro.sat` — a from-scratch SAT toolkit (DPLL + CDCL);
 * :mod:`repro.reductions` — the paper's reductions (Figures 4.1, 5.1,
   5.2, 6.1, 6.2);
@@ -51,13 +54,16 @@ from repro.core import (
     vsc_via_conflict,
     write,
 )
+from repro.engine import EngineReport, ResultCache
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "EngineReport",
     "INITIAL",
     "Execution",
     "ExecutionBuilder",
+    "ResultCache",
     "OpKind",
     "Operation",
     "ProcessHistory",

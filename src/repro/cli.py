@@ -3,9 +3,12 @@
 Commands:
 
 * ``verify <trace>``       — decide coherence of a trace file
-  (``.json`` in the serialize format, or the compact text format);
-  ``--sc`` checks sequential consistency instead; ``--model NAME``
-  checks a consistency model (TSO/PSO/RMO).
+  (``.json`` in the serialize format — JSON-shaped content is sniffed
+  under any suffix — or the compact text format); ``--sc`` checks
+  sequential consistency instead; ``--model NAME`` checks a
+  consistency model (TSO/PSO/RMO/SC/coherence); ``--method NAME``
+  forces an engine backend, ``--jobs N`` verifies addresses in
+  parallel, ``--stats`` prints the engine report.
 * ``simulate``             — run the multiprocessor simulator on a
   workload, verify the result, optionally dump the trace.
 * ``solve <file.cnf>``     — decide a DIMACS formula with the built-in
@@ -24,7 +27,7 @@ import sys
 from pathlib import Path
 
 from repro.core.builder import parse_trace
-from repro.core.serialize import load as load_json, save as save_json
+from repro.core.serialize import save as save_json
 from repro.core.types import Execution, schedule_str
 from repro.core.vmc import verify_coherence
 from repro.core.vsc import verify_sequential_consistency
@@ -35,11 +38,25 @@ def _load_trace(path_str: str) -> Execution:
     if not path.exists():
         raise FileNotFoundError(f"trace file {path} does not exist")
     text = path.read_text()
-    if path.suffix == ".json":
+    # A .json suffix means the serialize format, but so does JSON-shaped
+    # content under any name — sniff the first significant character.
+    if path.suffix == ".json" or text.lstrip()[:1] in ("{", "["):
         from repro.core.serialize import loads
 
         return loads(text)
     return parse_trace(text)
+
+
+def _print_result(result, label: str, want_witness: bool, want_stats: bool) -> int:
+    print(f"{label}: {'holds' if result else 'VIOLATED'}  "
+          f"(method: {result.method})")
+    if result and result.schedule and want_witness:
+        print(f"witness: {schedule_str(result.schedule)}")
+    if not result:
+        print(f"reason: {result.reason}")
+    if want_stats and result.report is not None:
+        print(result.report.format())
+    return 0 if result else 1
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -48,30 +65,32 @@ def cmd_verify(args: argparse.Namespace) -> int:
     except (OSError, ValueError, FileNotFoundError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
-    if args.model:
-        from repro.consistency.restrict import checker_for
+    try:
+        if args.model:
+            from repro.consistency.restrict import verifier_for
 
-        try:
-            checker = checker_for(args.model.upper() if args.model != "coherence" else args.model)
-        except ValueError as e:
-            print(f"error: {e}", file=sys.stderr)
-            return 2
-        ok = checker(execution)
-        print(f"{args.model}: {'holds' if ok else 'VIOLATED'}")
-        return 0 if ok else 1
-    if args.sc:
-        result = verify_sequential_consistency(execution)
-        label = "sequential consistency"
-    else:
-        result = verify_coherence(execution)
-        label = "coherence"
-    print(f"{label}: {'holds' if result else 'VIOLATED'}  "
-          f"(method: {result.method})")
-    if result and result.schedule and args.witness:
-        print(f"witness: {schedule_str(result.schedule)}")
-    if not result:
-        print(f"reason: {result.reason}")
-    return 0 if result else 1
+            name = (
+                args.model
+                if args.model.lower() == "coherence"
+                else args.model.upper()
+            )
+            result = verifier_for(name)(execution)
+            return _print_result(result, args.model, args.witness, args.stats)
+        if args.sc:
+            result = verify_sequential_consistency(execution, method=args.method)
+            label = "sequential consistency"
+        else:
+            result = verify_coherence(
+                execution, method=args.method, jobs=args.jobs
+            )
+            label = "coherence"
+    except ValueError as e:
+        # Unknown method names and inapplicable forced backends
+        # (BackendInapplicableError, which lists the applicable ones)
+        # are usage errors.
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    return _print_result(result, label, args.witness, args.stats)
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -110,10 +129,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     ).run()
     print(run.summary())
     print(f"bus traffic: {run.bus_traffic}")
-    result = verify_coherence(run.execution, write_orders=run.write_orders)
+    result = verify_coherence(
+        run.execution, write_orders=run.write_orders, jobs=args.jobs
+    )
     print(f"coherence: {'holds' if result else 'VIOLATED'}")
     if not result:
         print(f"reason: {result.reason}")
+    if args.stats and result.report is not None:
+        print(result.report.format())
     if args.out:
         save_json(run.execution, args.out)
         print(f"trace written to {args.out}")
@@ -168,6 +191,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sc", action="store_true", help="check sequential consistency")
     p.add_argument("--model", help="check a consistency model (TSO/PSO/RMO)")
     p.add_argument("--witness", action="store_true", help="print the witness schedule")
+    p.add_argument(
+        "--method",
+        default="auto",
+        help="force a verification backend (e.g. exact, readmap, sat-cdcl); "
+        "errors with the applicable backends when it cannot decide the trace",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="verify addresses in parallel on N worker threads",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine report (backend per address, cache hits, timing)",
+    )
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("simulate", help="run the multiprocessor simulator")
@@ -180,6 +220,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault", help="inject a fault kind (e.g. dropped-write)")
     p.add_argument("--fault-rate", type=float, default=0.05)
     p.add_argument("--out", help="write the recorded trace to this JSON file")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="verify addresses in parallel on N worker threads")
+    p.add_argument("--stats", action="store_true",
+                   help="print the engine report after verification")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("solve", help="decide a DIMACS CNF formula")

@@ -83,12 +83,12 @@ def _candidate_values(execution: Execution, addr) -> list:
     return values
 
 
-def enumerate_outcomes(
-    program: Execution,
-    models: list[str] = ("SC", "TSO", "PSO", "RMO"),
-    max_outcomes: int = 4096,
-) -> list[Outcome]:
-    """Instantiate and classify every candidate outcome of a skeleton."""
+def _instantiations(program: Execution, max_outcomes: int):
+    """Yield ``(assignment, execution)`` for every candidate result.
+
+    ``assignment`` maps each unknown read's uid to the value it
+    observes in the candidate execution.
+    """
     unknown_reads = [
         op
         for op in program.all_ops()
@@ -102,8 +102,6 @@ def enumerate_outcomes(
         raise ValueError(
             f"{total} candidate outcomes exceed the cap ({max_outcomes})"
         )
-    checkers = {m: checker_for(m) for m in models}
-    outcomes: list[Outcome] = []
     for combo in itertools.product(*candidates):
         histories = [list(h.operations) for h in program.histories]
         assignment = dict(zip((op.uid for op in unknown_reads), combo))
@@ -114,9 +112,35 @@ def enumerate_outcomes(
                         OpKind.READ, op.addr, op.proc, op.index,
                         value_read=assignment[op.uid],
                     )
-        candidate = Execution.from_ops(
+        yield assignment, Execution.from_ops(
             histories, initial=program.initial, final=program.final
         )
+
+
+def candidate_executions(
+    program: Execution, max_outcomes: int = 4096
+) -> list[Execution]:
+    """Every candidate execution of a skeleton (unknown reads replaced
+    by each possible observed value).  The candidates cover coherent
+    and incoherent results alike, which makes them a natural corpus
+    for differential backend testing."""
+    return [ex for _, ex in _instantiations(program, max_outcomes)]
+
+
+def enumerate_outcomes(
+    program: Execution,
+    models: list[str] = ("SC", "TSO", "PSO", "RMO"),
+    max_outcomes: int = 4096,
+) -> list[Outcome]:
+    """Instantiate and classify every candidate outcome of a skeleton."""
+    unknown_reads = [
+        op
+        for op in program.all_ops()
+        if op.kind is OpKind.READ and op.value_read == UNKNOWN
+    ]
+    checkers = {m: checker_for(m) for m in models}
+    outcomes: list[Outcome] = []
+    for assignment, candidate in _instantiations(program, max_outcomes):
         verdicts = tuple(
             (m, bool(checkers[m](candidate))) for m in models
         )

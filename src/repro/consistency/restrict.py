@@ -24,28 +24,46 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.core.result import VerificationResult
 from repro.core.types import Execution
 from repro.core.vmc import verify_coherence
 from repro.consistency.axiomatic import relaxed_schedule_exists
 from repro.consistency.models import MODELS, MemoryModel
-from repro.consistency.pso import pso_holds
 from repro.consistency.tso import tso_holds
+from repro.consistency.pso import pso_holds
 
 
-def checker_for(model_name: str) -> Callable[[Execution], bool]:
-    """The strongest checker this library has for each model."""
+def verifier_for(model_name: str) -> Callable[[Execution], VerificationResult]:
+    """The strongest *result-returning* checker for each model.
+
+    Every returned callable produces a
+    :class:`~repro.core.result.VerificationResult`, so callers (the CLI
+    in particular) can print witnesses and methods uniformly.
+    ``"coherence"`` routes through the unified engine like the plain
+    ``verify`` path.
+    """
+    if model_name in ("coherence", "COHERENCE"):
+        from repro.engine import verify_vmc
+
+        return verify_vmc
     if model_name == "SC":
         from repro.core.vsc import verify_sequential_consistency
 
-        return lambda ex: bool(verify_sequential_consistency(ex))
+        return verify_sequential_consistency
     if model_name == "TSO":
-        return lambda ex: bool(tso_holds(ex))
+        return tso_holds
     if model_name == "PSO":
-        return lambda ex: bool(pso_holds(ex))
+        return pso_holds
     if model_name in MODELS:
         model: MemoryModel = MODELS[model_name]
-        return lambda ex: bool(relaxed_schedule_exists(ex, model))
+        return lambda ex: relaxed_schedule_exists(ex, model)
     raise ValueError(f"unknown model {model_name!r}")
+
+
+def checker_for(model_name: str) -> Callable[[Execution], bool]:
+    """The boolean form of :func:`verifier_for`."""
+    verifier = verifier_for(model_name)
+    return lambda ex: bool(verifier(ex))
 
 
 def restriction_agrees_with_coherence(

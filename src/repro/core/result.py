@@ -29,6 +29,9 @@ class VerificationResult:
     address: Address | None = None
     stats: dict[str, Any] = field(default_factory=dict)
     per_address: dict[Address, "VerificationResult"] = field(default_factory=dict)
+    #: Engine execution statistics (an :class:`repro.engine.EngineReport`)
+    #: when the query went through the unified engine; None otherwise.
+    report: Any = None
 
     def __bool__(self) -> bool:
         return self.holds

@@ -1,11 +1,13 @@
-"""The public VMC verifier: dispatch to the cheapest applicable algorithm.
+"""The public VMC verifier: a thin shim over the unified engine.
 
 ``verify_coherence`` implements the paper's Definition 4.1 decision
 problem for one address, and the Section 3 notion of a *coherent
 execution* (every address has a coherent schedule) when given a
 multi-address execution.
 
-Routing, mirroring Figure 5.3 top to bottom:
+Routing mirrors Figure 5.3 top to bottom, but lives in
+:mod:`repro.engine.registry` as a data-driven backend registry rather
+than an if-chain:
 
 1. a supplied write-order → :mod:`repro.core.writeorder` (polynomial);
 2. at most one operation per process → :mod:`repro.core.single_op`;
@@ -16,30 +18,26 @@ Routing, mirroring Figure 5.3 top to bottom:
    choice for the NP-complete general case.
 
 The returned :class:`~repro.core.result.VerificationResult` records
-which algorithm decided the instance in ``method``.
+which algorithm decided the instance in ``method`` and carries the
+engine's :class:`~repro.engine.report.EngineReport` in ``report``.
+Multi-address executions decompose into independent per-address tasks;
+pass ``jobs=N`` to decide them on a thread pool, or a shared
+:class:`~repro.engine.cache.ResultCache` to dedupe isomorphic
+sub-executions across calls.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.core import exact, readmap, single_op, writeorder
-from repro.core.encode import sat_vmc
 from repro.core.result import VerificationResult
 from repro.core.types import Address, Execution, Operation
+from repro.engine import verify_vmc, verify_vmc_at
+from repro.engine.backend import EXACT_STATE_BUDGET, estimated_states
 
-# With k processes the frontier search visits O(n^k) states; keep exact
-# search for instances whose worst-case state count is modest.
-_EXACT_STATE_BUDGET = 2_000_000
-
-
-def _estimated_states(execution: Execution) -> float:
-    est = 1.0
-    for h in execution.histories:
-        est *= len(h) + 1
-        if est > 1e18:
-            break
-    return est
+# Backwards-compatible aliases for the pre-engine module internals.
+_EXACT_STATE_BUDGET = EXACT_STATE_BUDGET
+_estimated_states = estimated_states
 
 
 def verify_coherence_at(
@@ -49,14 +47,16 @@ def verify_coherence_at(
     write_order: Sequence[Operation] | None = None,
 ) -> VerificationResult:
     """Decide VMC at one address of a (possibly multi-address) execution."""
-    sub = execution.restrict_to_address(addr)
-    return _verify_single_address(sub, method, write_order, addr)
+    return verify_vmc_at(execution, addr, method=method, write_order=write_order)
 
 
 def verify_coherence(
     execution: Execution,
     method: str = "auto",
     write_orders: Mapping[Address, Sequence[Operation]] | None = None,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> VerificationResult:
     """Decide whether the execution is coherent (per Section 3): a
     coherent schedule exists for *every* address.
@@ -64,83 +64,13 @@ def verify_coherence(
     Returns an aggregate result; per-address results (with witnesses)
     are in ``result.per_address``.  For a single-address execution this
     is exactly the VMC decision problem.
+
+    ``jobs`` and ``cache`` are forwarded to the engine: ``jobs=N``
+    verifies addresses on a thread pool, and ``cache`` may be a shared
+    :class:`repro.engine.ResultCache` (``None`` uses a fresh per-call
+    cache, ``False`` disables caching).
     """
-    addrs = execution.constrained_addresses()
-    if not addrs:
-        return VerificationResult(holds=True, method="trivial", schedule=[])
-    per: dict[Address, VerificationResult] = {}
-    for a in addrs:
-        wo = write_orders.get(a) if write_orders else None
-        per[a] = verify_coherence_at(execution, a, method=method, write_order=wo)
-    bad = [a for a, r in per.items() if not r]
-    if bad:
-        first = per[bad[0]]
-        agg = VerificationResult(
-            holds=False,
-            method=first.method,
-            reason=f"address {bad[0]!r} has no coherent schedule: {first.reason}",
-        )
-    else:
-        only = per[addrs[0]]
-        agg = VerificationResult(
-            holds=True,
-            method=only.method if len(addrs) == 1 else "per-address",
-            schedule=only.schedule if len(addrs) == 1 else None,
-        )
-    agg.per_address = per
-    if len(addrs) == 1:
-        agg.address = addrs[0]
-    return agg
-
-
-def _verify_single_address(
-    sub: Execution,
-    method: str,
-    write_order: Sequence[Operation] | None,
-    addr: Address,
-) -> VerificationResult:
-    if method == "auto":
-        if write_order is not None:
-            result = writeorder.writeorder_vmc(sub, write_order)
-        elif single_op.applicable(sub):
-            result = single_op.single_op_vmc(sub)
-        elif _readmap_applicable(sub):
-            result = readmap.readmap_vmc(sub)
-        elif _estimated_states(sub) <= _EXACT_STATE_BUDGET:
-            result = exact.exact_vmc(sub)
-        else:
-            result = sat_vmc(sub)
-    elif method == "write-order":
-        if write_order is None:
-            raise ValueError("method='write-order' requires write_order=")
-        result = writeorder.writeorder_vmc(sub, write_order)
-    elif method == "single-op":
-        result = single_op.single_op_vmc(sub)
-    elif method == "readmap":
-        result = readmap.readmap_vmc(sub)
-    elif method == "exact":
-        result = exact.exact_vmc(sub)
-    elif method in ("sat", "sat-cdcl"):
-        result = sat_vmc(sub, solver="cdcl")
-    elif method == "sat-dpll":
-        result = sat_vmc(sub, solver="dpll")
-    else:
-        raise ValueError(f"unknown method {method!r}")
-    result.address = addr
-    return result
-
-
-def _readmap_applicable(sub: Execution) -> bool:
-    if not readmap.applicable(sub):
-        return False
-    # The read-map is only forced when no write re-creates the initial
-    # value (otherwise initial-value reads have two possible sources).
-    addrs = sub.addresses()
-    if not addrs:
-        return True
-    d_i = sub.initial_value(addrs[0])
-    return all(
-        op.value_written != d_i
-        for op in sub.all_ops()
-        if op.kind.writes
+    return verify_vmc(
+        execution, method=method, write_orders=write_orders, jobs=jobs,
+        cache=cache,
     )

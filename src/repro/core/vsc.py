@@ -1,36 +1,26 @@
-"""The public VSC verifier (Definition 6.1).
+"""The public VSC verifier (Definition 6.1): a shim over the engine.
 
 Sequential consistency asks for a *single* legal schedule over all
-addresses at once.  Routing:
+addresses at once, so — unlike VMC — the query does not decompose per
+address.  Routing (see :func:`repro.engine.registry.build_vsc_registry`):
 
-1. single-address executions are VMC instances (the paper's Section 6.1
-   restriction argument) — delegate to the coherence dispatcher;
-2. small state spaces → exact frontier search (polynomial for constant
+1. small state spaces → exact frontier search (polynomial for constant
    process count, the Gibbons–Korach O(n^k k^c) cell);
-3. otherwise → CNF + CDCL.
+2. otherwise → CNF + CDCL.
 """
 
 from __future__ import annotations
 
-from repro.core import exact
-from repro.core.encode import sat_vsc
 from repro.core.result import VerificationResult
 from repro.core.types import Execution
-from repro.core.vmc import _estimated_states, _EXACT_STATE_BUDGET
+from repro.engine import verify_vsc
+
+# Backwards-compatible aliases (previously defined in repro.core.vmc).
+from repro.core.vmc import _estimated_states, _EXACT_STATE_BUDGET  # noqa: F401
 
 
 def verify_sequential_consistency(
     execution: Execution, method: str = "auto"
 ) -> VerificationResult:
     """Decide whether a sequentially consistent schedule exists."""
-    if method == "auto":
-        if _estimated_states(execution) <= _EXACT_STATE_BUDGET:
-            return exact.exact_vsc(execution)
-        return sat_vsc(execution)
-    if method == "exact":
-        return exact.exact_vsc(execution)
-    if method in ("sat", "sat-cdcl"):
-        return sat_vsc(execution, solver="cdcl")
-    if method == "sat-dpll":
-        return sat_vsc(execution, solver="dpll")
-    raise ValueError(f"unknown method {method!r}")
+    return verify_vsc(execution, method=method)

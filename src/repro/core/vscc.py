@@ -35,9 +35,18 @@ def verify_vscc(
     execution: Execution,
     write_orders: Mapping[Address, Sequence[Operation]] | None = None,
     method: str = "auto",
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> VerificationResult:
-    """Check the coherence promise, then decide sequential consistency."""
-    coherence = verify_coherence(execution, write_orders=write_orders)
+    """Check the coherence promise, then decide sequential consistency.
+
+    ``jobs``/``cache`` are forwarded to the engine for the per-address
+    coherence-promise check (the SC decision itself is one task).
+    """
+    coherence = verify_coherence(
+        execution, write_orders=write_orders, jobs=jobs, cache=cache
+    )
     if not coherence:
         return VerificationResult(
             holds=False,
@@ -54,6 +63,9 @@ def verify_vscc(
 def vsc_via_conflict(
     execution: Execution,
     write_orders: Mapping[Address, Sequence[Operation]] | None = None,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> VerificationResult:
     """The divide-and-conquer pipeline the paper shows is incomplete.
 
@@ -62,7 +74,9 @@ def vsc_via_conflict(
     O(n log n)).  A ``holds`` answer is always correct; a negative
     answer only means *these* schedules don't merge.
     """
-    coherence = verify_coherence(execution, write_orders=write_orders)
+    coherence = verify_coherence(
+        execution, write_orders=write_orders, jobs=jobs, cache=cache
+    )
     if not coherence:
         return VerificationResult(
             holds=False,

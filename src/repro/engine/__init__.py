@@ -1,0 +1,197 @@
+"""The unified verification engine.
+
+This package turns the paper's Figure 5.3 dispatch ladder into an
+extensible pipeline:
+
+* :mod:`repro.engine.backend` — the :class:`Backend` interface and the
+  built-in deciders (write-order, single-op, readmap, exact, CNF+SAT);
+* :mod:`repro.engine.registry` — named, tier-ordered backend
+  registries; routing is data, and new deciders register without
+  touching any dispatch code;
+* :mod:`repro.engine.planner` — decomposes a multi-address execution
+  into independent per-address tasks, ordered cheapest-first;
+* :mod:`repro.engine.executor` — runs the plan serially or on a thread
+  pool (``jobs=N``), early-exiting on the first violation;
+* :mod:`repro.engine.cache` — canonical-fingerprint result cache so
+  isomorphic sub-executions are decided once;
+* :mod:`repro.engine.report` — per-task stats aggregated into an
+  :class:`EngineReport` (the CLI's ``--stats``).
+
+The public verifiers in :mod:`repro.core.vmc` / :mod:`repro.core.vsc`
+are thin shims over :func:`verify_vmc` / :func:`verify_vsc`; call the
+engine directly for the extra knobs (jobs, shared caches, custom
+registries).  See ``docs/engine.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.result import VerificationResult
+from repro.core.types import Address, Execution, Operation
+from repro.engine.backend import (
+    EXACT_STATE_BUDGET,
+    Backend,
+    BackendInapplicableError,
+    Instance,
+    estimated_states,
+)
+from repro.engine.cache import CacheStats, ResultCache, canonicalize, fingerprint
+from repro.engine.executor import execute_plan, run_task
+from repro.engine.planner import PlannedTask, plan_vmc, plan_vsc
+from repro.engine.registry import (
+    BackendRegistry,
+    build_vmc_registry,
+    build_vsc_registry,
+    vmc_registry,
+    vsc_registry,
+)
+from repro.engine.report import EngineReport, TaskStats
+
+__all__ = [
+    "EXACT_STATE_BUDGET",
+    "Backend",
+    "BackendInapplicableError",
+    "BackendRegistry",
+    "CacheStats",
+    "EngineReport",
+    "Instance",
+    "PlannedTask",
+    "ResultCache",
+    "TaskStats",
+    "build_vmc_registry",
+    "build_vsc_registry",
+    "canonicalize",
+    "estimated_states",
+    "execute_plan",
+    "fingerprint",
+    "plan_vmc",
+    "plan_vsc",
+    "run_task",
+    "verify_vmc",
+    "verify_vmc_at",
+    "verify_vsc",
+    "vmc_registry",
+    "vsc_registry",
+]
+
+
+def _resolve_cache(cache: "ResultCache | bool | None") -> ResultCache | None:
+    """``None`` → fresh per-call cache (dedupes identical sub-executions
+    within one verification); ``False`` → caching disabled; a
+    :class:`ResultCache` → shared across calls (campaigns, sweeps)."""
+    if cache is None:
+        return ResultCache()
+    if cache is False:
+        return None
+    return cache
+
+
+def verify_vmc(
+    execution: Execution,
+    method: str = "auto",
+    write_orders: Mapping[Address, Sequence[Operation]] | None = None,
+    jobs: int = 1,
+    cache: "ResultCache | bool | None" = None,
+    registry: BackendRegistry | None = None,
+    early_exit: bool = True,
+) -> VerificationResult:
+    """Decide whether the execution is coherent (Section 3): a coherent
+    schedule exists for *every* address.
+
+    Plans one task per constrained address, runs them (in parallel when
+    ``jobs > 1``), and aggregates.  Per-address results (with
+    witnesses) are in ``result.per_address``; execution statistics are
+    in ``result.report``.
+    """
+    addrs = execution.constrained_addresses()
+    if not addrs:
+        result = VerificationResult(holds=True, method="trivial", schedule=[])
+        result.report = EngineReport(problem="vmc", jobs=max(1, jobs))
+        return result
+    tasks = plan_vmc(
+        execution, method=method, write_orders=write_orders, registry=registry
+    )
+    results, report = execute_plan(
+        tasks,
+        jobs=jobs,
+        cache=_resolve_cache(cache),
+        early_exit=early_exit,
+        problem="vmc",
+    )
+    per: dict[Address, VerificationResult] = {
+        a: results[a] for a in addrs if a in results
+    }
+    bad = [a for a in addrs if a in per and not per[a]]
+    if bad:
+        first = per[bad[0]]
+        agg = VerificationResult(
+            holds=False,
+            method=first.method,
+            reason=f"address {bad[0]!r} has no coherent schedule: "
+            f"{first.reason}",
+        )
+    else:
+        only = per[addrs[0]]
+        agg = VerificationResult(
+            holds=True,
+            method=only.method if len(addrs) == 1 else "per-address",
+            schedule=only.schedule if len(addrs) == 1 else None,
+        )
+    agg.per_address = per
+    if len(addrs) == 1:
+        agg.address = addrs[0]
+    agg.report = report
+    return agg
+
+
+def verify_vmc_at(
+    execution: Execution,
+    addr: Address,
+    method: str = "auto",
+    write_order: Sequence[Operation] | None = None,
+    cache: "ResultCache | bool | None" = False,
+    registry: BackendRegistry | None = None,
+) -> VerificationResult:
+    """Decide VMC at one address of a (possibly multi-address)
+    execution."""
+    registry = registry or vmc_registry()
+    if method != "auto":
+        registry.get(method)
+    sub = execution.restrict_to_address(addr)
+    instance = Instance(sub, address=addr, write_order=write_order, problem="vmc")
+    if method == "auto":
+        backend = registry.select(instance)
+    else:
+        backend = registry.resolve(method, instance)
+    task = PlannedTask(
+        order=0,
+        address=addr,
+        instance=instance,
+        backend=backend,
+        estimate=backend.cost_estimate(instance),
+    )
+    results, report = execute_plan(
+        [task], jobs=1, cache=_resolve_cache(cache), problem="vmc"
+    )
+    result = results[addr]
+    result.report = report
+    return result
+
+
+def verify_vsc(
+    execution: Execution,
+    method: str = "auto",
+    cache: "ResultCache | bool | None" = False,
+    registry: BackendRegistry | None = None,
+) -> VerificationResult:
+    """Decide whether a sequentially consistent schedule exists
+    (Definition 6.1).  VSC needs one schedule over all addresses at
+    once, so there is a single task — no per-address parallelism."""
+    tasks = plan_vsc(execution, method=method, registry=registry)
+    results, report = execute_plan(
+        tasks, jobs=1, cache=_resolve_cache(cache), problem="vsc"
+    )
+    result = results[None]
+    result.report = report
+    return result

@@ -1,0 +1,235 @@
+"""Canonical-fingerprint result caching.
+
+Memsys campaigns and benchmark sweeps verify thousands of per-address
+sub-executions, and a large fraction are *the same instance up to
+renaming*: the same read/write pattern at a different address, with
+different value names, or with the processes permuted.  Coherence is
+invariant under all three relabelings, so the engine hashes a canonical
+form of every task and serves repeats from a dictionary.
+
+Canonicalization (:func:`canonicalize`):
+
+* empty process histories are dropped (they cannot constrain a
+  schedule);
+* addresses are renamed to dense ids by first appearance;
+* values (including initial and final values) are renamed to dense ids
+  by first appearance — the initial value of the first address always
+  becomes id 0;
+* each history becomes a tuple of ``(kind, addr_id, read_id,
+  write_id)`` codes, positions replacing the original program-order
+  indices (sub-executions keep gappy parent indices);
+* histories are sorted lexicographically, making the fingerprint
+  invariant under most process permutations.
+
+Equal fingerprints imply the two instances are isomorphic (the
+fingerprint is a faithful relabeling), so a cached verdict — and a
+cached witness, stored as canonical op positions and mapped back onto
+the new execution's operations — is always correct.  The converse does
+not hold: some isomorphic pairs hash differently (value ids are
+assigned before histories are sorted), which only costs a cache miss,
+never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Sequence
+
+from repro.core.result import VerificationResult
+from repro.core.types import Execution, Operation
+
+
+@dataclass
+class CanonicalInstance:
+    """A task's canonical form plus the maps back to the real ops."""
+
+    key: Hashable
+    #: Flat canonical op list: histories in canonical order, program
+    #: order within each; entries are the *original* operations.
+    ops: list[Operation]
+    #: uid -> position in ``ops``.
+    index_of: dict[tuple[int, int], int]
+
+
+def canonicalize(
+    execution: Execution,
+    write_order: Sequence[Operation] | None = None,
+    problem: str = "vmc",
+    method: str = "auto",
+) -> CanonicalInstance:
+    """Compute the canonical form of one verification task."""
+    histories = [h.operations for h in execution.histories if len(h)]
+
+    # Address ids by first appearance; final-only addresses afterwards,
+    # ordered by repr so dict insertion order cannot leak into the key.
+    addr_id: dict[Hashable, int] = {}
+    for ops in histories:
+        for op in ops:
+            if op.addr not in addr_id:
+                addr_id[op.addr] = len(addr_id)
+    for a in sorted(
+        (a for a in execution.final if a not in addr_id), key=repr
+    ):
+        addr_id[a] = len(addr_id)
+
+    value_id: dict[Hashable, int] = {}
+
+    def vid(v: Hashable) -> int:
+        if v not in value_id:
+            value_id[v] = len(value_id)
+        return value_id[v]
+
+    for a in addr_id:
+        vid(execution.initial_value(a))
+    encoded: list[tuple] = []
+    for ops in histories:
+        row = []
+        for op in ops:
+            rv = vid(op.value_read) if op.kind.reads else -1
+            wv = vid(op.value_written) if op.kind.writes else -1
+            row.append((op.kind.value, addr_id[op.addr], rv, wv))
+        encoded.append(tuple(row))
+    constraints = tuple(
+        (
+            value_id[execution.initial_value(a)],
+            vid(execution.final[a]) if a in execution.final else -1,
+        )
+        for a in addr_id
+    )
+
+    perm = sorted(range(len(histories)), key=lambda p: encoded[p])
+    flat: list[Operation] = []
+    index_of: dict[tuple[int, int], int] = {}
+    for p in perm:
+        for op in histories[p]:
+            index_of[op.uid] = len(flat)
+            flat.append(op)
+
+    wo_key: tuple | None = None
+    if write_order is not None:
+        # Encode content as well as identity: a (possibly faulty)
+        # memory system may hand back an order containing operations
+        # that are missing from, or disagree with, the execution — the
+        # write-order backend decides such instances "not coherent
+        # under this order", and the fingerprint must distinguish them.
+        wo_key = tuple(
+            (
+                index_of.get(op.uid, -1),
+                op.kind.value,
+                vid(op.value_read) if op.kind.reads else -1,
+                vid(op.value_written) if op.kind.writes else -1,
+            )
+            for op in write_order
+        )
+
+    key = (
+        problem,
+        method,
+        tuple(encoded[p] for p in perm),
+        constraints,
+        wo_key,
+    )
+    return CanonicalInstance(key=key, ops=flat, index_of=index_of)
+
+
+@dataclass
+class _Entry:
+    holds: bool
+    method: str
+    reason: str
+    schedule_idx: list[int] | None
+    stats: dict[str, Any]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """Thread-safe verdict/witness cache keyed by canonical fingerprint.
+
+    The witness is stored as canonical op positions; on a hit it is
+    re-materialized with the *current* execution's operations, so the
+    returned schedule passes :mod:`repro.core.checker` for the new
+    instance even though it was computed for an isomorphic one.
+    """
+
+    def __init__(self, max_entries: int | None = None):
+        self._data: dict[Hashable, _Entry] = {}
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def lookup(self, canon: CanonicalInstance) -> VerificationResult | None:
+        with self._lock:
+            entry = self._data.get(canon.key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+        schedule = None
+        if entry.schedule_idx is not None:
+            schedule = [canon.ops[i] for i in entry.schedule_idx]
+        stats = dict(entry.stats)
+        stats["cache_hit"] = True
+        return VerificationResult(
+            holds=entry.holds,
+            method=entry.method,
+            schedule=schedule,
+            reason=entry.reason,
+            stats=stats,
+        )
+
+    def store(self, canon: CanonicalInstance, result: VerificationResult) -> None:
+        schedule_idx = None
+        if result.schedule is not None:
+            try:
+                schedule_idx = [canon.index_of[op.uid] for op in result.schedule]
+            except KeyError:
+                # A witness op outside the canonical listing (should not
+                # happen for engine tasks); skip witness caching.
+                schedule_idx = None
+        entry = _Entry(
+            holds=result.holds,
+            method=result.method,
+            reason=result.reason,
+            schedule_idx=schedule_idx,
+            stats={k: v for k, v in result.stats.items() if k != "cache_hit"},
+        )
+        with self._lock:
+            if (
+                self.max_entries is not None
+                and canon.key not in self._data
+                and len(self._data) >= self.max_entries
+            ):
+                self._data.pop(next(iter(self._data)))
+            if canon.key not in self._data:
+                self.stats.stores += 1
+            self._data[canon.key] = entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.stats = CacheStats()
+
+
+def fingerprint(
+    execution: Execution,
+    write_order: Sequence[Operation] | None = None,
+    problem: str = "vmc",
+    method: str = "auto",
+) -> Hashable:
+    """The canonical cache key of a task (mostly for tests/debugging)."""
+    return canonicalize(execution, write_order, problem, method).key

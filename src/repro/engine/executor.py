@@ -1,0 +1,135 @@
+"""Task execution: serial or thread-pooled, cache-aware, early-exiting.
+
+``jobs=1`` runs the plan in order on the calling thread — fully
+deterministic, the right mode for debugging and the default.
+``jobs>1`` fans tasks out over a :class:`concurrent.futures`
+thread pool, exploiting the per-address independence of coherence
+(paper Section 3).  In both modes the executor stops launching work
+after the first violated task when ``early_exit`` is set: one
+incoherent address already decides the aggregate verdict.
+
+Verdicts are identical in both modes — every backend is deterministic
+and tasks share no state — though with ``early_exit`` the two modes may
+*report* different subsets of per-address results for an incoherent
+execution (whichever tasks finished before the exit fired).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from time import perf_counter
+
+from repro.core.result import VerificationResult
+from repro.engine.cache import ResultCache, canonicalize
+from repro.engine.planner import PlannedTask
+from repro.engine.report import EngineReport, TaskStats
+
+
+def run_task(
+    task: PlannedTask, cache: ResultCache | None
+) -> tuple[VerificationResult, bool, float]:
+    """Decide one task, consulting ``cache`` first.
+
+    Returns ``(result, cache_hit, seconds)``.
+    """
+    t0 = perf_counter()
+    canon = None
+    if cache is not None:
+        canon = canonicalize(
+            task.instance.execution,
+            task.instance.write_order,
+            task.instance.problem,
+            task.backend.name,
+        )
+        hit = cache.lookup(canon)
+        if hit is not None:
+            hit.address = task.address
+            return hit, True, perf_counter() - t0
+    result = task.backend.run(task.instance)
+    if cache is not None and canon is not None:
+        cache.store(canon, result)
+    result.address = task.address
+    result.stats.setdefault("cache_hit", False)
+    return result, False, perf_counter() - t0
+
+
+def execute_plan(
+    tasks: list[PlannedTask],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    early_exit: bool = True,
+    problem: str = "vmc",
+) -> tuple[dict, EngineReport]:
+    """Run a plan; returns ``(results_by_address, report)``.
+
+    ``results_by_address`` only contains the tasks that actually ran
+    (early exit may skip the tail of the plan).
+    """
+    start = perf_counter()
+    report = EngineReport(problem=problem, jobs=max(1, jobs), planned=len(tasks))
+    outcomes: dict[int, tuple[VerificationResult, bool, float]] = {}
+
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            outcomes[task.order] = run_task(task, cache)
+            if early_exit and not outcomes[task.order][0].holds:
+                report.early_exit = len(outcomes) < len(tasks)
+                break
+    else:
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(jobs, len(tasks))
+        ) as pool:
+            futures = {
+                pool.submit(run_task, task, cache): task for task in tasks
+            }
+            violated = False
+            for fut in concurrent.futures.as_completed(futures):
+                task = futures[fut]
+                outcomes[task.order] = fut.result()
+                if early_exit and not outcomes[task.order][0].holds:
+                    violated = True
+                    break
+            if violated:
+                cancelled = [f for f in futures if f.cancel()]
+                report.early_exit = bool(cancelled)
+                # In-flight tasks finish during pool shutdown; harvest
+                # them so their results are not silently discarded.
+                for fut, task in futures.items():
+                    if task.order not in outcomes and not fut.cancelled():
+                        try:
+                            outcomes[task.order] = fut.result()
+                        except concurrent.futures.CancelledError:
+                            pass
+
+    results: dict = {}
+    for task in tasks:
+        got = outcomes.get(task.order)
+        if got is None:
+            report.record(
+                TaskStats(
+                    address=task.address,
+                    backend=task.backend.name,
+                    method=task.backend.name,
+                    estimate=task.estimate,
+                    skipped=True,
+                )
+            )
+            continue
+        result, cache_hit, seconds = got
+        results[task.address] = result
+        report.record(
+            TaskStats(
+                address=task.address,
+                backend=task.backend.name,
+                method=result.method,
+                estimate=task.estimate,
+                wall_time=seconds,
+                cache_hit=cache_hit,
+                holds=result.holds,
+                detail={
+                    k: v for k, v in result.stats.items() if k != "cache_hit"
+                },
+            )
+        )
+    report.wall_time = perf_counter() - start
+    return results, report

@@ -1,0 +1,100 @@
+"""The per-address planner.
+
+Coherence is decided independently per address (the paper's Section 3:
+an execution is coherent iff every address has a coherent schedule), so
+a multi-address VMC query decomposes into one task per constrained
+address.  The planner
+
+1. restricts the execution to each constrained address,
+2. resolves each task's backend — the registry's tier ladder for
+   ``method="auto"``, or the forced backend (validated for
+   applicability) otherwise,
+3. orders the tasks cheapest-estimate-first, so that when the
+   execution is incoherent the executor's early exit tends to fire
+   before the expensive tasks run.
+
+VSC does not decompose (a single schedule must serve all addresses at
+once); :func:`plan_vsc` emits the single whole-execution task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.types import Address, Execution, Operation
+from repro.engine.backend import Backend, Instance
+from repro.engine.registry import BackendRegistry, vmc_registry, vsc_registry
+
+
+@dataclass
+class PlannedTask:
+    """One unit of work: an instance bound to its chosen backend."""
+
+    order: int            # position in the (cheapest-first) plan
+    address: Address | None
+    instance: Instance
+    backend: Backend
+    estimate: float
+
+
+def plan_vmc(
+    execution: Execution,
+    method: str = "auto",
+    write_orders: Mapping[Address, Sequence[Operation]] | None = None,
+    registry: BackendRegistry | None = None,
+) -> list[PlannedTask]:
+    """Decompose a (possibly multi-address) execution into per-address
+    tasks, cheapest first."""
+    registry = registry or vmc_registry()
+    if method != "auto":
+        registry.get(method)  # unknown method -> ValueError, before any work
+    tasks: list[PlannedTask] = []
+    for pos, addr in enumerate(execution.constrained_addresses()):
+        sub = execution.restrict_to_address(addr)
+        wo = write_orders.get(addr) if write_orders else None
+        instance = Instance(sub, address=addr, write_order=wo, problem="vmc")
+        if method == "auto":
+            backend = registry.select(instance)
+        else:
+            backend = registry.resolve(method, instance)
+        tasks.append(
+            PlannedTask(
+                order=pos,
+                address=addr,
+                instance=instance,
+                backend=backend,
+                estimate=backend.cost_estimate(instance),
+            )
+        )
+    # Cheapest first; the original address position breaks ties so the
+    # plan (and therefore early-exit behaviour) is deterministic.
+    tasks.sort(key=lambda t: (t.estimate, t.order))
+    for i, t in enumerate(tasks):
+        t.order = i
+    return tasks
+
+
+def plan_vsc(
+    execution: Execution,
+    method: str = "auto",
+    registry: BackendRegistry | None = None,
+) -> list[PlannedTask]:
+    """The single whole-execution VSC task."""
+    registry = registry or vsc_registry()
+    if method != "auto":
+        registry.get(method)
+    instance = Instance(execution, address=None, problem="vsc")
+    if method == "auto":
+        backend = registry.select(instance)
+    else:
+        backend = registry.resolve(method, instance)
+    return [
+        PlannedTask(
+            order=0,
+            address=None,
+            instance=instance,
+            backend=backend,
+            estimate=backend.cost_estimate(instance),
+        )
+    ]

@@ -1,0 +1,91 @@
+"""Structured execution statistics for engine runs.
+
+Every task the executor runs (or serves from the cache) is recorded as
+a :class:`TaskStats`; the per-verification aggregate is an
+:class:`EngineReport`, attached to the returned
+:class:`~repro.core.result.VerificationResult` as ``result.report``
+and rendered by the CLI's ``--stats`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class TaskStats:
+    """One planned task's outcome."""
+
+    address: Any
+    backend: str            # backend selected by the planner
+    method: str             # method label reported by the result
+    estimate: float         # planner's cost estimate
+    wall_time: float = 0.0  # seconds spent deciding (0.0 for cache hits)
+    cache_hit: bool = False
+    holds: bool | None = None   # None = task skipped (early exit)
+    skipped: bool = False
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def row(self) -> str:
+        verdict = (
+            "skipped" if self.skipped
+            else "holds" if self.holds
+            else "VIOLATED"
+        )
+        src = "cache" if self.cache_hit else "-" if self.skipped else "run"
+        extra = ", ".join(
+            f"{k}={v}" for k, v in self.detail.items()
+            if isinstance(v, (int, float, str))
+        )
+        return (
+            f"{str(self.address):<10} {self.backend:<12} {verdict:<9} "
+            f"{src:<6} {self.wall_time * 1e3:>8.2f}ms  {extra}"
+        )
+
+
+@dataclass
+class EngineReport:
+    """Aggregated statistics for one engine verification."""
+
+    problem: str = "vmc"
+    jobs: int = 1
+    planned: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    early_exit: bool = False
+    wall_time: float = 0.0
+    tasks: list[TaskStats] = field(default_factory=list)
+
+    def record(self, task: TaskStats) -> None:
+        self.tasks.append(task)
+        if task.skipped:
+            return
+        self.executed += 1
+        if task.cache_hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    @property
+    def backends_used(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for t in self.tasks:
+            if not t.skipped:
+                counts[t.backend] = counts.get(t.backend, 0) + 1
+        return counts
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering (the ``--stats`` output)."""
+        lines = [
+            f"engine: problem={self.problem} jobs={self.jobs} "
+            f"tasks={self.executed}/{self.planned} "
+            f"cache={self.cache_hits} hit / {self.cache_misses} miss "
+            f"early_exit={'yes' if self.early_exit else 'no'} "
+            f"wall={self.wall_time * 1e3:.2f}ms",
+            f"{'address':<10} {'backend':<12} {'verdict':<9} "
+            f"{'source':<6} {'time':>10}",
+        ]
+        lines.extend(t.row() for t in self.tasks)
+        return "\n".join(lines)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.vmc import verify_coherence
+from repro.engine import ResultCache
 from repro.memsys.directory import DirectorySystem
 from repro.memsys.faults import FaultConfig, FaultKind
 from repro.memsys.system import MultiprocessorSystem, SystemConfig
@@ -58,6 +59,8 @@ def run_campaign(
     write_fraction: float = 0.35,
     fault_rate: float = 0.1,
     base_seed: int = 0,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[CampaignResult]:
     """Sweep seeds over every (fault kind, substrate) cell.
 
@@ -65,9 +68,17 @@ def run_campaign(
     deployment the paper recommends); a control run without faults is
     verified per cell and any false alarm is counted (and should never
     occur — tests assert it).
+
+    Verification routes through the unified engine: ``jobs`` fans
+    per-address tasks out over a thread pool, and one
+    :class:`~repro.engine.ResultCache` (created here unless supplied)
+    is shared across the whole sweep — campaigns repeat many
+    fingerprint-identical per-address histories, so later runs are
+    largely served from the cache.
     """
     kinds = kinds or list(FaultKind)
     substrates = substrates or list(SUBSTRATES)
+    cache = cache if cache is not None else ResultCache()
     results: list[CampaignResult] = []
     for substrate in substrates:
         system_cls = SUBSTRATES[substrate]
@@ -91,7 +102,10 @@ def run_campaign(
                 ).run()
                 cell.runs += 1
                 verdict = verify_coherence(
-                    run.execution, write_orders=run.write_orders
+                    run.execution,
+                    write_orders=run.write_orders,
+                    jobs=jobs,
+                    cache=cache,
                 )
                 if run.faults_injected:
                     cell.injected += 1

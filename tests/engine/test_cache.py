@@ -1,0 +1,145 @@
+"""Canonical fingerprinting and the result cache."""
+
+from repro.core.builder import ExecutionBuilder, parse_trace
+from repro.core.checker import is_coherent_schedule
+from repro.engine import ResultCache, fingerprint, verify_vmc, verify_vmc_at
+
+
+def _ex(text, initial=None):
+    return parse_trace(text, initial=initial)
+
+
+class TestFingerprint:
+    def test_identical_instances(self):
+        a = _ex("P0: W(x,1) R(x,1)\nP1: R(x,1)", initial={"x": 0})
+        b = _ex("P0: W(x,1) R(x,1)\nP1: R(x,1)", initial={"x": 0})
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_invariant_under_value_renaming(self):
+        a = _ex("P0: W(x,1) R(x,1)\nP1: R(x,1)", initial={"x": 0})
+        b = _ex("P0: W(x,7) R(x,7)\nP1: R(x,7)", initial={"x": 9})
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_invariant_under_address_renaming(self):
+        a = _ex("P0: W(x,1) R(x,1)\nP1: R(x,1)", initial={"x": 0})
+        b = _ex("P0: W(y,1) R(y,1)\nP1: R(y,1)", initial={"y": 0})
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_invariant_under_process_permutation(self):
+        a = _ex("P0: W(x,1) R(x,1)\nP1: R(x,1)", initial={"x": 0})
+        b = _ex("P0: R(x,1)\nP1: W(x,1) R(x,1)", initial={"x": 0})
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_empty_histories_dropped(self):
+        a = _ex("P0: W(x,1)\nP1: R(x,1)", initial={"x": 0})
+        b = _ex("P0: W(x,1)\nP1:\nP2: R(x,1)", initial={"x": 0})
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_distinguishes_structure(self):
+        a = _ex("P0: W(x,1) R(x,1)\nP1: R(x,1)", initial={"x": 0})
+        b = _ex("P0: W(x,1)\nP1: R(x,1) R(x,1)", initial={"x": 0})
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_distinguishes_value_identity(self):
+        # Reading the initial value back vs. reading a distinct value:
+        # different canonical ids, different keys.
+        a = _ex("P0: W(x,1)\nP1: R(x,0)", initial={"x": 0})
+        b = _ex("P0: W(x,1)\nP1: R(x,1)", initial={"x": 0})
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_distinguishes_problem_and_method(self):
+        ex = _ex("P0: W(x,1)\nP1: R(x,1)", initial={"x": 0})
+        assert fingerprint(ex, problem="vmc") != fingerprint(ex, problem="vsc")
+        assert fingerprint(ex, method="exact") != fingerprint(ex, method="sat")
+
+    def test_write_order_in_key(self):
+        ex = _ex("P0: W(x,1) W(x,2)\nP1: R(x,2)", initial={"x": 0})
+        w1, w2 = (op for op in ex.all_ops() if op.kind.writes)
+        assert fingerprint(ex, write_order=[w1, w2]) != fingerprint(ex)
+        assert fingerprint(ex, write_order=[w1, w2]) != fingerprint(
+            ex, write_order=[w2, w1]
+        )
+
+
+class TestResultCache:
+    def test_hit_on_isomorphic_sub_addresses(self):
+        # x and y carry fingerprint-identical histories: one task runs,
+        # the other is served from the cache.
+        b = ExecutionBuilder(initial={"x": 0, "y": 0})
+        b.process().write("x", 1).read("x", 1).write("y", 1).read("y", 1)
+        b.process().read("x", 1).read("y", 1)
+        result = verify_vmc(b.build())
+        assert result.holds
+        assert result.report.cache_hits == 1
+        assert result.report.cache_misses == 1
+
+    def test_cached_witness_passes_the_checker(self):
+        b = ExecutionBuilder(initial={"x": 0, "y": 0})
+        b.process().write("x", 1).read("x", 1).write("y", 1).read("y", 1)
+        b.process().read("x", 1).read("y", 1)
+        ex = b.build()
+        result = verify_vmc(ex)
+        hit = [t for t in result.report.tasks if t.cache_hit]
+        assert len(hit) == 1
+        cached = result.per_address[hit[0].address]
+        assert cached.stats.get("cache_hit") is True
+        assert cached.schedule is not None
+        # The witness was stored for the *other* address's instance and
+        # re-materialized onto this one; it must certify this instance.
+        assert is_coherent_schedule(ex, cached.schedule, addr=hit[0].address)
+
+    def test_shared_cache_across_calls(self):
+        cache = ResultCache()
+        ex = _ex("P0: W(x,1) R(x,1)\nP1: R(x,1)", initial={"x": 0})
+        r1 = verify_vmc(ex, cache=cache)
+        r2 = verify_vmc(ex, cache=cache)
+        assert r1.holds and r2.holds
+        assert r1.report.cache_hits == 0
+        assert r2.report.cache_hits == 1
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_negative_results_cached(self):
+        cache = ResultCache()
+        ex = _ex("P0: W(x,1) R(x,1)\nP1: R(x,1) R(x,0)", initial={"x": 0})
+        r1 = verify_vmc(ex, cache=cache)
+        r2 = verify_vmc(ex, cache=cache)
+        assert not r1.holds and not r2.holds
+        assert r2.report.cache_hits == 1
+        assert r1.reason == r2.reason
+
+    def test_cache_false_disables(self):
+        b = ExecutionBuilder(initial={"x": 0, "y": 0})
+        b.process().write("x", 1).write("y", 1)
+        b.process().read("x", 1).read("y", 1)
+        result = verify_vmc(b.build(), cache=False)
+        assert result.holds
+        assert result.report.cache_hits == 0
+
+    def test_verdicts_keyed_by_backend(self):
+        # The same instance forced through two backends must not share
+        # entries (the method label would come back wrong).
+        cache = ResultCache()
+        ex = _ex("P0: W(x,1) R(x,1)\nP1: R(x,1)", initial={"x": 0})
+        r1 = verify_vmc(ex, method="exact", cache=cache)
+        r2 = verify_vmc(ex, method="sat-cdcl", cache=cache)
+        assert r1.method == "exact" and r2.method == "sat-cdcl"
+        assert r2.report.cache_hits == 0
+
+    def test_max_entries_evicts(self):
+        cache = ResultCache(max_entries=1)
+        a = _ex("P0: W(x,1)\nP1: R(x,1)", initial={"x": 0})
+        b = _ex("P0: W(x,1) W(x,2)\nP1: R(x,2)", initial={"x": 0})
+        verify_vmc_at(a, "x", cache=cache)
+        verify_vmc_at(b, "x", cache=cache)
+        assert len(cache) == 1
+        # a was evicted: verifying it again misses.
+        verify_vmc_at(a, "x", cache=cache)
+        assert cache.stats.hits == 0
+
+    def test_clear(self):
+        cache = ResultCache()
+        ex = _ex("P0: W(x,1)\nP1: R(x,1)", initial={"x": 0})
+        verify_vmc_at(ex, "x", cache=cache)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.stores == 0

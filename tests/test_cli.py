@@ -68,6 +68,50 @@ class TestVerify:
         path.write_text("this is not a trace")
         assert main(["verify", str(path)]) == 2
 
+    def test_json_sniffed_under_any_suffix(self, tmp_path):
+        ex = parse_trace("P0: W(x,1) R(x,1)\nP1: R(x,1)")
+        path = tmp_path / "trace.dat"  # serialize format, no .json suffix
+        save(ex, path)
+        assert main(["verify", str(path)]) == 0
+
+    def test_model_flag_honors_witness(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        path.write_text("P0: W(x,1) R(x,1)\nP1: R(x,1)\n")
+        assert main(["verify", str(path), "--model", "sc", "--witness"]) == 0
+        assert "witness" in capsys.readouterr().out
+
+    def test_model_coherence(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        path.write_text("P0: W(x,1) R(x,1)\nP1: R(x,1)\n")
+        assert main(["verify", str(path), "--model", "coherence"]) == 0
+        assert "holds" in capsys.readouterr().out
+
+    def test_forced_method(self, coherent_trace_file, capsys):
+        assert main(["verify", coherent_trace_file, "--method", "exact"]) == 0
+        assert "method: exact" in capsys.readouterr().out
+
+    def test_inapplicable_method_exits_2(self, coherent_trace_file, capsys):
+        # Two ops on P0 -> single-op cannot apply; the error must name
+        # the backends that could decide the instance instead.
+        code = main(["verify", coherent_trace_file, "--method", "single-op"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "not applicable" in err
+        assert "applicable backends" in err and "exact" in err
+
+    def test_unknown_method_exits_2(self, coherent_trace_file, capsys):
+        assert main(["verify", coherent_trace_file, "--method", "bogus"]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_jobs_flag(self, coherent_trace_file, violation_trace_file):
+        assert main(["verify", coherent_trace_file, "--jobs", "4"]) == 0
+        assert main(["verify", violation_trace_file, "--jobs", "4"]) == 1
+
+    def test_stats_flag(self, coherent_trace_file, capsys):
+        assert main(["verify", coherent_trace_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:" in out and "backend" in out
+
 
 class TestSimulate:
     def test_healthy_run(self, capsys):
@@ -90,6 +134,15 @@ class TestSimulate:
              "--fault-rate", "0.0"]
         )
         assert code == 0
+
+    def test_jobs_and_stats(self, capsys):
+        code = main(
+            ["simulate", "--ops", "30", "--seed", "3", "--jobs", "2",
+             "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coherence: holds" in out and "engine:" in out
 
 
 class TestSolve:
