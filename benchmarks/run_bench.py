@@ -1,0 +1,261 @@
+"""Engine benchmark: pre-pass on/off × serial/thread/process pools.
+
+Generates a corpus of multi-address coherent executions shaped like the
+worst case the pre-pass targets: per address, a message-passing write
+chain spread over many processes (every read has a unique writer, so
+happens-before saturation forces the total write order), closed by a
+re-write of the initial value with a final-value constraint (which
+blocks the polynomial read-map route).  Without the pre-pass the
+planner's estimate exceeds the exact-search budget and the task pays
+the O(n^3)-clause CNF encoding; with it, every task downgrades to the
+O(n log n) Section 5.2 backend.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--jobs N]
+        [--repeats R] [--out BENCH_engine.json]
+
+Writes ``BENCH_engine.json`` (repo root by default) with per-config
+median wall-clock times and the speedup of every configuration against
+the serial no-pre-pass baseline.  Not a pytest module — run directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.types import Execution, OpKind, Operation  # noqa: E402
+from repro.engine import verify_vmc  # noqa: E402
+
+
+def chain_address(
+    addr: str, nproc: int, length: int, proc_offset: int = 0
+) -> list[list[Operation]]:
+    """One address's operations: a cross-process message-passing chain.
+
+    Writer i+1 first reads value i (forcing reads-from), then writes
+    i+1; the chain ends with a read of the last value and a re-write of
+    the initial value 0, whose final-value constraint pins it last.
+    """
+    ops: list[list[Operation]] = [[] for _ in range(nproc)]
+    for i in range(length):
+        p = (i + proc_offset) % nproc
+        if i > 0:
+            ops[p].append(Operation(OpKind.READ, addr, p, 0, value_read=i))
+        ops[p].append(
+            Operation(OpKind.WRITE, addr, p, 0, value_written=i + 1)
+        )
+    p = (length + proc_offset) % nproc
+    ops[p].append(Operation(OpKind.READ, addr, p, 0, value_read=length))
+    ops[p].append(Operation(OpKind.WRITE, addr, p, 0, value_written=0))
+    return ops
+
+
+def corpus_execution(
+    n_addr: int, nproc: int, base_length: int, seed: int
+) -> Execution:
+    """A multi-address execution; lengths vary per address so the
+    per-address instances are not cache-isomorphic."""
+    ops: list[list[Operation]] = [[] for _ in range(nproc)]
+    initial: dict = {}
+    final: dict = {}
+    for a in range(n_addr):
+        addr = f"a{a}"
+        sub = chain_address(
+            addr, nproc, base_length + a, proc_offset=seed + a
+        )
+        for p in range(nproc):
+            ops[p].extend(sub[p])
+        initial[addr] = 0
+        final[addr] = 0
+    return Execution.from_ops(ops, initial=initial, final=final)
+
+
+def build_corpus(quick: bool) -> list[Execution]:
+    # nproc=8, length>=23 puts the per-address state estimate past the
+    # exact-search budget, so the no-pre-pass baseline routes to SAT.
+    if quick:
+        return [corpus_execution(2, 8, 23, seed=0)]
+    return [corpus_execution(4, 8, 23, seed=s) for s in range(3)]
+
+
+# Skeletons with duplicated writes (so the read-map row cannot decide
+# them) whose unknown reads enumerate into a mixed coherent/incoherent
+# sweep — the `consistency.generate` corpus.
+SKELETONS = [
+    "P0: W(x,1) W(x,1) R(x,?) R(x,?)\nP1: W(x,2) R(x,?) W(x,1)",
+    "P0: W(x,1) R(x,?) W(y,2) R(y,?)\n"
+    "P1: W(y,2) R(y,?) W(x,1) R(x,?)",
+    "P0: W(x,3) W(x,3) W(x,1) R(x,?)\nP1: W(x,2) R(x,?) R(x,?)",
+]
+
+
+def build_sweep(quick: bool) -> list[Execution]:
+    from repro.consistency.generate import candidate_executions, skeleton
+
+    programs = SKELETONS[:1] if quick else SKELETONS
+    out: list[Execution] = []
+    for text in programs:
+        out.extend(candidate_executions(skeleton(text)))
+    return out
+
+
+CONFIGS: dict[str, dict] = {
+    "baseline-serial": {"prepass": False, "jobs": 1, "pool": "thread"},
+    "baseline-thread": {"prepass": False, "jobs": 0, "pool": "thread"},
+    "baseline-process": {"prepass": False, "jobs": 0, "pool": "process"},
+    "prepass-serial": {"prepass": True, "jobs": 1, "pool": "thread"},
+    "prepass-thread": {"prepass": True, "jobs": 0, "pool": "thread"},
+    "prepass-process": {"prepass": True, "jobs": 0, "pool": "process"},
+}
+
+
+def run_config(
+    corpus: list[Execution], cfg: dict, jobs: int, repeats: int
+) -> dict:
+    njobs = cfg["jobs"] or jobs
+    times: list[float] = []
+    holds = 0
+    prepass_stats: dict[str, int] = {}
+    for rep in range(repeats):
+        t0 = time.perf_counter()
+        for ex in corpus:
+            r = verify_vmc(
+                ex,
+                prepass=cfg["prepass"],
+                jobs=njobs,
+                pool=cfg["pool"],
+                cache=False,
+            )
+            if rep == 0:
+                holds += bool(r)
+                for k, v in r.report.prepass.items():
+                    prepass_stats[k] = prepass_stats.get(k, 0) + v
+        times.append(time.perf_counter() - t0)
+    return {
+        "prepass": cfg["prepass"],
+        "jobs": njobs,
+        "pool": cfg["pool"],
+        "times_s": [round(t, 4) for t in times],
+        "median_s": round(statistics.median(times), 4),
+        "holds": holds,
+        "instances": len(corpus),
+        "prepass_counters": prepass_stats,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick", action="store_true",
+        help="small corpus / fewer repeats (the CI configuration)",
+    )
+    ap.add_argument("--jobs", type=int, default=4, help="pool width")
+    ap.add_argument(
+        "--repeats", type=int, default=0,
+        help="timing repeats per configuration (default 2 quick / 3 full)",
+    )
+    ap.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="output JSON path",
+    )
+    args = ap.parse_args(argv)
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    corpus = build_corpus(args.quick)
+    total_ops = sum(ex.num_ops for ex in corpus)
+    n_addr = sum(len(ex.constrained_addresses()) for ex in corpus)
+    print(
+        f"chain corpus: {len(corpus)} executions, {n_addr} addresses, "
+        f"{total_ops} ops; jobs={args.jobs}, repeats={repeats}"
+    )
+
+    results: dict[str, dict] = {}
+    for name, cfg in CONFIGS.items():
+        results[name] = run_config(corpus, cfg, args.jobs, repeats)
+        r = results[name]
+        print(
+            f"{name:<18} median {r['median_s'] * 1e3:>9.1f}ms  "
+            f"(prepass={'on' if r['prepass'] else 'off'}, "
+            f"jobs={r['jobs']}, pool={r['pool']})"
+        )
+        if r["holds"] != r["instances"]:
+            print(f"error: {name} flagged a coherent chain execution",
+                  file=sys.stderr)
+            return 1
+
+    base = results["baseline-serial"]["median_s"]
+    speedups = {
+        name: round(base / r["median_s"], 2) if r["median_s"] else None
+        for name, r in results.items()
+    }
+    print("speedup vs baseline-serial: " + ", ".join(
+        f"{n}={s}x" for n, s in speedups.items() if n != "baseline-serial"
+    ))
+
+    # Mixed-verdict sweep over consistency.generate candidates: the
+    # verdict distribution must be identical under every configuration
+    # (a bench-embedded differential check), timed serially per config.
+    sweep = build_sweep(args.quick)
+    print(f"sweep corpus: {len(sweep)} candidate executions")
+    sweep_results: dict[str, dict] = {}
+    for name in ("baseline-serial", "prepass-serial"):
+        sweep_results[name] = run_config(
+            sweep, CONFIGS[name], args.jobs, repeats
+        )
+        r = sweep_results[name]
+        print(
+            f"sweep {name:<16} median {r['median_s'] * 1e3:>8.1f}ms  "
+            f"coherent {r['holds']}/{r['instances']}"
+        )
+    if (
+        sweep_results["baseline-serial"]["holds"]
+        != sweep_results["prepass-serial"]["holds"]
+    ):
+        print("error: pre-pass changed sweep verdicts", file=sys.stderr)
+        return 1
+
+    payload = {
+        "benchmark": "engine-prepass-pools",
+        "recorded": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "jobs": args.jobs,
+        "repeats": repeats,
+        "corpus": {
+            "executions": len(corpus),
+            "addresses": n_addr,
+            "ops": total_ops,
+        },
+        "configs": results,
+        "speedup_vs_baseline_serial": speedups,
+        "sweep": {
+            "instances": len(sweep),
+            "configs": sweep_results,
+        },
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    target = speedups.get("prepass-process")
+    if target is not None and target < 2.0:
+        print(
+            f"warning: prepass-process speedup {target}x is below the 2x "
+            f"target", file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

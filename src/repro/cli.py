@@ -8,7 +8,9 @@ Commands:
   sequential consistency instead; ``--model NAME`` checks a
   consistency model (TSO/PSO/RMO/SC/coherence); ``--method NAME``
   forces an engine backend, ``--jobs N`` verifies addresses in
-  parallel, ``--stats`` prints the engine report.
+  parallel (``--pool thread|process`` picks the worker kind),
+  ``--no-prepass`` disables the polynomial pre-pass, ``--stats``
+  prints the engine report.
 * ``simulate``             — run the multiprocessor simulator on a
   workload, verify the result, optionally dump the trace.
 * ``solve <file.cnf>``     — decide a DIMACS formula with the built-in
@@ -31,6 +33,20 @@ from repro.core.serialize import save as save_json
 from repro.core.types import Execution, schedule_str
 from repro.core.vmc import verify_coherence
 from repro.core.vsc import verify_sequential_consistency
+from repro.engine import POOL_KINDS
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 1, got {value}"
+        )
+    return value
 
 
 def _load_trace(path_str: str) -> Execution:
@@ -77,11 +93,17 @@ def cmd_verify(args: argparse.Namespace) -> int:
             result = verifier_for(name)(execution)
             return _print_result(result, args.model, args.witness, args.stats)
         if args.sc:
-            result = verify_sequential_consistency(execution, method=args.method)
+            result = verify_sequential_consistency(
+                execution, method=args.method, prepass=not args.no_prepass
+            )
             label = "sequential consistency"
         else:
             result = verify_coherence(
-                execution, method=args.method, jobs=args.jobs
+                execution,
+                method=args.method,
+                jobs=args.jobs,
+                pool=args.pool,
+                prepass=not args.no_prepass,
             )
             label = "coherence"
     except ValueError as e:
@@ -130,7 +152,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(run.summary())
     print(f"bus traffic: {run.bus_traffic}")
     result = verify_coherence(
-        run.execution, write_orders=run.write_orders, jobs=args.jobs
+        run.execution,
+        write_orders=run.write_orders,
+        jobs=args.jobs,
+        pool=args.pool,
     )
     print(f"coherence: {'holds' if result else 'VIOLATED'}")
     if not result:
@@ -199,14 +224,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=1,
-        help="verify addresses in parallel on N worker threads",
+        help="verify addresses in parallel on N workers (must be >= 1)",
+    )
+    p.add_argument(
+        "--pool",
+        choices=POOL_KINDS,
+        default="thread",
+        help="worker pool kind for --jobs > 1 (threads overlap waits; "
+        "processes scale across cores)",
+    )
+    p.add_argument(
+        "--no-prepass",
+        action="store_true",
+        help="skip the polynomial pre-pass (inference/elimination) before "
+        "the exponential backends",
     )
     p.add_argument(
         "--stats",
         action="store_true",
-        help="print the engine report (backend per address, cache hits, timing)",
+        help="print the engine report (backend per address, prepass "
+        "counters, cache hits, timing)",
     )
     p.set_defaults(func=cmd_verify)
 
@@ -220,8 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault", help="inject a fault kind (e.g. dropped-write)")
     p.add_argument("--fault-rate", type=float, default=0.05)
     p.add_argument("--out", help="write the recorded trace to this JSON file")
-    p.add_argument("--jobs", type=int, default=1,
-                   help="verify addresses in parallel on N worker threads")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="verify addresses in parallel on N workers")
+    p.add_argument("--pool", choices=POOL_KINDS, default="thread",
+                   help="worker pool kind for --jobs > 1")
     p.add_argument("--stats", action="store_true",
                    help="print the engine report after verification")
     p.set_defaults(func=cmd_simulate)

@@ -25,6 +25,7 @@ exhaustive interleaving search on the NP-complete cells of Figure 5.3.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.types import (
     Address,
@@ -69,11 +70,18 @@ class ScheduleEncoding:
         return [self.ops[i] for i in order]
 
 
-def encode_legal_schedule(execution: Execution) -> ScheduleEncoding:
+def encode_legal_schedule(
+    execution: Execution,
+    order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
+) -> ScheduleEncoding:
     """Encode "a legal (per-address value-correct) schedule exists".
 
     For a single-address execution this is exactly VMC; for a
-    multi-address execution it is VSC.
+    multi-address execution it is VSC.  ``order_hints`` are (uid, uid)
+    pairs known to hold in every legal schedule (the engine pre-pass's
+    inferred edges); they become unit clauses, which cannot change
+    satisfiability but let unit propagation fix ordering variables
+    before the solver searches.
     """
     ops = [op for h in execution.histories for op in h if not op.kind.is_sync]
     n = len(ops)
@@ -107,6 +115,14 @@ def encode_legal_schedule(execution: Execution) -> ScheduleEncoding:
         hist_ops = [op for op in h if not op.kind.is_sync]
         for o1, o2 in zip(hist_ops, hist_ops[1:]):
             cnf.add_clause([enc.lit_before(index_of[o1.uid], index_of[o2.uid])])
+
+    # Pre-pass ordering hints (implied by the constraints below; units
+    # only help propagation).
+    if order_hints:
+        for u, v in order_hints:
+            iu, iv = index_of.get(u), index_of.get(v)
+            if iu is not None and iv is not None and iu != iv:
+                cnf.add_clause([enc.lit_before(iu, iv)])
 
     # Reads-from.
     by_addr: dict[Address, list[int]] = {
@@ -189,6 +205,7 @@ def sat_vmc(
     addr: Address | None = None,
     solver: str = "cdcl",
     max_conflicts: int | None = None,
+    order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
 ) -> VerificationResult:
     """Decide VMC by CNF encoding + SAT solving."""
     if addr is not None:
@@ -196,7 +213,7 @@ def sat_vmc(
     addrs = execution.addresses()
     if len(addrs) > 1:
         raise ValueError(f"VMC is per-address; execution touches {addrs}")
-    result = _solve_encoding(execution, solver, max_conflicts)
+    result = _solve_encoding(execution, solver, max_conflicts, order_hints)
     result.address = addrs[0] if addrs else addr
     return result
 
@@ -205,15 +222,19 @@ def sat_vsc(
     execution: Execution,
     solver: str = "cdcl",
     max_conflicts: int | None = None,
+    order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
 ) -> VerificationResult:
     """Decide VSC by CNF encoding + SAT solving."""
-    return _solve_encoding(execution, solver, max_conflicts)
+    return _solve_encoding(execution, solver, max_conflicts, order_hints)
 
 
 def _solve_encoding(
-    execution: Execution, solver: str, max_conflicts: int | None
+    execution: Execution,
+    solver: str,
+    max_conflicts: int | None,
+    order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
 ) -> VerificationResult:
-    enc = encode_legal_schedule(execution)
+    enc = encode_legal_schedule(execution, order_hints=order_hints)
     if not enc.feasible:
         return VerificationResult(
             holds=False,

@@ -50,8 +50,14 @@ def exact_vmc(
     execution: Execution,
     addr: Address | None = None,
     max_states: int | None = None,
+    order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
 ) -> VerificationResult:
-    """Decide VMC for a single-address execution by exhaustive search."""
+    """Decide VMC for a single-address execution by exhaustive search.
+
+    ``order_hints`` are (uid, uid) pairs known to hold in every coherent
+    schedule (the engine pre-pass's inferred edges); the search prunes
+    states that violate them, which never changes the verdict.
+    """
     if addr is not None:
         execution = execution.restrict_to_address(addr)
     addrs = execution.constrained_addresses()
@@ -59,20 +65,28 @@ def exact_vmc(
         raise ValueError(
             f"VMC is per-address; execution touches {addrs}, pass addr="
         )
-    result = _frontier_search(execution, max_states=max_states)
+    result = _frontier_search(
+        execution, max_states=max_states, order_hints=order_hints
+    )
     result.address = addrs[0] if addrs else addr
     return result
 
 
 def exact_vsc(
-    execution: Execution, max_states: int | None = None
+    execution: Execution,
+    max_states: int | None = None,
+    order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
 ) -> VerificationResult:
     """Decide VSC (all addresses simultaneously) by exhaustive search."""
-    return _frontier_search(execution, max_states=max_states)
+    return _frontier_search(
+        execution, max_states=max_states, order_hints=order_hints
+    )
 
 
 def _frontier_search(
-    execution: Execution, max_states: int | None
+    execution: Execution,
+    max_states: int | None,
+    order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
 ) -> VerificationResult:
     histories: Sequence[Sequence[Operation]] = [
         h.operations for h in execution.histories
@@ -87,6 +101,21 @@ def _frontier_search(
     addr_idx = {a: i for i, a in enumerate(addr_list)}
     initial_vec = tuple(execution.initial_value(a) for a in addr_list)
     final_req: list[Value | None] = [execution.final_value(a) for a in addr_list]
+
+    # Necessary-order hints: op at (p, i) may only execute once every
+    # listed (q, j) predecessor has (positions[q] > j).  Sound pruning:
+    # the hinted edges hold in every legal schedule, so no witness is
+    # lost by refusing to violate them.
+    required: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    if order_hints:
+        pos_of: dict[tuple[int, int], tuple[int, int]] = {}
+        for p, h in enumerate(histories):
+            for i, op in enumerate(h):
+                pos_of[op.uid] = (p, i)
+        for u, v in order_hints:
+            pu, pv = pos_of.get(u), pos_of.get(v)
+            if pu is not None and pv is not None and pu != pv:
+                required.setdefault(pv, []).append(pu)
 
     # Iterative DFS.  Stack entries: (positions, values, chosen-op trail
     # index).  We memoize *visited* states; since the search is a pure
@@ -138,6 +167,12 @@ def _frontier_search(
             proc += 1
             if positions[p] >= lengths[p]:
                 continue
+            if required:
+                reqs = required.get((p, positions[p]))
+                if reqs is not None and any(
+                    positions[q] <= j for q, j in reqs
+                ):
+                    continue
             op = histories[p][positions[p]]
             if op.kind.is_sync:
                 new_values = values

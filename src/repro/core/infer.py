@@ -1,0 +1,414 @@
+"""Polynomial happens-before inference and read elimination.
+
+The core of the engine's pre-pass pipeline (``repro.engine.prepass``).
+The paper proves the general problems NP-complete (Theorems 4.2, 6.1),
+but — as Roy et al.'s industrial checkers exploit — most constraints of
+a realistic instance are *forced*: program order, uniquely-written read
+values, and the required final value pin down most of the schedule
+before any search starts.  This module computes those forced facts in
+polynomial time:
+
+* :func:`eliminate_reads` removes reads whose placement is decided by a
+  neighbouring operation (a generalization of Figure 5.3's read-map
+  row) and returns a :class:`ReinsertionPlan` that splices them back
+  into any witness schedule of the residual execution;
+* :func:`infer_order` saturates the *necessary* happens-before edges of
+  a single-address instance (reads-from where the source is unique,
+  coherence/from-read closure, final-write-last) — a cycle decides the
+  instance incoherent with an explainable witness, and a forced total
+  write order downgrades it to the O(n log n) Section 5.2 algorithm.
+
+Soundness contract: every edge emitted by :func:`infer_order` holds in
+*every* coherent schedule of the instance, and every read eliminated by
+:func:`eliminate_reads` can be re-inserted into *any* coherent schedule
+of the residual (so residual-coherent ⇔ original-coherent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.result import VerificationResult
+from repro.core.types import Execution, OpKind, Operation, ProcessHistory
+from repro.util.digraph import CycleError, Digraph
+
+Uid = tuple[int, int]
+
+
+# ---------------------------------------------------------------------
+# Read elimination
+# ---------------------------------------------------------------------
+@dataclass
+class ReinsertionPlan:
+    """How to splice eliminated reads back into a residual witness.
+
+    Three placement classes, each trivially sound:
+
+    * ``front`` — reads of the initial value that lead their process's
+      history; at the very start of any schedule every address still
+      holds its initial value, and nothing of the same process precedes
+      them.
+    * ``attached[uid]`` — reads whose value is determined by the
+      surviving operation ``uid`` immediately preceding them in program
+      order (at the same address): inserted directly after it, the
+      address value cannot have changed in between.
+    * ``tail`` — reads of the required final value that end their
+      process's history; at the very end of any schedule satisfying the
+      final-value constraint the address holds exactly that value.
+
+    Everything here is plain data (operations and uid keys), so plans
+    pickle cleanly into process-pool workers.
+    """
+
+    front: list[Operation] = field(default_factory=list)
+    attached: dict[Uid, list[Operation]] = field(default_factory=dict)
+    tail: list[Operation] = field(default_factory=list)
+
+    @property
+    def eliminated(self) -> int:
+        return (
+            len(self.front)
+            + len(self.tail)
+            + sum(len(v) for v in self.attached.values())
+        )
+
+    def rematerialize(self, schedule: Sequence[Operation]) -> list[Operation]:
+        """Splice the eliminated reads into a residual witness.
+
+        ``schedule`` may contain value-equal copies of the residual's
+        operations (e.g. unpickled from a worker); attachment is by uid.
+        """
+        out: list[Operation] = list(self.front)
+        for op in schedule:
+            out.append(op)
+            out.extend(self.attached.get(op.uid, ()))
+        out.extend(self.tail)
+        return out
+
+
+def _determined_value(op: Operation):
+    """The value an operation guarantees the address holds just after
+    it executes (None when it guarantees nothing — sync ops)."""
+    if op.kind.writes:
+        return op.value_written
+    if op.kind is OpKind.READ:
+        return op.value_read
+    return None
+
+
+def _gappy_execution(
+    histories: list[tuple[int, tuple[Operation, ...]]],
+    initial,
+    final,
+) -> Execution:
+    """Build an execution whose histories keep original (gappy) program
+    order indices, like :meth:`Execution.restrict_to_address`."""
+    phs = []
+    for proc, ops in histories:
+        ph = object.__new__(ProcessHistory)
+        object.__setattr__(ph, "proc", proc)
+        object.__setattr__(ph, "operations", ops)
+        phs.append(ph)
+    ex = object.__new__(Execution)
+    ex.histories = tuple(phs)
+    ex.initial = dict(initial)
+    ex.final = dict(final)
+    return ex
+
+
+def eliminate_reads(execution: Execution) -> tuple[Execution, ReinsertionPlan]:
+    """Drop reads whose placement is forced; return (residual, plan).
+
+    Works on a single-address sub-execution (VMC tasks) or a whole
+    execution (VSC): the rules only ever consult an operation's
+    *immediate* program-order neighbour at the same address, which in
+    the restricted case is the same thing.
+
+    Executions containing sync operations are returned unchanged (the
+    sync semantics live outside this module's model).
+    """
+    plan = ReinsertionPlan()
+    if any(op.kind.is_sync for op in execution.all_ops()):
+        return execution, plan
+
+    FRONT = (-1, -1)  # pseudo-anchor for front placements
+    residual_histories: list[tuple[int, tuple[Operation, ...]]] = []
+    for h in execution.histories:
+        kept: list[Operation] = []
+        # Anchor of the *previous* op in this history: its own uid if it
+        # survived, else wherever it was re-attached.
+        prev_op: Operation | None = None
+        prev_anchor: Uid | None = None
+        for op in h:
+            anchor: Uid | None = None  # set when `op` is eliminated
+            if op.kind is OpKind.READ:
+                v = op.value_read
+                if (
+                    prev_op is not None
+                    and prev_op.addr == op.addr
+                    and _determined_value(prev_op) == v
+                ):
+                    # Covered read: the immediately preceding op at this
+                    # address guarantees the value; re-insert right
+                    # after wherever that op (or its anchor) lands.
+                    anchor = prev_anchor
+                elif prev_op is None and v == execution.initial_value(op.addr):
+                    anchor = FRONT
+            if anchor is None:
+                kept.append(op)
+                prev_op, prev_anchor = op, op.uid
+            else:
+                if anchor == FRONT:
+                    plan.front.append(op)
+                else:
+                    plan.attached.setdefault(anchor, []).append(op)
+                prev_op, prev_anchor = op, anchor
+        # Trailing final-value read: the process's last operation reads
+        # the constrained final value of its address — it can close any
+        # schedule.  (If it was already eliminated above, fine.)
+        if kept and kept[-1] is h[len(h) - 1]:
+            last = kept[-1]
+            if (
+                last.kind is OpKind.READ
+                and execution.final_value(last.addr) is not None
+                and last.value_read == execution.final_value(last.addr)
+            ):
+                kept.pop()
+                plan.tail.append(last)
+        residual_histories.append((h.proc, tuple(kept)))
+
+    if plan.eliminated == 0:
+        return execution, plan
+    residual = _gappy_execution(
+        residual_histories, execution.initial, execution.final
+    )
+    return residual, plan
+
+
+# ---------------------------------------------------------------------
+# Necessary happens-before inference (single address)
+# ---------------------------------------------------------------------
+@dataclass
+class Inference:
+    """Outcome of the happens-before saturation at one address."""
+
+    #: Early verdict: a cycle in the necessary edges (incoherent) or a
+    #: read of a never-written value.  None when undecided.
+    decided: VerificationResult | None = None
+    #: All writes in a forced total order, when the necessary edges
+    #: order them completely (downgrades the task to Section 5.2).
+    write_order: list[Operation] | None = None
+    #: Inferred non-program-order edges as (uid, uid, reason) triples —
+    #: necessary in every coherent schedule, usable as search hints.
+    edges: list[tuple[Uid, Uid, str]] = field(default_factory=list)
+    #: Saturation rounds until fixpoint.
+    rounds: int = 0
+
+
+def _closure(g: Digraph) -> list[int]:
+    """Per-node reachability bitsets over an acyclic digraph."""
+    order = g.topological_order()
+    reach = [0] * g.n
+    for u in reversed(order):
+        acc = 0
+        for v in g.successors(u):
+            acc |= (1 << v) | reach[v]
+        reach[u] = acc
+    return reach
+
+
+def infer_order(execution: Execution) -> Inference:
+    """Saturate the necessary happens-before edges of a single-address
+    execution (no sync ops).
+
+    Rules — each provably holds in every coherent schedule:
+
+    * program order;
+    * *forced reads-from*: a read of a value written by exactly one
+      other operation follows that write (RF); a read of the initial
+      value when no write re-creates it precedes every write (INIT);
+    * *coherence closure* for a forced pair ``w → r``: any other write
+      ordered before ``r`` must precede ``w`` (WR), and any write
+      ordered after ``w`` must follow ``r`` (FR) — otherwise it would
+      sit between the source and the read;
+    * *final write last*: when ``d_F`` is written by exactly one
+      operation, every other write precedes it (FIN), and every read of
+      a different value precedes it too (FINR).
+
+    A cycle among these edges is a polynomial *incoherence proof*; the
+    returned reason walks the cycle edge by edge with the rule that
+    produced each edge.
+    """
+    ops = [op for h in execution.histories for op in h]
+    n = len(ops)
+    inf = Inference()
+    if n == 0:
+        return inf
+    addrs = execution.addresses()
+    if len(addrs) > 1:
+        raise ValueError(f"infer_order is per-address; got {addrs}")
+    addr = addrs[0]
+    d_i = execution.initial_value(addr)
+    d_f = execution.final_value(addr)
+
+    node = {op.uid: i for i, op in enumerate(ops)}
+    writes = [i for i, op in enumerate(ops) if op.kind.writes]
+    reads = [i for i, op in enumerate(ops) if op.kind.reads]
+    writers_of: dict = {}
+    for w in writes:
+        writers_of.setdefault(ops[w].value_written, []).append(w)
+
+    g = Digraph(n)
+    reasons: dict[tuple[int, int], str] = {}
+
+    def add(u: int, v: int, why: str) -> bool:
+        if u == v:
+            return False
+        if g.add_edge(u, v):
+            reasons[(u, v)] = why
+            return True
+        return False
+
+    for h in execution.histories:
+        for o1, o2 in zip(h.operations, h.operations[1:]):
+            add(node[o1.uid], node[o2.uid], "program order")
+
+    # Infeasible reads / final values decide outright (mirrors encode).
+    for r in reads:
+        v = ops[r].value_read
+        if v != d_i and not any(w != r for w in writers_of.get(v, [])):
+            inf.decided = VerificationResult(
+                holds=False,
+                method="prepass",
+                reason=(
+                    f"{ops[r]} reads {v!r}, which is never written to "
+                    f"{addr!r} and is not its initial value {d_i!r}"
+                ),
+                address=addr,
+            )
+            return inf
+    if d_f is not None:
+        if not writes:
+            if d_f != d_i:
+                inf.decided = VerificationResult(
+                    holds=False,
+                    method="prepass",
+                    reason=f"no writes to {addr!r} but final {d_f!r} != initial",
+                    address=addr,
+                )
+                return inf
+        elif not writers_of.get(d_f):
+            inf.decided = VerificationResult(
+                holds=False,
+                method="prepass",
+                reason=(
+                    f"required final value {d_f!r} of {addr!r} is never written"
+                ),
+                address=addr,
+            )
+            return inf
+
+    # Forced reads-from sources.
+    forced_rf: list[tuple[int, int]] = []  # (write, read)
+    init_readers: list[int] = []
+    for r in reads:
+        v = ops[r].value_read
+        cands = [w for w in writers_of.get(v, []) if w != r]
+        if v == d_i:
+            if not cands:
+                init_readers.append(r)
+        elif len(cands) == 1:
+            forced_rf.append((cands[0], r))
+
+    for w, r in forced_rf:
+        add(w, r, f"{ops[r]} must read from {ops[w]} (unique writer)")
+    for r in init_readers:
+        for w in writes:
+            add(r, w, f"{ops[r]} reads the initial value, never re-written")
+    if d_f is not None and len(writers_of.get(d_f, ())) == 1:
+        wf = writers_of[d_f][0]
+        for w in writes:
+            add(w, wf, f"{ops[wf]} uniquely writes the final value {d_f!r}")
+        for r in reads:
+            if r != wf and ops[r].value_read != d_f:
+                add(
+                    r, wf,
+                    f"{ops[r]} reads {ops[r].value_read!r}, stale after the "
+                    f"final write {ops[wf]}",
+                )
+
+    # Saturate: closure-driven coherence/from-read rules to fixpoint.
+    while True:
+        inf.rounds += 1
+        try:
+            reach = _closure(g)
+        except CycleError as e:
+            cycle = e.cycle
+            steps = []
+            for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+                steps.append(
+                    f"{ops[u]} -> {ops[v]} "
+                    f"[{reasons.get((u, v), 'program order')}]"
+                )
+            inf.decided = VerificationResult(
+                holds=False,
+                method="prepass",
+                reason=(
+                    "necessary happens-before edges form a cycle: "
+                    + "; ".join(steps)
+                ),
+                address=addr,
+                stats={"cycle_length": len(cycle)},
+            )
+            return inf
+        changed = False
+        for w, r in forced_rf:
+            bit_r = 1 << r
+            for w2 in writes:
+                if w2 == w or w2 == r:
+                    continue
+                if reach[w2] & bit_r:
+                    changed |= add(
+                        w2, w,
+                        f"{ops[w2]} precedes {ops[r]}, which reads from "
+                        f"{ops[w]}",
+                    )
+                if reach[w] & (1 << w2):
+                    changed |= add(
+                        r, w2,
+                        f"{ops[w2]} follows {ops[w]}, the source of {ops[r]}",
+                    )
+        if not changed:
+            break
+
+    # Count the inferred (non-program-order) edges and export them.
+    po = set()
+    for h in execution.histories:
+        for o1, o2 in zip(h.operations, h.operations[1:]):
+            po.add((node[o1.uid], node[o2.uid]))
+    inf.edges = [
+        (ops[u].uid, ops[v].uid, why)
+        for (u, v), why in reasons.items()
+        if (u, v) not in po
+    ]
+
+    # Forced total write order?
+    if len(writes) <= 1:
+        inf.write_order = [ops[w] for w in writes]
+        return inf
+    wmask_bits = {w: 1 << w for w in writes}
+    wmask = 0
+    for w in writes:
+        wmask |= wmask_bits[w]
+
+    def successors_among_writes(w: int) -> int:
+        return bin(reach[w] & wmask).count("1")
+
+    ranked = sorted(writes, key=lambda w: -successors_among_writes(w))
+    total = all(
+        reach[a] & wmask_bits[b] for a, b in zip(ranked, ranked[1:])
+    )
+    if total:
+        inf.write_order = [ops[w] for w in ranked]
+    return inf

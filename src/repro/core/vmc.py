@@ -45,9 +45,12 @@ def verify_coherence_at(
     addr: Address,
     method: str = "auto",
     write_order: Sequence[Operation] | None = None,
+    prepass: bool = True,
 ) -> VerificationResult:
     """Decide VMC at one address of a (possibly multi-address) execution."""
-    return verify_vmc_at(execution, addr, method=method, write_order=write_order)
+    return verify_vmc_at(
+        execution, addr, method=method, write_order=write_order, prepass=prepass
+    )
 
 
 def verify_coherence(
@@ -57,6 +60,8 @@ def verify_coherence(
     *,
     jobs: int = 1,
     cache=None,
+    pool: str = "thread",
+    prepass: bool = True,
 ) -> VerificationResult:
     """Decide whether the execution is coherent (per Section 3): a
     coherent schedule exists for *every* address.
@@ -65,12 +70,14 @@ def verify_coherence(
     are in ``result.per_address``.  For a single-address execution this
     is exactly the VMC decision problem.
 
-    ``jobs`` and ``cache`` are forwarded to the engine: ``jobs=N``
-    verifies addresses on a thread pool, and ``cache`` may be a shared
+    ``jobs``, ``pool``, ``cache`` and ``prepass`` are forwarded to the
+    engine: ``jobs=N`` verifies addresses on a thread or process pool
+    (``pool="thread" | "process"``), ``cache`` may be a shared
     :class:`repro.engine.ResultCache` (``None`` uses a fresh per-call
-    cache, ``False`` disables caching).
+    cache, ``False`` disables caching), and ``prepass=False`` skips the
+    polynomial pre-pass.
     """
     return verify_vmc(
         execution, method=method, write_orders=write_orders, jobs=jobs,
-        cache=cache,
+        cache=cache, pool=pool, prepass=prepass,
     )

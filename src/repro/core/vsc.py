@@ -20,7 +20,7 @@ from repro.core.vmc import _estimated_states, _EXACT_STATE_BUDGET  # noqa: F401
 
 
 def verify_sequential_consistency(
-    execution: Execution, method: str = "auto"
+    execution: Execution, method: str = "auto", prepass: bool = True
 ) -> VerificationResult:
     """Decide whether a sequentially consistent schedule exists."""
-    return verify_vsc(execution, method=method)
+    return verify_vsc(execution, method=method, prepass=prepass)

@@ -37,8 +37,14 @@ from repro.engine.backend import (
     estimated_states,
 )
 from repro.engine.cache import CacheStats, ResultCache, canonicalize, fingerprint
-from repro.engine.executor import execute_plan, run_task
+from repro.engine.executor import POOL_KINDS, execute_plan, run_task
 from repro.engine.planner import PlannedTask, plan_vmc, plan_vsc
+from repro.engine.prepass import (
+    EXPONENTIAL_TIER,
+    PrepassInfo,
+    prepass_vmc,
+    prepass_vsc,
+)
 from repro.engine.registry import (
     BackendRegistry,
     build_vmc_registry,
@@ -50,6 +56,8 @@ from repro.engine.report import EngineReport, TaskStats
 
 __all__ = [
     "EXACT_STATE_BUDGET",
+    "EXPONENTIAL_TIER",
+    "POOL_KINDS",
     "Backend",
     "BackendInapplicableError",
     "BackendRegistry",
@@ -57,6 +65,7 @@ __all__ = [
     "EngineReport",
     "Instance",
     "PlannedTask",
+    "PrepassInfo",
     "ResultCache",
     "TaskStats",
     "build_vmc_registry",
@@ -67,6 +76,8 @@ __all__ = [
     "fingerprint",
     "plan_vmc",
     "plan_vsc",
+    "prepass_vmc",
+    "prepass_vsc",
     "run_task",
     "verify_vmc",
     "verify_vmc_at",
@@ -95,22 +106,30 @@ def verify_vmc(
     cache: "ResultCache | bool | None" = None,
     registry: BackendRegistry | None = None,
     early_exit: bool = True,
+    pool: str = "thread",
+    prepass: bool = True,
 ) -> VerificationResult:
     """Decide whether the execution is coherent (Section 3): a coherent
     schedule exists for *every* address.
 
-    Plans one task per constrained address, runs them (in parallel when
-    ``jobs > 1``), and aggregates.  Per-address results (with
-    witnesses) are in ``result.per_address``; execution statistics are
-    in ``result.report``.
+    Plans one task per constrained address (each shrunk or decided by
+    the polynomial pre-pass unless ``prepass=False``), runs them (in
+    parallel when ``jobs > 1``, on threads or processes per ``pool``),
+    and aggregates.  Per-address results (with witnesses) are in
+    ``result.per_address``; execution statistics are in
+    ``result.report``.
     """
     addrs = execution.constrained_addresses()
     if not addrs:
         result = VerificationResult(holds=True, method="trivial", schedule=[])
-        result.report = EngineReport(problem="vmc", jobs=max(1, jobs))
+        result.report = EngineReport(problem="vmc", jobs=max(1, jobs), pool=pool)
         return result
     tasks = plan_vmc(
-        execution, method=method, write_orders=write_orders, registry=registry
+        execution,
+        method=method,
+        write_orders=write_orders,
+        registry=registry,
+        prepass=prepass,
     )
     results, report = execute_plan(
         tasks,
@@ -118,6 +137,7 @@ def verify_vmc(
         cache=_resolve_cache(cache),
         early_exit=early_exit,
         problem="vmc",
+        pool=pool,
     )
     per: dict[Address, VerificationResult] = {
         a: results[a] for a in addrs if a in results
@@ -152,25 +172,18 @@ def verify_vmc_at(
     write_order: Sequence[Operation] | None = None,
     cache: "ResultCache | bool | None" = False,
     registry: BackendRegistry | None = None,
+    prepass: bool = True,
 ) -> VerificationResult:
     """Decide VMC at one address of a (possibly multi-address)
     execution."""
+    from repro.engine.planner import _prepassed_task
+
     registry = registry or vmc_registry()
     if method != "auto":
         registry.get(method)
     sub = execution.restrict_to_address(addr)
     instance = Instance(sub, address=addr, write_order=write_order, problem="vmc")
-    if method == "auto":
-        backend = registry.select(instance)
-    else:
-        backend = registry.resolve(method, instance)
-    task = PlannedTask(
-        order=0,
-        address=addr,
-        instance=instance,
-        backend=backend,
-        estimate=backend.cost_estimate(instance),
-    )
+    task = _prepassed_task(0, addr, instance, method, registry, prepass)
     results, report = execute_plan(
         [task], jobs=1, cache=_resolve_cache(cache), problem="vmc"
     )
@@ -184,11 +197,12 @@ def verify_vsc(
     method: str = "auto",
     cache: "ResultCache | bool | None" = False,
     registry: BackendRegistry | None = None,
+    prepass: bool = True,
 ) -> VerificationResult:
     """Decide whether a sequentially consistent schedule exists
     (Definition 6.1).  VSC needs one schedule over all addresses at
     once, so there is a single task — no per-address parallelism."""
-    tasks = plan_vsc(execution, method=method, registry=registry)
+    tasks = plan_vsc(execution, method=method, registry=registry, prepass=prepass)
     results, report = execute_plan(
         tasks, jobs=1, cache=_resolve_cache(cache), problem="vsc"
     )

@@ -90,6 +90,11 @@ class Instance:
     address: Address | None = None
     write_order: Sequence[Operation] | None = None
     problem: str = "vmc"
+    #: Ordering hints from the pre-pass — (uid, uid) pairs that hold in
+    #: every legal schedule.  Backends may use them to prune (the exact
+    #: search) or to strengthen the encoding (unit clauses); ignoring
+    #: them is always correct.
+    order_hints: tuple[tuple[tuple[int, int], tuple[int, int]], ...] | None = None
     _states: float | None = field(default=None, repr=False)
 
     @property
@@ -230,7 +235,9 @@ class ExactBackend(Backend):
         return min(instance.states, 1e18)
 
     def run(self, instance: Instance) -> VerificationResult:
-        return exact.exact_vmc(instance.execution)
+        return exact.exact_vmc(
+            instance.execution, order_hints=instance.order_hints
+        )
 
 
 class SatBackend(Backend):
@@ -256,7 +263,11 @@ class SatBackend(Backend):
         return float(EXACT_STATE_BUDGET) + n**3
 
     def run(self, instance: Instance) -> VerificationResult:
-        return sat_vmc(instance.execution, solver=self.solver)
+        return sat_vmc(
+            instance.execution,
+            solver=self.solver,
+            order_hints=instance.order_hints,
+        )
 
 
 # ---------------------------------------------------------------------
@@ -279,7 +290,9 @@ class ExactVscBackend(Backend):
         return min(instance.states, 1e18)
 
     def run(self, instance: Instance) -> VerificationResult:
-        return exact.exact_vsc(instance.execution)
+        return exact.exact_vsc(
+            instance.execution, order_hints=instance.order_hints
+        )
 
 
 class SatVscBackend(Backend):
@@ -302,4 +315,8 @@ class SatVscBackend(Backend):
         return float(EXACT_STATE_BUDGET) + n**3
 
     def run(self, instance: Instance) -> VerificationResult:
-        return sat_vsc(instance.execution, solver=self.solver)
+        return sat_vsc(
+            instance.execution,
+            solver=self.solver,
+            order_hints=instance.order_hints,
+        )

@@ -147,11 +147,19 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hit / {self.misses} miss "
+            f"({self.hit_rate:.0%}), {self.stores} stored, "
+            f"{self.evictions} evicted"
+        )
 
 
 class ResultCache:
@@ -215,6 +223,7 @@ class ResultCache:
                 and len(self._data) >= self.max_entries
             ):
                 self._data.pop(next(iter(self._data)))
+                self.stats.evictions += 1
             if canon.key not in self._data:
                 self.stats.stores += 1
             self._data[canon.key] = entry

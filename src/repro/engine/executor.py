@@ -1,15 +1,27 @@
-"""Task execution: serial or thread-pooled, cache-aware, early-exiting.
+"""Task execution: serial, thread-pooled or process-pooled; cache-aware,
+early-exiting.
 
 ``jobs=1`` runs the plan in order on the calling thread — fully
 deterministic, the right mode for debugging and the default.
-``jobs>1`` fans tasks out over a :class:`concurrent.futures`
-thread pool, exploiting the per-address independence of coherence
-(paper Section 3).  In both modes the executor stops launching work
-after the first violated task when ``early_exit`` is set: one
-incoherent address already decides the aggregate verdict.
+``jobs>1`` fans tasks out over a :class:`concurrent.futures` pool,
+exploiting the per-address independence of coherence (paper Section 3):
 
-Verdicts are identical in both modes — every backend is deterministic
-and tasks share no state — though with ``early_exit`` the two modes may
+* ``pool="thread"`` — cheap to spin up, but the pure-Python backends
+  hold the GIL, so threads mostly overlap I/O and cache waits;
+* ``pool="process"`` — true multi-core scaling.  Tasks (including their
+  pre-pass state) are pickled into workers; the result cache stays in
+  the parent, which resolves hits and pre-pass-decided tasks inline
+  before anything is submitted, and stores worker results on
+  completion.
+
+Submission is windowed (``2 × jobs`` tasks in flight) so an early exit
+has something left to cancel: after the first violated task the
+executor cancels every not-yet-started future, stops submitting, and
+counts the avoided work in ``EngineReport.cancelled``.  In-flight tasks
+are harvested so their results are not silently discarded.
+
+Verdicts are identical in all modes — every backend is deterministic
+and tasks share no state — though with ``early_exit`` the modes may
 *report* different subsets of per-address results for an incoherent
 execution (whichever tasks finished before the exit fired).
 """
@@ -17,12 +29,55 @@ execution (whichever tasks finished before the exit fired).
 from __future__ import annotations
 
 import concurrent.futures
+from collections import deque
 from time import perf_counter
 
 from repro.core.result import VerificationResult
-from repro.engine.cache import ResultCache, canonicalize
+from repro.engine.cache import CanonicalInstance, ResultCache, canonicalize
 from repro.engine.planner import PlannedTask
 from repro.engine.report import EngineReport, TaskStats
+
+POOL_KINDS = ("thread", "process")
+
+
+def _decide_task(task: PlannedTask) -> tuple[VerificationResult, float]:
+    """Run one task to a finished result — no cache I/O, only picklable
+    state, so this is the unit shipped to process-pool workers."""
+    t0 = perf_counter()
+    pp = task.prepass
+    if pp is not None and pp.decided is not None:
+        result = pp.decided
+    else:
+        result = task.backend.run(task.run_instance)
+        if pp is not None:
+            result = pp.finish(result)
+    return result, perf_counter() - t0
+
+
+def _canon(
+    task: PlannedTask, cache: ResultCache | None
+) -> CanonicalInstance | None:
+    if cache is None:
+        return None
+    return canonicalize(
+        task.instance.execution,
+        task.instance.write_order,
+        task.instance.problem,
+        task.backend.name,
+    )
+
+
+def _finalize(
+    task: PlannedTask,
+    canon: CanonicalInstance | None,
+    result: VerificationResult,
+    cache: ResultCache | None,
+) -> VerificationResult:
+    if cache is not None and canon is not None:
+        cache.store(canon, result)
+    result.address = task.address
+    result.stats.setdefault("cache_hit", False)
+    return result
 
 
 def run_task(
@@ -33,23 +88,14 @@ def run_task(
     Returns ``(result, cache_hit, seconds)``.
     """
     t0 = perf_counter()
-    canon = None
-    if cache is not None:
-        canon = canonicalize(
-            task.instance.execution,
-            task.instance.write_order,
-            task.instance.problem,
-            task.backend.name,
-        )
+    canon = _canon(task, cache)
+    if canon is not None:
         hit = cache.lookup(canon)
         if hit is not None:
             hit.address = task.address
             return hit, True, perf_counter() - t0
-    result = task.backend.run(task.instance)
-    if cache is not None and canon is not None:
-        cache.store(canon, result)
-    result.address = task.address
-    result.stats.setdefault("cache_hit", False)
+    result, _seconds = _decide_task(task)
+    _finalize(task, canon, result, cache)
     return result, False, perf_counter() - t0
 
 
@@ -59,49 +105,36 @@ def execute_plan(
     cache: ResultCache | None = None,
     early_exit: bool = True,
     problem: str = "vmc",
+    pool: str = "thread",
 ) -> tuple[dict, EngineReport]:
     """Run a plan; returns ``(results_by_address, report)``.
 
     ``results_by_address`` only contains the tasks that actually ran
     (early exit may skip the tail of the plan).
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if pool not in POOL_KINDS:
+        raise ValueError(
+            f"unknown pool kind {pool!r}; choose from {POOL_KINDS}"
+        )
     start = perf_counter()
-    report = EngineReport(problem=problem, jobs=max(1, jobs), planned=len(tasks))
+    report = EngineReport(
+        problem=problem, jobs=jobs, pool=pool, planned=len(tasks)
+    )
+    evictions_before = cache.stats.evictions if cache is not None else 0
     outcomes: dict[int, tuple[VerificationResult, bool, float]] = {}
 
     if jobs <= 1 or len(tasks) <= 1:
         for task in tasks:
             outcomes[task.order] = run_task(task, cache)
             if early_exit and not outcomes[task.order][0].holds:
-                report.early_exit = len(outcomes) < len(tasks)
                 break
     else:
-        with concurrent.futures.ThreadPoolExecutor(
-            max_workers=min(jobs, len(tasks))
-        ) as pool:
-            futures = {
-                pool.submit(run_task, task, cache): task for task in tasks
-            }
-            violated = False
-            for fut in concurrent.futures.as_completed(futures):
-                task = futures[fut]
-                outcomes[task.order] = fut.result()
-                if early_exit and not outcomes[task.order][0].holds:
-                    violated = True
-                    break
-            if violated:
-                cancelled = [f for f in futures if f.cancel()]
-                report.early_exit = bool(cancelled)
-                # In-flight tasks finish during pool shutdown; harvest
-                # them so their results are not silently discarded.
-                for fut, task in futures.items():
-                    if task.order not in outcomes and not fut.cancelled():
-                        try:
-                            outcomes[task.order] = fut.result()
-                        except concurrent.futures.CancelledError:
-                            pass
+        _run_pooled(tasks, jobs, cache, early_exit, pool, outcomes, report)
 
     results: dict = {}
+    violated = False
     for task in tasks:
         got = outcomes.get(task.order)
         if got is None:
@@ -116,11 +149,15 @@ def execute_plan(
             )
             continue
         result, cache_hit, seconds = got
+        violated = violated or not result.holds
         results[task.address] = result
+        decided_by_prepass = (
+            task.prepass is not None and task.prepass.decided is not None
+        )
         report.record(
             TaskStats(
                 address=task.address,
-                backend=task.backend.name,
+                backend="prepass" if decided_by_prepass else task.backend.name,
                 method=result.method,
                 estimate=task.estimate,
                 wall_time=seconds,
@@ -131,5 +168,97 @@ def execute_plan(
                 },
             )
         )
+    report.early_exit = early_exit and violated and len(outcomes) < len(tasks)
+    prepassed = [t.prepass for t in tasks if t.prepass is not None]
+    if prepassed:
+        report.prepass = {
+            "tasks": len(prepassed),
+            "decided": sum(1 for p in prepassed if p.decided is not None),
+            "downgraded": sum(1 for p in prepassed if p.downgraded),
+            "edges_inferred": sum(p.edges_inferred for p in prepassed),
+            "ops_eliminated": sum(p.ops_eliminated for p in prepassed),
+            "ops_before": sum(p.ops_before for p in prepassed),
+            "ops_after": sum(p.ops_after for p in prepassed),
+        }
+    if cache is not None:
+        report.cache_evictions = cache.stats.evictions - evictions_before
     report.wall_time = perf_counter() - start
     return results, report
+
+
+def _run_pooled(
+    tasks: list[PlannedTask],
+    jobs: int,
+    cache: ResultCache | None,
+    early_exit: bool,
+    pool: str,
+    outcomes: dict[int, tuple[VerificationResult, bool, float]],
+    report: EngineReport,
+) -> None:
+    """Windowed pool execution shared by both pool kinds.
+
+    Cache lookups, cache stores, and pre-pass-decided tasks are handled
+    in the parent — the cache's lock does not pickle, and a decided
+    task needs no worker anyway.  Only undecided work crosses the pool
+    boundary.
+    """
+    executor_cls = (
+        concurrent.futures.ProcessPoolExecutor
+        if pool == "process"
+        else concurrent.futures.ThreadPoolExecutor
+    )
+    window = 2 * jobs
+    pending = deque(tasks)
+    in_flight: dict[
+        concurrent.futures.Future, tuple[PlannedTask, CanonicalInstance | None]
+    ] = {}
+    violated = False
+    with executor_cls(max_workers=min(jobs, len(tasks))) as executor:
+        while (pending or in_flight) and not violated:
+            while pending and len(in_flight) < window and not violated:
+                task = pending.popleft()
+                t0 = perf_counter()
+                canon = _canon(task, cache)
+                if canon is not None:
+                    hit = cache.lookup(canon)
+                    if hit is not None:
+                        hit.address = task.address
+                        outcomes[task.order] = (hit, True, perf_counter() - t0)
+                        violated = early_exit and not hit.holds
+                        continue
+                if task.prepass is not None and task.prepass.decided is not None:
+                    result, seconds = _decide_task(task)
+                    _finalize(task, canon, result, cache)
+                    outcomes[task.order] = (result, False, seconds)
+                    violated = early_exit and not result.holds
+                    continue
+                in_flight[executor.submit(_decide_task, task)] = (task, canon)
+            if violated or not in_flight:
+                continue
+            done, _running = concurrent.futures.wait(
+                in_flight, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for fut in done:
+                task, canon = in_flight.pop(fut)
+                result, seconds = fut.result()
+                _finalize(task, canon, result, cache)
+                outcomes[task.order] = (result, False, seconds)
+                if early_exit and not result.holds:
+                    violated = True
+        if violated:
+            # Cancel whatever has not started; count never-submitted
+            # tasks too — both are work the early exit avoided.
+            for fut in list(in_flight):
+                if fut.cancel():
+                    report.cancelled += 1
+                    del in_flight[fut]
+            report.cancelled += len(pending)
+            # In-flight tasks finish during pool shutdown; harvest them
+            # so their results are not silently discarded.
+            for fut, (task, canon) in list(in_flight.items()):
+                try:
+                    result, seconds = fut.result()
+                except concurrent.futures.CancelledError:
+                    continue
+                _finalize(task, canon, result, cache)
+                outcomes[task.order] = (result, False, seconds)

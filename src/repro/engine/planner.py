@@ -9,12 +9,19 @@ address.  The planner
 2. resolves each task's backend — the registry's tier ladder for
    ``method="auto"``, or the forced backend (validated for
    applicability) otherwise,
-3. orders the tasks cheapest-estimate-first, so that when the
+3. runs the polynomial pre-pass (:mod:`repro.engine.prepass`) on tasks
+   that routed to the exponential tail of the ladder: the pre-pass may
+   decide the task outright, downgrade it to the Section 5.2
+   ``write-order`` backend, or shrink it to a kernel with ordering
+   hints — the task's ``run_instance`` is what the backend executes,
+   while ``instance`` (the original) keys the result cache,
+4. orders the tasks cheapest-estimate-first, so that when the
    execution is incoherent the executor's early exit tends to fire
    before the expensive tasks run.
 
 VSC does not decompose (a single schedule must serve all addresses at
-once); :func:`plan_vsc` emits the single whole-execution task.
+once); :func:`plan_vsc` emits the single whole-execution task, also
+pre-passed.
 """
 
 from __future__ import annotations
@@ -24,18 +31,79 @@ from typing import Mapping, Sequence
 
 from repro.core.types import Address, Execution, Operation
 from repro.engine.backend import Backend, Instance
+from repro.engine.prepass import (
+    EXPONENTIAL_TIER,
+    PrepassInfo,
+    prepass_vmc,
+    prepass_vsc,
+)
 from repro.engine.registry import BackendRegistry, vmc_registry, vsc_registry
 
 
 @dataclass
 class PlannedTask:
-    """One unit of work: an instance bound to its chosen backend."""
+    """One unit of work: an instance bound to its chosen backend.
+
+    ``instance`` is the original task (cache key); ``run_instance`` is
+    what the backend actually executes — the pre-pass kernel when the
+    pre-pass shrank or downgraded the task, otherwise the original.
+    """
 
     order: int            # position in the (cheapest-first) plan
     address: Address | None
     instance: Instance
     backend: Backend
     estimate: float
+    run_instance: Instance | None = None
+    prepass: PrepassInfo | None = None
+
+    def __post_init__(self) -> None:
+        if self.run_instance is None:
+            self.run_instance = self.instance
+
+
+def _prepassed_task(
+    order: int,
+    address: Address | None,
+    instance: Instance,
+    method: str,
+    registry: BackendRegistry,
+    prepass: bool,
+) -> PlannedTask:
+    """Select a backend, then let the pre-pass shrink/decide/downgrade.
+
+    The pre-pass only runs for auto-routed tasks that landed on the
+    exponential tiers — it cannot beat an already-polynomial backend,
+    and a forced ``method=`` is a contract with the caller.
+    """
+    if method == "auto":
+        backend = registry.select(instance)
+    else:
+        backend = registry.resolve(method, instance)
+    task = PlannedTask(
+        order=order,
+        address=address,
+        instance=instance,
+        backend=backend,
+        estimate=backend.cost_estimate(instance),
+    )
+    # Every built-in VSC backend is a search; for VMC the polynomial
+    # tiers start below EXPONENTIAL_TIER.
+    threshold = EXPONENTIAL_TIER if instance.problem == "vmc" else 0
+    if not (prepass and method == "auto" and backend.tier >= threshold):
+        return task
+    run = prepass_vmc if instance.problem == "vmc" else prepass_vsc
+    info = run(instance)
+    if info is None:
+        return task
+    task.prepass = info
+    if info.decided is not None:
+        task.estimate = 0.0
+        return task
+    task.run_instance = info.residual
+    task.backend = registry.select(info.residual)
+    task.estimate = task.backend.cost_estimate(info.residual)
+    return task
 
 
 def plan_vmc(
@@ -43,6 +111,7 @@ def plan_vmc(
     method: str = "auto",
     write_orders: Mapping[Address, Sequence[Operation]] | None = None,
     registry: BackendRegistry | None = None,
+    prepass: bool = True,
 ) -> list[PlannedTask]:
     """Decompose a (possibly multi-address) execution into per-address
     tasks, cheapest first."""
@@ -54,18 +123,8 @@ def plan_vmc(
         sub = execution.restrict_to_address(addr)
         wo = write_orders.get(addr) if write_orders else None
         instance = Instance(sub, address=addr, write_order=wo, problem="vmc")
-        if method == "auto":
-            backend = registry.select(instance)
-        else:
-            backend = registry.resolve(method, instance)
         tasks.append(
-            PlannedTask(
-                order=pos,
-                address=addr,
-                instance=instance,
-                backend=backend,
-                estimate=backend.cost_estimate(instance),
-            )
+            _prepassed_task(pos, addr, instance, method, registry, prepass)
         )
     # Cheapest first; the original address position breaks ties so the
     # plan (and therefore early-exit behaviour) is deterministic.
@@ -79,22 +138,13 @@ def plan_vsc(
     execution: Execution,
     method: str = "auto",
     registry: BackendRegistry | None = None,
+    prepass: bool = True,
 ) -> list[PlannedTask]:
     """The single whole-execution VSC task."""
     registry = registry or vsc_registry()
     if method != "auto":
         registry.get(method)
     instance = Instance(execution, address=None, problem="vsc")
-    if method == "auto":
-        backend = registry.select(instance)
-    else:
-        backend = registry.resolve(method, instance)
     return [
-        PlannedTask(
-            order=0,
-            address=None,
-            instance=instance,
-            backend=backend,
-            estimate=backend.cost_estimate(instance),
-        )
+        _prepassed_task(0, None, instance, method, registry, prepass)
     ]

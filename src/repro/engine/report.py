@@ -50,12 +50,22 @@ class EngineReport:
 
     problem: str = "vmc"
     jobs: int = 1
+    pool: str = "thread"
     planned: int = 0
     executed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Eviction count in the (possibly shared) cache during this run.
+    cache_evictions: int = 0
+    #: Tasks prevented from running after the early exit fired: pool
+    #: futures successfully cancelled plus tasks never submitted.
+    cancelled: int = 0
     early_exit: bool = False
     wall_time: float = 0.0
+    #: Pre-pass aggregate counters (empty when the pre-pass ran on no
+    #: task): tasks / decided / downgraded / edges_inferred /
+    #: ops_eliminated / ops_before / ops_after.
+    prepass: dict[str, int] = field(default_factory=dict)
     tasks: list[TaskStats] = field(default_factory=list)
 
     def record(self, task: TaskStats) -> None:
@@ -80,12 +90,30 @@ class EngineReport:
         """Multi-line human-readable rendering (the ``--stats`` output)."""
         lines = [
             f"engine: problem={self.problem} jobs={self.jobs} "
+            f"pool={self.pool} "
             f"tasks={self.executed}/{self.planned} "
-            f"cache={self.cache_hits} hit / {self.cache_misses} miss "
+            f"cache={self.cache_hits} hit / {self.cache_misses} miss / "
+            f"{self.cache_evictions} evicted "
+            f"cancelled={self.cancelled} "
             f"early_exit={'yes' if self.early_exit else 'no'} "
             f"wall={self.wall_time * 1e3:.2f}ms",
-            f"{'address':<10} {'backend':<12} {'verdict':<9} "
-            f"{'source':<6} {'time':>10}",
         ]
+        if self.prepass.get("tasks"):
+            pp = self.prepass
+            before = pp.get("ops_before", 0)
+            after = pp.get("ops_after", 0)
+            ratio = f" ({after / before:.2f})" if before else ""
+            lines.append(
+                f"prepass: tasks={pp.get('tasks', 0)} "
+                f"decided={pp.get('decided', 0)} "
+                f"downgraded={pp.get('downgraded', 0)} "
+                f"edges_inferred={pp.get('edges_inferred', 0)} "
+                f"ops_eliminated={pp.get('ops_eliminated', 0)} "
+                f"kernel={after}/{before}{ratio}"
+            )
+        lines.append(
+            f"{'address':<10} {'backend':<12} {'verdict':<9} "
+            f"{'source':<6} {'time':>10}"
+        )
         lines.extend(t.row() for t in self.tasks)
         return "\n".join(lines)

@@ -117,11 +117,19 @@ def run_campaign(
     return results
 
 
-def campaign_table(results: list[CampaignResult]) -> str:
-    """Render campaign results as the detection-rate table."""
+def campaign_table(
+    results: list[CampaignResult], cache: ResultCache | None = None
+) -> str:
+    """Render campaign results as the detection-rate table.
+
+    When the sweep's shared ``cache`` is supplied, a footer reports
+    aggregate cache effectiveness across the whole campaign.
+    """
     lines = [
         f"{'fault kind':<20} {'substrate':<10} {'injected':>9} "
         f"{'detected':>9} {'rate':>7}"
     ]
     lines.extend(cell.row() for cell in results)
+    if cache is not None:
+        lines.append(f"cache: {cache.stats.summary()}")
     return "\n".join(lines)

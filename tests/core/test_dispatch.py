@@ -32,13 +32,20 @@ class TestRouting:
         assert r and r.method == "readmap"
 
     def test_exact_route_for_repeated_values(self):
+        # Repeated values defeat readmap; the instance routes to exact,
+        # but the pre-pass notices program order forces the write order
+        # and downgrades to the Section 5.2 algorithm.
         ex = parse_trace("P0: W(x,1) W(x,1)\nP1: R(x,1)", initial={"x": 0})
         r = verify_coherence(ex)
+        assert r and r.method == "write-order"
+        r = verify_coherence(ex, prepass=False)
         assert r and r.method == "exact"
 
     def test_readmap_avoided_when_write_recreates_initial(self):
         ex = parse_trace("P0: W(x,0) R(x,0)\nP1: R(x,0)", initial={"x": 0})
         r = verify_coherence(ex)
+        assert r and r.method == "write-order"
+        r = verify_coherence(ex, prepass=False)
         assert r and r.method == "exact"
 
     def test_explicit_methods(self):
