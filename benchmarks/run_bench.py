@@ -1,14 +1,27 @@
-"""Engine benchmark: pre-pass on/off × serial/thread/process pools.
+"""Engine benchmark: pre-pass × pools × portfolio racing.
 
-Generates a corpus of multi-address coherent executions shaped like the
-worst case the pre-pass targets: per address, a message-passing write
-chain spread over many processes (every read has a unique writer, so
-happens-before saturation forces the total write order), closed by a
-re-write of the initial value with a final-value constraint (which
-blocks the polynomial read-map route).  Without the pre-pass the
-planner's estimate exceeds the exact-search budget and the task pays
-the O(n^3)-clause CNF encoding; with it, every task downgrades to the
-O(n log n) Section 5.2 backend.
+Two comparison matrices:
+
+* **Pre-pass / pool matrix** (portfolio off, isolating those effects):
+  a corpus of multi-address coherent executions shaped like the worst
+  case the pre-pass targets — per address, a message-passing write
+  chain spread over many processes, closed by a re-write of the
+  initial value with a final-value constraint.  Without the pre-pass
+  the planner's estimate exceeds the exact-search budget and the task
+  pays the O(n^3)-clause CNF encoding; with it, every task downgrades
+  to the O(n log n) Section 5.2 backend.
+
+* **Portfolio matrix** (pre-pass off, so the exponential tier is
+  exercised): a *mixed* corpus — chains (the frontier search wins in
+  milliseconds; SAT pays the cubic encoding), wide all-writer
+  instances with an unreachable final value (SAT refutes fast; the
+  uncapped search must exhaust ~10^5.8 states), and the
+  ``consistency.generate`` sweep (tiny instances, race cutoff
+  territory).  ``race-portfolio`` runs the engine's exact-vs-SAT race,
+  ``race-exact-solo`` / ``race-sat-solo`` force each leg; the race
+  must be no slower than 1.25x the better solo leg (the CI regression
+  guard) and in practice beats both, since neither leg wins on every
+  family.
 
 Usage::
 
@@ -16,8 +29,9 @@ Usage::
         [--repeats R] [--out BENCH_engine.json]
 
 Writes ``BENCH_engine.json`` (repo root by default) with per-config
-median wall-clock times and the speedup of every configuration against
-the serial no-pre-pass baseline.  Not a pytest module — run directly.
+median wall-clock times, UTC timestamp and git revision.  Exit status
+1 on any verdict mismatch or portfolio regression.  Not a pytest
+module — run directly.
 """
 
 from __future__ import annotations
@@ -26,8 +40,10 @@ import argparse
 import json
 import platform
 import statistics
+import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -110,6 +126,42 @@ def build_sweep(quick: bool) -> list[Execution]:
     return out
 
 
+def wide_execution(nproc: int, length: int) -> Execution:
+    """All-writer instance with an unreachable final value.
+
+    Every interleaving is a legal prefix (no reads to constrain
+    anything), so the uncapped frontier search must exhaust the whole
+    ~(length+1)^nproc state space to refute; the CNF route refutes at
+    encoding time (the final value is never written).  The SAT leg's
+    home turf — the complement of the chain family.  One value is
+    written twice so the polynomial read-map row cannot decide it.
+    """
+    ops: list[list[Operation]] = []
+    v = 1
+    for p in range(nproc):
+        row = []
+        for i in range(length):
+            val = 1 if p == nproc - 1 and i == length - 1 else v
+            row.append(Operation(OpKind.WRITE, "w", p, i, value_written=val))
+            v += 1
+        ops.append(row)
+    return Execution.from_ops(ops, initial={"w": 0}, final={"w": 999})
+
+
+def build_race_corpus(quick: bool) -> list[Execution]:
+    """Mixed corpus for the portfolio matrix: chain executions (exact
+    wins), wide executions (SAT wins) and the generate sweep (tiny,
+    below the race cutoff)."""
+    return (
+        build_corpus(quick=True)
+        + [wide_execution(6, 6)]
+        + build_sweep(quick)
+    )
+
+
+# The pre-pass/pool matrix runs with the portfolio off so the medians
+# isolate the pre-pass and pool effects (and stay comparable with
+# earlier revisions of this file).
 CONFIGS: dict[str, dict] = {
     "baseline-serial": {"prepass": False, "jobs": 1, "pool": "thread"},
     "baseline-thread": {"prepass": False, "jobs": 0, "pool": "thread"},
@@ -119,14 +171,39 @@ CONFIGS: dict[str, dict] = {
     "prepass-process": {"prepass": True, "jobs": 0, "pool": "process"},
 }
 
+# The portfolio matrix: race vs each leg solo, pre-pass off so the
+# exponential tier actually runs.
+RACE_CONFIGS: dict[str, dict] = {
+    "race-portfolio": {
+        "prepass": False, "jobs": 1, "pool": "thread", "portfolio": True,
+    },
+    "race-exact-solo": {
+        "prepass": False, "jobs": 1, "pool": "thread", "portfolio": "exact",
+    },
+    "race-sat-solo": {
+        "prepass": False, "jobs": 1, "pool": "thread", "portfolio": "sat",
+    },
+}
+
+#: The regression guard: the race may cost at most this factor over the
+#: better solo leg...
+PORTFOLIO_GUARD_RATIO = 1.25
+#: ...with an absolute slack floor, so sub-second medians (where race
+#: startup overhead is proportionally large and noise dominates) cannot
+#: false-fail CI.
+PORTFOLIO_GUARD_SLACK_S = 0.25
+
 
 def run_config(
     corpus: list[Execution], cfg: dict, jobs: int, repeats: int
 ) -> dict:
     njobs = cfg["jobs"] or jobs
+    portfolio = cfg.get("portfolio", False)
     times: list[float] = []
     holds = 0
     prepass_stats: dict[str, int] = {}
+    races = 0
+    race_wins: dict[str, int] = {}
     for rep in range(repeats):
         t0 = time.perf_counter()
         for ex in corpus:
@@ -136,22 +213,47 @@ def run_config(
                 jobs=njobs,
                 pool=cfg["pool"],
                 cache=False,
+                portfolio=portfolio,
             )
             if rep == 0:
                 holds += bool(r)
                 for k, v in r.report.prepass.items():
                     prepass_stats[k] = prepass_stats.get(k, 0) + v
+                pf = r.report.portfolio
+                if pf:
+                    races += pf.get("races", 0)
+                    for leg, n in pf.get("wins", {}).items():
+                        race_wins[leg] = race_wins.get(leg, 0) + n
         times.append(time.perf_counter() - t0)
-    return {
+    out = {
         "prepass": cfg["prepass"],
         "jobs": njobs,
         "pool": cfg["pool"],
+        "portfolio": portfolio,
         "times_s": [round(t, 4) for t in times],
         "median_s": round(statistics.median(times), 4),
         "holds": holds,
         "instances": len(corpus),
         "prepass_counters": prepass_stats,
     }
+    if races:
+        out["races"] = races
+        out["race_wins"] = race_wins
+    return out
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -225,9 +327,49 @@ def main(argv: list[str] | None = None) -> int:
         print("error: pre-pass changed sweep verdicts", file=sys.stderr)
         return 1
 
+    # Portfolio matrix: race vs each solo leg on the mixed corpus.
+    race_corpus = build_race_corpus(args.quick)
+    print(f"race corpus: {len(race_corpus)} executions (mixed families)")
+    race_results: dict[str, dict] = {}
+    for name, cfg in RACE_CONFIGS.items():
+        race_results[name] = run_config(race_corpus, cfg, args.jobs, repeats)
+        r = race_results[name]
+        extra = (
+            f"  races={r['races']} wins={r['race_wins']}"
+            if r.get("races")
+            else ""
+        )
+        print(
+            f"{name:<18} median {r['median_s'] * 1e3:>9.1f}ms  "
+            f"coherent {r['holds']}/{r['instances']}{extra}"
+        )
+    arms = list(race_results.values())
+    if any(a["holds"] != arms[0]["holds"] for a in arms[1:]):
+        print("error: portfolio arms disagree on verdicts", file=sys.stderr)
+        return 1
+
+    portfolio_median = race_results["race-portfolio"]["median_s"]
+    best_solo = min(
+        race_results["race-exact-solo"]["median_s"],
+        race_results["race-sat-solo"]["median_s"],
+    )
+    guard_ok = (
+        portfolio_median <= PORTFOLIO_GUARD_RATIO * best_solo
+        or portfolio_median - best_solo <= PORTFOLIO_GUARD_SLACK_S
+    )
+    print(
+        f"portfolio {portfolio_median * 1e3:.1f}ms vs best solo "
+        f"{best_solo * 1e3:.1f}ms "
+        f"({'ok' if guard_ok else 'REGRESSION'}; guard "
+        f"{PORTFOLIO_GUARD_RATIO}x + {PORTFOLIO_GUARD_SLACK_S}s slack)"
+    )
+
     payload = {
-        "benchmark": "engine-prepass-pools",
-        "recorded": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "benchmark": "engine-prepass-pools-portfolio",
+        "recorded_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_sha": _git_sha(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "quick": args.quick,
@@ -244,6 +386,14 @@ def main(argv: list[str] | None = None) -> int:
             "instances": len(sweep),
             "configs": sweep_results,
         },
+        "race": {
+            "instances": len(race_corpus),
+            "configs": race_results,
+            "portfolio_vs_best_solo": (
+                round(portfolio_median / best_solo, 3) if best_solo else None
+            ),
+            "guard_ok": guard_ok,
+        },
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -254,6 +404,13 @@ def main(argv: list[str] | None = None) -> int:
             f"warning: prepass-process speedup {target}x is below the 2x "
             f"target", file=sys.stderr,
         )
+    if not guard_ok:
+        print(
+            f"error: portfolio median {portfolio_median}s regressed past "
+            f"{PORTFOLIO_GUARD_RATIO}x the better solo leg ({best_solo}s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

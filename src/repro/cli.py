@@ -8,9 +8,10 @@ Commands:
   sequential consistency instead; ``--model NAME`` checks a
   consistency model (TSO/PSO/RMO/SC/coherence); ``--method NAME``
   forces an engine backend, ``--jobs N`` verifies addresses in
-  parallel (``--pool thread|process`` picks the worker kind),
-  ``--no-prepass`` disables the polynomial pre-pass, ``--stats``
-  prints the engine report.
+  parallel (``--pool thread|process|auto`` picks the worker kind),
+  ``--no-prepass`` disables the polynomial pre-pass,
+  ``--no-portfolio`` disables exact-vs-SAT racing on the exponential
+  tier, ``--stats`` prints the engine report.
 * ``simulate``             — run the multiprocessor simulator on a
   workload, verify the result, optionally dump the trace.
 * ``solve <file.cnf>``     — decide a DIMACS formula with the built-in
@@ -94,7 +95,10 @@ def cmd_verify(args: argparse.Namespace) -> int:
             return _print_result(result, args.model, args.witness, args.stats)
         if args.sc:
             result = verify_sequential_consistency(
-                execution, method=args.method, prepass=not args.no_prepass
+                execution,
+                method=args.method,
+                prepass=not args.no_prepass,
+                portfolio=args.portfolio,
             )
             label = "sequential consistency"
         else:
@@ -104,6 +108,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 pool=args.pool,
                 prepass=not args.no_prepass,
+                portfolio=args.portfolio,
             )
             label = "coherence"
     except ValueError as e:
@@ -230,16 +235,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--pool",
-        choices=POOL_KINDS,
-        default="thread",
+        choices=POOL_KINDS + ("auto",),
+        default="auto",
         help="worker pool kind for --jobs > 1 (threads overlap waits; "
-        "processes scale across cores)",
+        "processes scale across cores; auto picks processes exactly "
+        "when heavy exponential-tier tasks survive the pre-pass)",
     )
     p.add_argument(
         "--no-prepass",
         action="store_true",
         help="skip the polynomial pre-pass (inference/elimination) before "
         "the exponential backends",
+    )
+    p.add_argument(
+        "--portfolio",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="race exact search vs SAT on exponential-tier tasks, first "
+        "sound verdict wins (--no-portfolio keeps the router's single "
+        "choice)",
     )
     p.add_argument(
         "--stats",
@@ -261,7 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the recorded trace to this JSON file")
     p.add_argument("--jobs", type=_positive_int, default=1,
                    help="verify addresses in parallel on N workers")
-    p.add_argument("--pool", choices=POOL_KINDS, default="thread",
+    p.add_argument("--pool", choices=POOL_KINDS + ("auto",), default="auto",
                    help="worker pool kind for --jobs > 1")
     p.add_argument("--stats", action="store_true",
                    help="print the engine report after verification")

@@ -24,7 +24,7 @@ exhaustive interleaving search on the NP-complete cells of Figure 5.3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.types import (
@@ -35,6 +35,13 @@ from repro.core.types import (
 from repro.core.result import VerificationResult
 from repro.sat import solve
 from repro.sat.cnf import CNF
+from repro.util.control import Cancelled, StopCheck
+
+#: Above this clause count the pre-solve :func:`repro.sat.simplify`
+#: pass is skipped — scanning every clause per propagated unit would
+#: cost more than it saves on the O(n^3)-clause encodings; the hints
+#: then reach CDCL as root assumptions instead.
+SIMPLIFY_CLAUSE_LIMIT = 20_000
 
 
 @dataclass
@@ -46,6 +53,10 @@ class ScheduleEncoding:
     before: dict[tuple[int, int], int]  # (i, j) i<j -> var: op_i before op_j
     feasible: bool = True  # False when a read has no possible source
     infeasible_reason: str = ""
+    #: Pre-pass order hints as ``before`` literals (filled instead of
+    #: unit clauses when ``hints_as_units=False``); the CDCL path feeds
+    #: them to the preprocessor / solver as assumptions.
+    hint_lits: list[int] = field(default_factory=list)
 
     def lit_before(self, i: int, j: int) -> int:
         """Literal asserting ops[i] precedes ops[j]."""
@@ -73,15 +84,21 @@ class ScheduleEncoding:
 def encode_legal_schedule(
     execution: Execution,
     order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
+    hints_as_units: bool = True,
+    should_stop: StopCheck = None,
 ) -> ScheduleEncoding:
     """Encode "a legal (per-address value-correct) schedule exists".
 
     For a single-address execution this is exactly VMC; for a
     multi-address execution it is VSC.  ``order_hints`` are (uid, uid)
     pairs known to hold in every legal schedule (the engine pre-pass's
-    inferred edges); they become unit clauses, which cannot change
-    satisfiability but let unit propagation fix ordering variables
-    before the solver searches.
+    inferred edges); with ``hints_as_units`` they become unit clauses,
+    which cannot change satisfiability but let unit propagation fix
+    ordering variables before the solver searches; otherwise they are
+    collected into ``enc.hint_lits`` for the caller to assert as solver
+    assumptions.  ``should_stop`` aborts the O(n^3) clause generation
+    (the encoding itself is the SAT leg's startup cost, so the
+    portfolio must be able to cancel it too).
     """
     ops = [op for h in execution.histories for op in h if not op.kind.is_sync]
     n = len(ops)
@@ -95,6 +112,8 @@ def encode_legal_schedule(
 
     # Transitivity: before(i,j) & before(j,k) -> before(i,k).
     for i in range(n):
+        if should_stop is not None and should_stop():
+            raise Cancelled("sat encoding", i * n * n)
         for j in range(n):
             if j == i:
                 continue
@@ -122,7 +141,10 @@ def encode_legal_schedule(
         for u, v in order_hints:
             iu, iv = index_of.get(u), index_of.get(v)
             if iu is not None and iv is not None and iu != iv:
-                cnf.add_clause([enc.lit_before(iu, iv)])
+                if hints_as_units:
+                    cnf.add_clause([enc.lit_before(iu, iv)])
+                else:
+                    enc.hint_lits.append(enc.lit_before(iu, iv))
 
     # Reads-from.
     by_addr: dict[Address, list[int]] = {
@@ -206,6 +228,7 @@ def sat_vmc(
     solver: str = "cdcl",
     max_conflicts: int | None = None,
     order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
+    should_stop: StopCheck = None,
 ) -> VerificationResult:
     """Decide VMC by CNF encoding + SAT solving."""
     if addr is not None:
@@ -213,7 +236,9 @@ def sat_vmc(
     addrs = execution.addresses()
     if len(addrs) > 1:
         raise ValueError(f"VMC is per-address; execution touches {addrs}")
-    result = _solve_encoding(execution, solver, max_conflicts, order_hints)
+    result = _solve_encoding(
+        execution, solver, max_conflicts, order_hints, should_stop
+    )
     result.address = addrs[0] if addrs else addr
     return result
 
@@ -223,9 +248,12 @@ def sat_vsc(
     solver: str = "cdcl",
     max_conflicts: int | None = None,
     order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
+    should_stop: StopCheck = None,
 ) -> VerificationResult:
     """Decide VSC by CNF encoding + SAT solving."""
-    return _solve_encoding(execution, solver, max_conflicts, order_hints)
+    return _solve_encoding(
+        execution, solver, max_conflicts, order_hints, should_stop
+    )
 
 
 def _solve_encoding(
@@ -233,22 +261,68 @@ def _solve_encoding(
     solver: str,
     max_conflicts: int | None,
     order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
+    should_stop: StopCheck = None,
 ) -> VerificationResult:
-    enc = encode_legal_schedule(execution, order_hints=order_hints)
+    """Encode, preprocess, solve, decode.
+
+    The CDCL route gets the constant-factor treatment the portfolio's
+    SAT leg needs: small formulas run the :mod:`repro.sat.simplify`
+    unit/pure-literal pass seeded with the pre-pass order hints
+    (everything the preprocessor forces never reaches the solver);
+    formulas past :data:`SIMPLIFY_CLAUSE_LIMIT` skip preprocessing and
+    assert the hints as root-level solver assumptions instead.  Other
+    solvers keep the plain encoding with hints as unit clauses.
+    """
+    use_cdcl = solver == "cdcl"
+    enc = encode_legal_schedule(
+        execution,
+        order_hints=order_hints,
+        hints_as_units=not use_cdcl,
+        should_stop=should_stop,
+    )
+    stats: dict = {"vars": enc.cnf.num_vars, "clauses": enc.cnf.num_clauses}
     if not enc.feasible:
         return VerificationResult(
             holds=False,
             method=f"sat-{solver}",
             reason=enc.infeasible_reason,
-            stats={"vars": enc.cnf.num_vars, "clauses": enc.cnf.num_clauses},
+            stats=stats,
         )
-    if solver == "cdcl" and max_conflicts is not None:
+    if use_cdcl:
         from repro.sat.cdcl import solve_cdcl
 
-        model = solve_cdcl(enc.cnf, max_conflicts=max_conflicts)
+        if enc.cnf.num_clauses <= SIMPLIFY_CLAUSE_LIMIT:
+            from repro.sat.simplify import simplify
+
+            pre = simplify(enc.cnf, assume=enc.hint_lits)
+            stats["pp_forced"] = len(pre.forced)
+            stats["pp_clauses"] = pre.cnf.num_clauses
+            if pre.unsat:
+                return VerificationResult(
+                    holds=False,
+                    method=f"sat-{solver}",
+                    reason=(
+                        "the CNF encoding of a legal schedule is "
+                        "unsatisfiable (refuted by unit propagation)"
+                    ),
+                    stats=stats,
+                )
+            model = pre.extend_model(
+                solve_cdcl(
+                    pre.cnf,
+                    max_conflicts=max_conflicts,
+                    should_stop=should_stop,
+                )
+            )
+        else:
+            model = solve_cdcl(
+                enc.cnf,
+                max_conflicts=max_conflicts,
+                should_stop=should_stop,
+                assumptions=enc.hint_lits,
+            )
     else:
         model = solve(enc.cnf, solver=solver)
-    stats = {"vars": enc.cnf.num_vars, "clauses": enc.cnf.num_clauses}
     if model is None:
         return VerificationResult(
             holds=False,

@@ -19,9 +19,29 @@ This is simultaneously:
   ``O(k n^k)``/``O(n^k)`` bounds of Gibbons & Korach specialised in
   Section 5.1.
 
+Hot-path engineering (the search is one leg of the engine's portfolio
+race, so its constant factors matter):
+
+* **packed states** — positions and values are mixed-radix-encoded
+  into a single integer, so the memo set holds small ints instead of
+  nested tuples (cheaper hashing, ~3x less memory);
+* **read commitment** — an enabled operation that cannot change the
+  store (a value-matching read, or a sync op) is executed immediately
+  and never backtracked over.  Sound by an exchange argument: such an
+  operation can be moved to the front of any legal completion without
+  affecting any other operation's enabledness, so exploring the other
+  branches cannot find a witness this branch misses.  On
+  reads-from-chained instances this collapses the branching factor to
+  the write interleavings only;
+* **cooperative cancellation** — ``should_stop`` (see
+  :mod:`repro.util.control`) is polled every
+  :data:`~repro.util.control.CHECK_INTERVAL` loop steps; the portfolio
+  executor uses it to abort the losing leg.
+
 ``max_states`` caps the search so benchmark harnesses can demonstrate
 exponential blow-up without hanging; exceeding it raises
-:class:`SearchBudgetExceeded`.
+:class:`SearchBudgetExceeded` (which the engine's exact backend treats
+as "escalate to SAT", never as a task error).
 """
 
 from __future__ import annotations
@@ -29,13 +49,13 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.types import (
-    INITIAL,
     Address,
     Execution,
     Operation,
     Value,
 )
 from repro.core.result import VerificationResult
+from repro.util.control import CHECK_INTERVAL, Cancelled, StopCheck
 
 
 class SearchBudgetExceeded(RuntimeError):
@@ -51,12 +71,15 @@ def exact_vmc(
     addr: Address | None = None,
     max_states: int | None = None,
     order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
+    should_stop: StopCheck = None,
 ) -> VerificationResult:
     """Decide VMC for a single-address execution by exhaustive search.
 
     ``order_hints`` are (uid, uid) pairs known to hold in every coherent
     schedule (the engine pre-pass's inferred edges); the search prunes
     states that violate them, which never changes the verdict.
+    ``should_stop`` is polled periodically; when it fires the search
+    raises :class:`repro.util.control.Cancelled`.
     """
     if addr is not None:
         execution = execution.restrict_to_address(addr)
@@ -66,7 +89,10 @@ def exact_vmc(
             f"VMC is per-address; execution touches {addrs}, pass addr="
         )
     result = _frontier_search(
-        execution, max_states=max_states, order_hints=order_hints
+        execution,
+        max_states=max_states,
+        order_hints=order_hints,
+        should_stop=should_stop,
     )
     result.address = addrs[0] if addrs else addr
     return result
@@ -76,17 +102,27 @@ def exact_vsc(
     execution: Execution,
     max_states: int | None = None,
     order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
+    should_stop: StopCheck = None,
 ) -> VerificationResult:
     """Decide VSC (all addresses simultaneously) by exhaustive search."""
     return _frontier_search(
-        execution, max_states=max_states, order_hints=order_hints
+        execution,
+        max_states=max_states,
+        order_hints=order_hints,
+        should_stop=should_stop,
     )
+
+
+#: Sentinel value index for a read whose value is never written and is
+#: not the initial value — such a read can never execute.
+_IMPOSSIBLE = -1
 
 
 def _frontier_search(
     execution: Execution,
     max_states: int | None,
     order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
+    should_stop: StopCheck = None,
 ) -> VerificationResult:
     histories: Sequence[Sequence[Operation]] = [
         h.operations for h in execution.histories
@@ -95,12 +131,63 @@ def _frontier_search(
     lengths = [len(h) for h in histories]
     total = sum(lengths)
 
-    # Address/value bookkeeping uses dense address indices for speed.
+    # Address/value bookkeeping uses dense address and value indices.
     # Final-only addresses are included so an unreachable d_F is caught.
     addr_list = execution.constrained_addresses()
     addr_idx = {a: i for i, a in enumerate(addr_list)}
-    initial_vec = tuple(execution.initial_value(a) for a in addr_list)
-    final_req: list[Value | None] = [execution.final_value(a) for a in addr_list]
+    # Per address: the values it can ever hold (initial + every written
+    # value), densely numbered for the packed-state encoding.
+    val_ids: list[dict[Value, int]] = []
+    for a in addr_list:
+        ids: dict[Value, int] = {execution.initial_value(a): 0}
+        for h in histories:
+            for op in h:
+                if op.kind.writes and op.addr == a:
+                    ids.setdefault(op.value_written, len(ids))
+        val_ids.append(ids)
+
+    # Mixed-radix strides: a state packs into the single integer
+    #   (sum_p positions[p] * pos_stride[p]) * val_space
+    #   + sum_a value_idx[a] * val_stride[a]
+    pos_stride: list[int] = []
+    acc = 1
+    for ln in lengths:
+        pos_stride.append(acc)
+        acc *= ln + 1
+    val_stride: list[int] = []
+    val_space = 1
+    for ids in val_ids:
+        val_stride.append(val_space)
+        val_space *= len(ids)
+
+    initial_vals = tuple(0 for _ in addr_list)  # initial value has idx 0
+    final_req: list[int | None] = []
+    for i, a in enumerate(addr_list):
+        d_f = execution.final_value(a)
+        if d_f is None:
+            final_req.append(None)
+        else:
+            final_req.append(val_ids[i].get(d_f, _IMPOSSIBLE))
+    check_final = [
+        (i, req) for i, req in enumerate(final_req) if req is not None
+    ]
+
+    # Per-op dense info: (op, addr_idx, is_sync, reads, writes,
+    # read_val_idx, write_val_idx, committable).  A committable op
+    # cannot change the store, so once enabled it is executed eagerly.
+    op_info: list[list[tuple]] = []
+    for h in histories:
+        row = []
+        for op in h:
+            if op.kind.is_sync:
+                row.append((op, -1, True, False, False, _IMPOSSIBLE, 0, True))
+                continue
+            ai = addr_idx[op.addr]
+            reads, writes = op.kind.reads, op.kind.writes
+            rv = val_ids[ai].get(op.value_read, _IMPOSSIBLE) if reads else _IMPOSSIBLE
+            wv = val_ids[ai].get(op.value_written, 0) if writes else 0
+            row.append((op, ai, False, reads, writes, rv, wv, reads and not writes))
+        op_info.append(row)
 
     # Necessary-order hints: op at (p, i) may only execute once every
     # listed (q, j) predecessor has (positions[q] > j).  Sound pruning:
@@ -117,25 +204,11 @@ def _frontier_search(
             if pu is not None and pv is not None and pu != pv:
                 required.setdefault(pv, []).append(pu)
 
-    # Iterative DFS.  Stack entries: (positions, values, chosen-op trail
-    # index).  We memoize *visited* states; since the search is a pure
-    # reachability question on a DAG of states (positions only grow),
-    # visited == failed once we pop past them.
-    start = (tuple([0] * k), initial_vec)
-    visited: set[tuple[tuple[int, ...], tuple[Value, ...]]] = set()
-    # Each stack frame: (state, next process to try).  `choice_trail`
-    # records the op chosen when a frame was entered (for the witness).
-    stack: list[tuple[tuple[tuple[int, ...], tuple[Value, ...]], int]] = [(start, 0)]
-    trail: list[Operation] = []
-    states_expanded = 0
-
-    def final_ok(values: tuple[Value, ...]) -> bool:
-        return all(
-            req is None or values[i] == req for i, req in enumerate(final_req)
-        )
+    def final_ok(values: tuple[int, ...]) -> bool:
+        return all(values[i] == req for i, req in check_final)
 
     if total == 0:
-        ok = final_ok(initial_vec)
+        ok = final_ok(initial_vals)
         return VerificationResult(
             holds=ok,
             method="exact",
@@ -144,9 +217,31 @@ def _frontier_search(
             stats={"states": 0},
         )
 
-    visited.add(start)
+    # Iterative DFS over packed states.  Each frame:
+    # [positions, values, pos_code, val_code, candidates, next_cand].
+    # ``candidates`` (built lazily on first expansion) is the list of
+    # processes whose next op is enabled in this state — or a single
+    # committed op when a store-neutral op is enabled.  We memoize
+    # *visited* states; the search is a pure reachability question on a
+    # DAG of states (positions only grow), so visited == failed once we
+    # pop past them.
+    start_packed = 0  # all positions 0, all values initial (idx 0)
+    visited: set[int] = {start_packed}
+    stack: list[list] = [[(0,) * k, initial_vals, 0, 0, None, 0]]
+    trail: list[Operation] = []
+    states_expanded = 0
+    steps = 0
+
     while stack:
-        (positions, values), proc = stack[-1]
+        steps += 1
+        if (
+            should_stop is not None
+            and steps % CHECK_INTERVAL == 0
+            and should_stop()
+        ):
+            raise Cancelled("exact search", states_expanded)
+        frame = stack[-1]
+        positions, values = frame[0], frame[1]
         if len(trail) == total:
             if final_ok(values):
                 return VerificationResult(
@@ -160,47 +255,60 @@ def _frontier_search(
             if trail:
                 trail.pop()
             continue
+        cands = frame[4]
+        if cands is None:
+            cands = []
+            for p in range(k):
+                i = positions[p]
+                if i >= lengths[p]:
+                    continue
+                if required:
+                    reqs = required.get((p, i))
+                    if reqs is not None and any(
+                        positions[q] <= j for q, j in reqs
+                    ):
+                        continue
+                info = op_info[p][i]
+                # info: (op, ai, sync, reads, writes, rv, wv, committable)
+                if info[3] and values[info[1]] != info[5]:
+                    continue  # read of a value the address does not hold
+                if info[7]:
+                    # Store-neutral op enabled: commit to it, explore
+                    # nothing else from this state (exchange argument).
+                    cands = [p]
+                    break
+                cands.append(p)
+            frame[4] = cands
         advanced = False
-        while proc < k:
-            stack[-1] = ((positions, values), proc + 1)
-            p = proc
-            proc += 1
-            if positions[p] >= lengths[p]:
-                continue
-            if required:
-                reqs = required.get((p, positions[p]))
-                if reqs is not None and any(
-                    positions[q] <= j for q, j in reqs
-                ):
-                    continue
-            op = histories[p][positions[p]]
-            if op.kind.is_sync:
-                new_values = values
+        while frame[5] < len(cands):
+            p = cands[frame[5]]
+            frame[5] += 1
+            info = op_info[p][positions[p]]
+            op, ai = info[0], info[1]
+            new_pos_code = frame[2] + pos_stride[p]
+            if info[4]:  # writes
+                new_values = values[:ai] + (info[6],) + values[ai + 1 :]
+                new_val_code = frame[3] + (info[6] - values[ai]) * val_stride[ai]
             else:
-                ai = addr_idx[op.addr]
-                if op.kind.reads and op.value_read != values[ai]:
-                    continue
-                if op.kind.writes:
-                    new_values = (
-                        values[:ai] + (op.value_written,) + values[ai + 1 :]
-                    )
-                else:
-                    new_values = values
-            new_positions = (
-                positions[:p] + (positions[p] + 1,) + positions[p + 1 :]
-            )
-            new_state = (new_positions, new_values)
-            if new_state in visited:
+                new_values = values
+                new_val_code = frame[3]
+            packed = new_pos_code * val_space + new_val_code
+            if packed in visited:
                 continue
-            visited.add(new_state)
+            visited.add(packed)
             states_expanded += 1
             if max_states is not None and states_expanded > max_states:
                 raise SearchBudgetExceeded(states_expanded)
-            stack.append((new_state, 0))
+            new_positions = (
+                positions[:p] + (positions[p] + 1,) + positions[p + 1 :]
+            )
+            stack.append(
+                [new_positions, new_values, new_pos_code, new_val_code, None, 0]
+            )
             trail.append(op)
             advanced = True
             break
-        if not advanced and stack and stack[-1][1] >= k:
+        if not advanced and frame[5] >= len(cands):
             stack.pop()
             if trail:
                 trail.pop()

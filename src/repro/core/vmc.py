@@ -46,10 +46,16 @@ def verify_coherence_at(
     method: str = "auto",
     write_order: Sequence[Operation] | None = None,
     prepass: bool = True,
+    portfolio=True,
 ) -> VerificationResult:
     """Decide VMC at one address of a (possibly multi-address) execution."""
     return verify_vmc_at(
-        execution, addr, method=method, write_order=write_order, prepass=prepass
+        execution,
+        addr,
+        method=method,
+        write_order=write_order,
+        prepass=prepass,
+        portfolio=portfolio,
     )
 
 
@@ -60,8 +66,9 @@ def verify_coherence(
     *,
     jobs: int = 1,
     cache=None,
-    pool: str = "thread",
+    pool: str = "auto",
     prepass: bool = True,
+    portfolio=True,
 ) -> VerificationResult:
     """Decide whether the execution is coherent (per Section 3): a
     coherent schedule exists for *every* address.
@@ -70,14 +77,17 @@ def verify_coherence(
     are in ``result.per_address``.  For a single-address execution this
     is exactly the VMC decision problem.
 
-    ``jobs``, ``pool``, ``cache`` and ``prepass`` are forwarded to the
-    engine: ``jobs=N`` verifies addresses on a thread or process pool
-    (``pool="thread" | "process"``), ``cache`` may be a shared
-    :class:`repro.engine.ResultCache` (``None`` uses a fresh per-call
-    cache, ``False`` disables caching), and ``prepass=False`` skips the
-    polynomial pre-pass.
+    ``jobs``, ``pool``, ``cache``, ``prepass`` and ``portfolio`` are
+    forwarded to the engine: ``jobs=N`` verifies addresses on a pool
+    (``pool="thread" | "process" | "auto"`` — auto picks processes
+    exactly when heavy exponential-tier tasks survive the pre-pass),
+    ``cache`` may be a shared :class:`repro.engine.ResultCache`
+    (``None`` uses a fresh per-call cache, ``False`` disables caching),
+    ``prepass=False`` skips the polynomial pre-pass, and
+    ``portfolio=False`` disables exact-vs-SAT racing on the
+    exponential tier.
     """
     return verify_vmc(
         execution, method=method, write_orders=write_orders, jobs=jobs,
-        cache=cache, pool=pool, prepass=prepass,
+        cache=cache, pool=pool, prepass=prepass, portfolio=portfolio,
     )

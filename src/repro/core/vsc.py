@@ -20,7 +20,12 @@ from repro.core.vmc import _estimated_states, _EXACT_STATE_BUDGET  # noqa: F401
 
 
 def verify_sequential_consistency(
-    execution: Execution, method: str = "auto", prepass: bool = True
+    execution: Execution,
+    method: str = "auto",
+    prepass: bool = True,
+    portfolio=True,
 ) -> VerificationResult:
     """Decide whether a sequentially consistent schedule exists."""
-    return verify_vsc(execution, method=method, prepass=prepass)
+    return verify_vsc(
+        execution, method=method, prepass=prepass, portfolio=portfolio
+    )

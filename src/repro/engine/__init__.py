@@ -37,8 +37,13 @@ from repro.engine.backend import (
     estimated_states,
 )
 from repro.engine.cache import CacheStats, ResultCache, canonicalize, fingerprint
-from repro.engine.executor import POOL_KINDS, execute_plan, run_task
+from repro.engine.executor import POOL_KINDS, execute_plan, resolve_pool, run_task
 from repro.engine.planner import PlannedTask, plan_vmc, plan_vsc
+from repro.engine.portfolio import (
+    PORTFOLIO_MIN_STATES,
+    RACE_STATE_BUDGET,
+    PortfolioBackend,
+)
 from repro.engine.prepass import (
     EXPONENTIAL_TIER,
     PrepassInfo,
@@ -58,6 +63,8 @@ __all__ = [
     "EXACT_STATE_BUDGET",
     "EXPONENTIAL_TIER",
     "POOL_KINDS",
+    "PORTFOLIO_MIN_STATES",
+    "RACE_STATE_BUDGET",
     "Backend",
     "BackendInapplicableError",
     "BackendRegistry",
@@ -65,6 +72,7 @@ __all__ = [
     "EngineReport",
     "Instance",
     "PlannedTask",
+    "PortfolioBackend",
     "PrepassInfo",
     "ResultCache",
     "TaskStats",
@@ -78,6 +86,7 @@ __all__ = [
     "plan_vsc",
     "prepass_vmc",
     "prepass_vsc",
+    "resolve_pool",
     "run_task",
     "verify_vmc",
     "verify_vmc_at",
@@ -106,23 +115,32 @@ def verify_vmc(
     cache: "ResultCache | bool | None" = None,
     registry: BackendRegistry | None = None,
     early_exit: bool = True,
-    pool: str = "thread",
+    pool: str = "auto",
     prepass: bool = True,
+    portfolio=True,
 ) -> VerificationResult:
     """Decide whether the execution is coherent (Section 3): a coherent
     schedule exists for *every* address.
 
     Plans one task per constrained address (each shrunk or decided by
     the polynomial pre-pass unless ``prepass=False``), runs them (in
-    parallel when ``jobs > 1``, on threads or processes per ``pool``),
-    and aggregates.  Per-address results (with witnesses) are in
-    ``result.per_address``; execution statistics are in
+    parallel when ``jobs > 1``, on threads or processes per ``pool`` —
+    ``"auto"`` picks processes exactly when the plan still contains
+    heavy exponential-tier work), and aggregates.  ``portfolio``
+    controls the exponential tier: True races exact search vs SAT per
+    task, ``"exact"``/``"sat"`` force that leg, False keeps the
+    router's single choice.  Per-address results (with witnesses) are
+    in ``result.per_address``; execution statistics are in
     ``result.report``.
     """
     addrs = execution.constrained_addresses()
     if not addrs:
         result = VerificationResult(holds=True, method="trivial", schedule=[])
-        result.report = EngineReport(problem="vmc", jobs=max(1, jobs), pool=pool)
+        result.report = EngineReport(
+            problem="vmc",
+            jobs=max(1, jobs),
+            pool=pool if pool != "auto" else "thread",
+        )
         return result
     tasks = plan_vmc(
         execution,
@@ -130,6 +148,7 @@ def verify_vmc(
         write_orders=write_orders,
         registry=registry,
         prepass=prepass,
+        portfolio=portfolio,
     )
     results, report = execute_plan(
         tasks,
@@ -173,6 +192,7 @@ def verify_vmc_at(
     cache: "ResultCache | bool | None" = False,
     registry: BackendRegistry | None = None,
     prepass: bool = True,
+    portfolio=True,
 ) -> VerificationResult:
     """Decide VMC at one address of a (possibly multi-address)
     execution."""
@@ -183,7 +203,9 @@ def verify_vmc_at(
         registry.get(method)
     sub = execution.restrict_to_address(addr)
     instance = Instance(sub, address=addr, write_order=write_order, problem="vmc")
-    task = _prepassed_task(0, addr, instance, method, registry, prepass)
+    task = _prepassed_task(
+        0, addr, instance, method, registry, prepass, portfolio
+    )
     results, report = execute_plan(
         [task], jobs=1, cache=_resolve_cache(cache), problem="vmc"
     )
@@ -198,11 +220,18 @@ def verify_vsc(
     cache: "ResultCache | bool | None" = False,
     registry: BackendRegistry | None = None,
     prepass: bool = True,
+    portfolio=True,
 ) -> VerificationResult:
     """Decide whether a sequentially consistent schedule exists
     (Definition 6.1).  VSC needs one schedule over all addresses at
     once, so there is a single task — no per-address parallelism."""
-    tasks = plan_vsc(execution, method=method, registry=registry, prepass=prepass)
+    tasks = plan_vsc(
+        execution,
+        method=method,
+        registry=registry,
+        prepass=prepass,
+        portfolio=portfolio,
+    )
     results, report = execute_plan(
         tasks, jobs=1, cache=_resolve_cache(cache), problem="vsc"
     )

@@ -32,6 +32,7 @@ from repro.core import exact, readmap, single_op, writeorder
 from repro.core.encode import sat_vmc, sat_vsc
 from repro.core.result import VerificationResult
 from repro.core.types import Address, Execution, Operation
+from repro.util.control import StopCheck
 
 # With k processes the frontier search visits O(n^k) states; keep exact
 # search for instances whose worst-case state count is modest.
@@ -137,6 +138,21 @@ class Backend(abc.ABC):
         """Decide the instance.  Must be thread-safe and side-effect
         free — the executor may call it from worker threads."""
 
+    def run_cancellable(
+        self, instance: Instance, should_stop: StopCheck = None
+    ) -> VerificationResult:
+        """Decide the instance, polling ``should_stop`` when supported.
+
+        Backends whose algorithm supports cooperative cancellation (the
+        exact search, CDCL) override this; the default ignores the stop
+        check and runs to completion, which is always correct — the
+        portfolio executor just cannot abort such a leg early.  Unlike
+        :meth:`run`, budget exhaustion (``SearchBudgetExceeded``) is
+        allowed to propagate so the racing caller can let the other leg
+        finish instead of silently escalating inside the losing leg.
+        """
+        return self.run(instance)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r} tier={self.tier}>"
 
@@ -219,11 +235,23 @@ class ReadMapBackend(Backend):
 
 
 class ExactBackend(Backend):
-    """Memoized frontier search — polynomial for constant processes."""
+    """Memoized frontier search — polynomial for constant processes.
+
+    ``max_states`` caps the search; when the cap is hit, :meth:`run`
+    escalates to the ``fallback_solver`` SAT route instead of raising
+    (budget exhaustion is a routing event, never a task error), while
+    :meth:`run_cancellable` lets :class:`SearchBudgetExceeded` propagate
+    so a racing portfolio can simply retire this leg.
+    """
 
     name = "exact"
     problem = "vmc"
     tier = 3
+
+    def __init__(self, max_states: int | None = None,
+                 fallback_solver: str = "cdcl"):
+        self.max_states = max_states
+        self.fallback_solver = fallback_solver
 
     def applicable(self, instance: Instance) -> bool:
         return True
@@ -235,8 +263,30 @@ class ExactBackend(Backend):
         return min(instance.states, 1e18)
 
     def run(self, instance: Instance) -> VerificationResult:
+        try:
+            return exact.exact_vmc(
+                instance.execution,
+                max_states=self.max_states,
+                order_hints=instance.order_hints,
+            )
+        except exact.SearchBudgetExceeded as e:
+            result = sat_vmc(
+                instance.execution,
+                solver=self.fallback_solver,
+                order_hints=instance.order_hints,
+            )
+            result.stats["fallback_from"] = "exact"
+            result.stats["exact_states"] = e.states
+            return result
+
+    def run_cancellable(
+        self, instance: Instance, should_stop: StopCheck = None
+    ) -> VerificationResult:
         return exact.exact_vmc(
-            instance.execution, order_hints=instance.order_hints
+            instance.execution,
+            max_states=self.max_states,
+            order_hints=instance.order_hints,
+            should_stop=should_stop,
         )
 
 
@@ -269,6 +319,16 @@ class SatBackend(Backend):
             order_hints=instance.order_hints,
         )
 
+    def run_cancellable(
+        self, instance: Instance, should_stop: StopCheck = None
+    ) -> VerificationResult:
+        return sat_vmc(
+            instance.execution,
+            solver=self.solver,
+            order_hints=instance.order_hints,
+            should_stop=should_stop,
+        )
+
 
 # ---------------------------------------------------------------------
 # Built-in VSC backends
@@ -280,6 +340,11 @@ class ExactVscBackend(Backend):
     problem = "vsc"
     tier = 0
 
+    def __init__(self, max_states: int | None = None,
+                 fallback_solver: str = "cdcl"):
+        self.max_states = max_states
+        self.fallback_solver = fallback_solver
+
     def applicable(self, instance: Instance) -> bool:
         return True
 
@@ -290,8 +355,30 @@ class ExactVscBackend(Backend):
         return min(instance.states, 1e18)
 
     def run(self, instance: Instance) -> VerificationResult:
+        try:
+            return exact.exact_vsc(
+                instance.execution,
+                max_states=self.max_states,
+                order_hints=instance.order_hints,
+            )
+        except exact.SearchBudgetExceeded as e:
+            result = sat_vsc(
+                instance.execution,
+                solver=self.fallback_solver,
+                order_hints=instance.order_hints,
+            )
+            result.stats["fallback_from"] = "exact"
+            result.stats["exact_states"] = e.states
+            return result
+
+    def run_cancellable(
+        self, instance: Instance, should_stop: StopCheck = None
+    ) -> VerificationResult:
         return exact.exact_vsc(
-            instance.execution, order_hints=instance.order_hints
+            instance.execution,
+            max_states=self.max_states,
+            order_hints=instance.order_hints,
+            should_stop=should_stop,
         )
 
 
@@ -319,4 +406,14 @@ class SatVscBackend(Backend):
             instance.execution,
             solver=self.solver,
             order_hints=instance.order_hints,
+        )
+
+    def run_cancellable(
+        self, instance: Instance, should_stop: StopCheck = None
+    ) -> VerificationResult:
+        return sat_vsc(
+            instance.execution,
+            solver=self.solver,
+            order_hints=instance.order_hints,
+            should_stop=should_stop,
         )

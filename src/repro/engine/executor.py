@@ -35,9 +35,45 @@ from time import perf_counter
 from repro.core.result import VerificationResult
 from repro.engine.cache import CanonicalInstance, ResultCache, canonicalize
 from repro.engine.planner import PlannedTask
+from repro.engine.portfolio import PORTFOLIO_MIN_STATES, PortfolioBackend
+from repro.engine.prepass import EXPONENTIAL_TIER
 from repro.engine.report import EngineReport, TaskStats
 
 POOL_KINDS = ("thread", "process")
+
+
+def _is_heavy(task: PlannedTask) -> bool:
+    """Whether a task carries exponential-tier work worth a process.
+
+    Pre-pass-decided tasks cost nothing; small exact searches finish in
+    microseconds.  Only surviving exponential-tier tasks with a
+    non-trivial state space justify paying process-pool pickling — and
+    under the GIL they are also the ones a thread pool cannot speed up.
+    """
+    if task.prepass is not None and task.prepass.decided is not None:
+        return False
+    if isinstance(task.backend, PortfolioBackend):
+        return True
+    threshold = EXPONENTIAL_TIER if task.instance.problem == "vmc" else 0
+    return (
+        task.backend.tier >= threshold
+        and task.run_instance.states > PORTFOLIO_MIN_STATES
+    )
+
+
+def resolve_pool(pool: str, tasks: list[PlannedTask], jobs: int) -> str:
+    """Resolve ``pool="auto"`` to a concrete pool kind.
+
+    Processes win only when there is CPU-bound work to parallelise:
+    with ``jobs > 1`` and at least one heavy exponential-tier task the
+    GIL makes a thread pool *slower* than serial, so auto picks
+    ``process``; otherwise threads (cheap startup, no pickling).
+    """
+    if pool != "auto":
+        return pool
+    if jobs > 1 and any(_is_heavy(t) for t in tasks):
+        return "process"
+    return "thread"
 
 
 def _decide_task(task: PlannedTask) -> tuple[VerificationResult, float]:
@@ -114,10 +150,12 @@ def execute_plan(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    if pool not in POOL_KINDS:
+    if pool not in POOL_KINDS and pool != "auto":
         raise ValueError(
-            f"unknown pool kind {pool!r}; choose from {POOL_KINDS}"
+            f"unknown pool kind {pool!r}; choose from "
+            f"{POOL_KINDS + ('auto',)}"
         )
+    pool = resolve_pool(pool, tasks, jobs)
     start = perf_counter()
     report = EngineReport(
         problem=problem, jobs=jobs, pool=pool, planned=len(tasks)
@@ -169,6 +207,7 @@ def execute_plan(
             )
         )
     report.early_exit = early_exit and violated and len(outcomes) < len(tasks)
+    _aggregate_portfolio(tasks, outcomes, report)
     prepassed = [t.prepass for t in tasks if t.prepass is not None]
     if prepassed:
         report.prepass = {
@@ -184,6 +223,40 @@ def execute_plan(
         report.cache_evictions = cache.stats.evictions - evictions_before
     report.wall_time = perf_counter() - start
     return results, report
+
+
+def _aggregate_portfolio(
+    tasks: list[PlannedTask],
+    outcomes: dict[int, tuple[VerificationResult, bool, float]],
+    report: EngineReport,
+) -> None:
+    """Fold per-task race records into the report's portfolio summary.
+
+    Cache hits are excluded — a hit replays a verdict, not a race."""
+    races = 0
+    wins: dict[str, int] = {}
+    cancelled = 0
+    budget_exceeded = 0
+    for task in tasks:
+        got = outcomes.get(task.order)
+        if got is None:
+            continue
+        result, cache_hit, _seconds = got
+        record = result.stats.get("portfolio")
+        if cache_hit or not isinstance(record, dict):
+            continue
+        races += 1
+        winner = record.get("winner", "?")
+        wins[winner] = wins.get(winner, 0) + 1
+        cancelled += record.get("cancelled", 0)
+        budget_exceeded += record.get("budget_exceeded", 0)
+    if races:
+        report.portfolio = {
+            "races": races,
+            "wins": wins,
+            "cancelled_legs": cancelled,
+            "budget_exceeded": budget_exceeded,
+        }
 
 
 def _run_pooled(

@@ -31,6 +31,11 @@ from typing import Mapping, Sequence
 
 from repro.core.types import Address, Execution, Operation
 from repro.engine.backend import Backend, Instance
+from repro.engine.portfolio import (
+    PORTFOLIO_MIN_STATES,
+    RACE_STATE_BUDGET,
+    PortfolioBackend,
+)
 from repro.engine.prepass import (
     EXPONENTIAL_TIER,
     PrepassInfo,
@@ -62,6 +67,57 @@ class PlannedTask:
             self.run_instance = self.instance
 
 
+def _portfolio_legs(
+    registry: BackendRegistry,
+) -> tuple[Backend, Backend] | None:
+    """The (budgeted exact, SAT) leg pair, or None for registries that
+    lack either algorithm (custom registries opt out of racing)."""
+    try:
+        exact_leg = registry.get("exact")
+        sat_leg = registry.get("sat-cdcl")
+    except ValueError:
+        return None
+    try:
+        capped = type(exact_leg)(max_states=RACE_STATE_BUDGET)
+    except TypeError:
+        capped = exact_leg  # custom exact without a budget knob
+    return capped, sat_leg
+
+
+def _apply_portfolio(
+    task: PlannedTask, registry: BackendRegistry, portfolio
+) -> None:
+    """Rebind an exponential-tier task per the portfolio policy.
+
+    ``portfolio`` is True/"race" (race exact vs SAT), "exact"/"sat"
+    (force that leg solo — the benchmark's comparison arms), or False
+    (keep the router's choice).  Small instances skip the race when the
+    router already picked the exact search: it wins so fast that the
+    second leg is pure overhead.
+    """
+    if portfolio is False or portfolio is None:
+        return
+    run = task.run_instance
+    if portfolio in ("exact", "sat"):
+        name = "exact" if portfolio == "exact" else "sat-cdcl"
+        try:
+            task.backend = registry.get(name)
+        except ValueError:
+            return
+        task.estimate = task.backend.cost_estimate(run)
+        return
+    if (
+        task.backend.name == "exact"
+        and run.states <= PORTFOLIO_MIN_STATES
+    ):
+        return
+    legs = _portfolio_legs(registry)
+    if legs is None:
+        return
+    task.backend = PortfolioBackend(legs, problem=run.problem)
+    task.estimate = task.backend.cost_estimate(run)
+
+
 def _prepassed_task(
     order: int,
     address: Address | None,
@@ -69,12 +125,15 @@ def _prepassed_task(
     method: str,
     registry: BackendRegistry,
     prepass: bool,
+    portfolio=True,
 ) -> PlannedTask:
     """Select a backend, then let the pre-pass shrink/decide/downgrade.
 
     The pre-pass only runs for auto-routed tasks that landed on the
     exponential tiers — it cannot beat an already-polynomial backend,
-    and a forced ``method=`` is a contract with the caller.
+    and a forced ``method=`` is a contract with the caller.  Surviving
+    exponential-tier tasks are then subject to the portfolio policy
+    (see :func:`_apply_portfolio`).
     """
     if method == "auto":
         backend = registry.select(instance)
@@ -90,19 +149,22 @@ def _prepassed_task(
     # Every built-in VSC backend is a search; for VMC the polynomial
     # tiers start below EXPONENTIAL_TIER.
     threshold = EXPONENTIAL_TIER if instance.problem == "vmc" else 0
-    if not (prepass and method == "auto" and backend.tier >= threshold):
+    if not (method == "auto" and backend.tier >= threshold):
         return task
-    run = prepass_vmc if instance.problem == "vmc" else prepass_vsc
-    info = run(instance)
-    if info is None:
-        return task
-    task.prepass = info
-    if info.decided is not None:
-        task.estimate = 0.0
-        return task
-    task.run_instance = info.residual
-    task.backend = registry.select(info.residual)
-    task.estimate = task.backend.cost_estimate(info.residual)
+    if prepass:
+        run = prepass_vmc if instance.problem == "vmc" else prepass_vsc
+        info = run(instance)
+        if info is not None:
+            task.prepass = info
+            if info.decided is not None:
+                task.estimate = 0.0
+                return task
+            task.run_instance = info.residual
+            task.backend = registry.select(info.residual)
+            task.estimate = task.backend.cost_estimate(info.residual)
+            if task.backend.tier < threshold:
+                return task  # downgraded to a polynomial tier
+    _apply_portfolio(task, registry, portfolio)
     return task
 
 
@@ -112,6 +174,7 @@ def plan_vmc(
     write_orders: Mapping[Address, Sequence[Operation]] | None = None,
     registry: BackendRegistry | None = None,
     prepass: bool = True,
+    portfolio=True,
 ) -> list[PlannedTask]:
     """Decompose a (possibly multi-address) execution into per-address
     tasks, cheapest first."""
@@ -124,7 +187,9 @@ def plan_vmc(
         wo = write_orders.get(addr) if write_orders else None
         instance = Instance(sub, address=addr, write_order=wo, problem="vmc")
         tasks.append(
-            _prepassed_task(pos, addr, instance, method, registry, prepass)
+            _prepassed_task(
+                pos, addr, instance, method, registry, prepass, portfolio
+            )
         )
     # Cheapest first; the original address position breaks ties so the
     # plan (and therefore early-exit behaviour) is deterministic.
@@ -139,6 +204,7 @@ def plan_vsc(
     method: str = "auto",
     registry: BackendRegistry | None = None,
     prepass: bool = True,
+    portfolio=True,
 ) -> list[PlannedTask]:
     """The single whole-execution VSC task."""
     registry = registry or vsc_registry()
@@ -146,5 +212,7 @@ def plan_vsc(
         registry.get(method)
     instance = Instance(execution, address=None, problem="vsc")
     return [
-        _prepassed_task(0, None, instance, method, registry, prepass)
+        _prepassed_task(
+            0, None, instance, method, registry, prepass, portfolio
+        )
     ]

@@ -1,0 +1,162 @@
+"""Intra-task portfolio racing for the exponential tier.
+
+The paper gives two exact procedures for the NP-complete general case:
+the memoized frontier search of Section 5.1 and the SAT reduction of
+Section 4.  Neither dominates — the search is near-instant when the
+state space is small or commit-collapsible, the SAT route is robust
+when the search blows up.  A :class:`PortfolioBackend` races both legs
+on the *same* instance, takes the first sound verdict, and cancels the
+loser cooperatively (via :mod:`repro.util.control` stop checks).
+
+Race protocol
+-------------
+
+* Each leg runs ``run_cancellable(instance, stop.is_set)`` in its own
+  thread.  The first leg to produce a verdict sets the shared stop
+  event; the losing leg observes it at its next
+  :data:`~repro.util.control.CHECK_INTERVAL` poll and raises
+  :class:`~repro.util.control.Cancelled`, which the race records and
+  swallows.
+* A leg hitting its state budget (:class:`SearchBudgetExceeded`) bows
+  out *without* setting the stop event — the other leg keeps running.
+  This is how "budget exhaustion escalates to the SAT leg" works inside
+  a race: the exact leg is given :data:`RACE_STATE_BUDGET` and simply
+  retires if the instance is too big for it.
+* A leg error is recorded; it is re-raised only if no other leg wins.
+* If every leg bows out (all budgets exceeded), the race falls back to
+  running the last leg (the SAT route, which always terminates)
+  uncapped and uncancelled.
+
+With one CPU (or under the GIL) the race still pays off whenever the
+legs' costs are lopsided: the cheap leg finishes after ~2x its solo
+time (the legs interleave), then cancels the expensive one — bounded
+overhead in exchange for never being stuck on the wrong algorithm.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from repro.core.exact import SearchBudgetExceeded
+from repro.core.result import VerificationResult
+from repro.engine.backend import Backend, Instance
+from repro.util.control import Cancelled, StopCheck
+
+#: Instances whose estimated state count is below this are decided by
+#: the exact search alone — it wins the race so fast that spinning up a
+#: second leg (thread + CNF encoding) costs more than it can save.
+PORTFOLIO_MIN_STATES = 20_000
+
+#: State budget for the exact leg *inside a race*.  Past this the leg
+#: retires and lets the SAT leg finish; deliberately smaller than the
+#: router's EXACT_STATE_BUDGET since here retiring is cheap.
+RACE_STATE_BUDGET = 250_000
+
+
+class PortfolioBackend(Backend):
+    """Race several backends on one instance; first sound verdict wins.
+
+    The planner builds these around exponential-tier tasks; ``legs``
+    are complete :class:`Backend` instances (typically a budgeted exact
+    search and a SAT route).  The portfolio reports the *winner's*
+    result, augmented with a ``stats["portfolio"]`` record of the race.
+    """
+
+    problem = "vmc"
+
+    def __init__(self, legs: Sequence[Backend], problem: str = "vmc"):
+        if not legs:
+            raise ValueError("portfolio needs at least one leg")
+        self.legs = list(legs)
+        self.problem = problem
+        self.name = "portfolio"
+        self.tier = min(leg.tier for leg in self.legs)
+
+    def applicable(self, instance: Instance) -> bool:
+        return any(leg.applicable(instance) for leg in self.legs)
+
+    def cost_estimate(self, instance: Instance) -> float:
+        return min(leg.cost_estimate(instance) for leg in self.legs)
+
+    def run(self, instance: Instance) -> VerificationResult:
+        legs = [leg for leg in self.legs if leg.applicable(instance)]
+        if not legs:
+            legs = [self.legs[-1]]
+        if len(legs) == 1:
+            return legs[0].run(instance)
+        return self._race(legs, instance)
+
+    def run_cancellable(
+        self, instance: Instance, should_stop: StopCheck = None
+    ) -> VerificationResult:
+        return self.run(instance)
+
+    def _race(
+        self, legs: Sequence[Backend], instance: Instance
+    ) -> VerificationResult:
+        stop = threading.Event()
+        lock = threading.Lock()
+        done: list[tuple[str, VerificationResult]] = []
+        cancelled: list[str] = []
+        budget_exceeded: list[str] = []
+        errors: list[tuple[str, BaseException]] = []
+
+        def leg_main(leg: Backend) -> None:
+            try:
+                result = leg.run_cancellable(instance, stop.is_set)
+            except Cancelled:
+                with lock:
+                    cancelled.append(leg.name)
+                return
+            except SearchBudgetExceeded:
+                # Bow out quietly; the other leg keeps running.
+                with lock:
+                    budget_exceeded.append(leg.name)
+                return
+            except BaseException as e:  # noqa: BLE001 - re-raised below
+                with lock:
+                    errors.append((leg.name, e))
+                stop.set()  # no point letting the other leg spin
+                return
+            with lock:
+                done.append((leg.name, result))
+            stop.set()
+
+        threads = [
+            threading.Thread(target=leg_main, args=(leg,), daemon=True)
+            for leg in legs
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if not done:
+            if errors:
+                raise errors[0][1]
+            # Every leg retired on budget: run the terminating leg
+            # (by convention the SAT route is last) to completion.
+            result = legs[-1].run(instance)
+            winner = legs[-1].name
+        else:
+            winner, result = done[0]
+            for other_name, other in done[1:]:
+                if other.holds != result.holds:
+                    raise RuntimeError(
+                        f"portfolio legs disagree on verdict: "
+                        f"{winner}={result.holds} vs "
+                        f"{other_name}={other.holds}"
+                    )
+            if errors:
+                # A losing leg crashed but the winner is sound; surface
+                # the crash in stats rather than failing the task.
+                pass
+        result.stats["portfolio"] = {
+            "winner": winner,
+            "raced": [leg.name for leg in legs],
+            "cancelled": len(cancelled),
+            "budget_exceeded": len(budget_exceeded),
+            "errors": [name for name, _ in errors],
+        }
+        return result

@@ -66,6 +66,9 @@ class EngineReport:
     #: task): tasks / decided / downgraded / edges_inferred /
     #: ops_eliminated / ops_before / ops_after.
     prepass: dict[str, int] = field(default_factory=dict)
+    #: Portfolio race aggregate (empty when no task raced): races /
+    #: wins (per leg name) / cancelled_legs / budget_exceeded.
+    portfolio: dict[str, Any] = field(default_factory=dict)
     tasks: list[TaskStats] = field(default_factory=list)
 
     def record(self, task: TaskStats) -> None:
@@ -110,6 +113,17 @@ class EngineReport:
                 f"edges_inferred={pp.get('edges_inferred', 0)} "
                 f"ops_eliminated={pp.get('ops_eliminated', 0)} "
                 f"kernel={after}/{before}{ratio}"
+            )
+        if self.portfolio.get("races"):
+            pf = self.portfolio
+            wins = ", ".join(
+                f"{leg}={n}" for leg, n in sorted(pf.get("wins", {}).items())
+            )
+            lines.append(
+                f"portfolio: races={pf.get('races', 0)} "
+                f"wins[{wins}] "
+                f"cancelled_legs={pf.get('cancelled_legs', 0)} "
+                f"budget_exceeded={pf.get('budget_exceeded', 0)}"
             )
         lines.append(
             f"{'address':<10} {'backend':<12} {'verdict':<9} "

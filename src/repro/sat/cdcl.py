@@ -16,19 +16,37 @@ so watch lists are plain Python lists.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.sat.cnf import CNF, Assignment, Lit
+from repro.util.control import Cancelled, StopCheck
 
 
 def solve_cdcl(
-    cnf: CNF, max_conflicts: int | None = None, seed: int = 0
+    cnf: CNF,
+    max_conflicts: int | None = None,
+    seed: int = 0,
+    should_stop: StopCheck = None,
+    assumptions: Sequence[Lit] | None = None,
 ) -> Assignment | None:
     """Solve ``cnf`` with CDCL; return a model or ``None`` (UNSAT).
 
     ``max_conflicts`` bounds total conflicts (raises ``TimeoutError``
     when exhausted) so benchmarks can cap runaway instances.
+    ``should_stop`` is polled periodically; when it fires the solver
+    raises :class:`repro.util.control.Cancelled` (the portfolio
+    executor's cooperative-abort protocol).  ``assumptions`` are
+    literals asserted at the root level before search — the caller
+    vouches they are consistent with satisfiability (the engine passes
+    pre-pass order hints, which hold in every legal schedule), so
+    ``None`` still means UNSAT.
     """
     solver = CDCLSolver(cnf, seed=seed)
-    return solver.solve(max_conflicts=max_conflicts)
+    return solver.solve(
+        max_conflicts=max_conflicts,
+        should_stop=should_stop,
+        assumptions=assumptions,
+    )
 
 
 def _luby(i: int) -> int:
@@ -367,15 +385,41 @@ class CDCLSolver:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def solve(self, max_conflicts: int | None = None) -> Assignment | None:
+    def solve(
+        self,
+        max_conflicts: int | None = None,
+        should_stop: StopCheck = None,
+        assumptions: Sequence[Lit] | None = None,
+    ) -> Assignment | None:
         if not self.ok:
             return None
         if self._propagate() is not None:
             return None
+        # Root-level assumptions: assert each, propagate, and treat a
+        # contradiction as UNSAT (sound for implied literals such as the
+        # engine's pre-pass order hints).
+        for lit in assumptions or ():
+            ilit = self._to_internal(lit)
+            val = self._lit_value(ilit)
+            if val == 1:
+                continue
+            if val == 0:
+                return None
+            self._enqueue(ilit, None)
+            if self._propagate() is not None:
+                return None
         restart_idx = 0
         conflicts_until_restart = 32 * _luby(0)
         max_learned = max(100, len(self.clauses) // 2)
+        steps = 0
         while True:
+            steps += 1
+            if (
+                should_stop is not None
+                and steps % 256 == 0
+                and should_stop()
+            ):
+                raise Cancelled("cdcl", self.conflicts)
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1

@@ -9,6 +9,7 @@ model of the original formula.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.sat.cnf import CNF, Assignment, Lit
 
@@ -35,8 +36,26 @@ class SimplifyResult:
         return merged
 
 
-def simplify(cnf: CNF) -> SimplifyResult:
-    """Apply unit propagation + pure literals + subsumption to fixpoint."""
+#: Above this clause count the quadratic dedup/subsumption pass is
+#: skipped (unit propagation and pure literals still run); the engine's
+#: O(n^3)-clause schedule encodings would otherwise pay more for
+#: preprocessing than for solving.
+MAX_SUBSUME_CLAUSES = 4_000
+
+
+def simplify(
+    cnf: CNF,
+    assume: Iterable[Lit] = (),
+    max_subsume_clauses: int = MAX_SUBSUME_CLAUSES,
+) -> SimplifyResult:
+    """Apply unit propagation + pure literals + subsumption to fixpoint.
+
+    ``assume`` seeds the propagation with externally-known literals
+    (the engine passes pre-pass order hints, which hold in every legal
+    schedule, so ``unsat`` remains a sound verdict for the original
+    formula).  They are folded into ``forced`` like any propagated
+    unit.
+    """
     clauses = [list(c) for c in cnf.clauses]
     forced: Assignment = {}
 
@@ -54,6 +73,15 @@ def simplify(cnf: CNF) -> SimplifyResult:
             out.append(c)
         clauses[:] = out
         return True
+
+    for lit in assume:
+        known = forced.get(abs(lit))
+        if known is not None:
+            if known != (lit > 0):
+                return SimplifyResult(CNF(num_vars=cnf.num_vars), forced, True)
+            continue
+        if not assign(lit):
+            return SimplifyResult(CNF(num_vars=cnf.num_vars), forced, True)
 
     changed = True
     while changed:
@@ -82,7 +110,8 @@ def simplify(cnf: CNF) -> SimplifyResult:
                 changed = True
                 break
 
-    # Deduplicate and drop subsumed clauses (small-formula quadratic pass).
+    # Deduplicate and drop subsumed clauses (small-formula quadratic
+    # pass, gated by ``max_subsume_clauses``).
     unique: list[frozenset[Lit]] = []
     seen: set[frozenset[Lit]] = set()
     for c in clauses:
@@ -90,11 +119,14 @@ def simplify(cnf: CNF) -> SimplifyResult:
         if f not in seen:
             seen.add(f)
             unique.append(f)
-    unique.sort(key=len)
-    kept: list[frozenset[Lit]] = []
-    for f in unique:
-        if not any(g <= f for g in kept):
-            kept.append(f)
+    if len(unique) <= max_subsume_clauses:
+        unique.sort(key=len)
+        kept: list[frozenset[Lit]] = []
+        for f in unique:
+            if not any(g <= f for g in kept):
+                kept.append(f)
+    else:
+        kept = unique
 
     out = CNF(num_vars=cnf.num_vars)
     for f in kept:

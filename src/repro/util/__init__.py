@@ -5,11 +5,15 @@ verification paths do not pay for generic-graph-library overhead; the
 digraph here stores adjacency as plain lists keyed by dense integer ids.
 """
 
+from repro.util.control import CHECK_INTERVAL, Cancelled, StopCheck
 from repro.util.digraph import Digraph, CycleError
 from repro.util.timing import RepeatTimer, fit_loglog_slope, time_callable
 from repro.util.rng import make_rng, spawn_rngs
 
 __all__ = [
+    "CHECK_INTERVAL",
+    "Cancelled",
+    "StopCheck",
     "Digraph",
     "CycleError",
     "RepeatTimer",

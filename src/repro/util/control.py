@@ -1,0 +1,44 @@
+"""Cooperative cancellation for long-running decision procedures.
+
+The portfolio executor races complementary solvers on the same
+instance and keeps the first verdict; the losers must stop *quickly*
+but *cleanly*.  The protocol is deliberately tiny so every engine can
+afford it on its hot path:
+
+* callers pass a ``should_stop`` callable (typically
+  ``threading.Event.is_set``);
+* the engine polls it every ``CHECK_INTERVAL``-ish units of work
+  (states expanded, solver loop iterations) and raises
+  :class:`Cancelled` when it fires;
+* partially-computed statistics ride on the exception so the caller
+  can still account for the abandoned work.
+
+A ``None`` ``should_stop`` means "run to completion" and costs nothing
+on the hot path beyond one ``is None`` test per check interval.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+#: ``should_stop`` signature: no arguments, True means "abandon work".
+StopCheck = Optional[Callable[[], bool]]
+
+#: Default number of work units between ``should_stop`` polls.  Small
+#: enough that a cancelled leg stops within milliseconds, large enough
+#: that polling is invisible in profiles.
+CHECK_INTERVAL = 1024
+
+
+class Cancelled(RuntimeError):
+    """A cooperative engine observed ``should_stop`` and gave up.
+
+    ``work`` counts the units completed before the stop was observed
+    (search states, solver conflicts+decisions, encoder rows) so race
+    reports can account for cancelled effort.
+    """
+
+    def __init__(self, where: str, work: int = 0):
+        super().__init__(f"{where} cancelled after {work} work units")
+        self.where = where
+        self.work = work
