@@ -51,7 +51,7 @@ if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.types import Execution, OpKind, Operation  # noqa: E402
-from repro.engine import verify_vmc  # noqa: E402
+from repro.engine import ChaosSpec, ResiliencePolicy, verify_vmc  # noqa: E402
 
 
 def chain_address(
@@ -193,14 +193,44 @@ PORTFOLIO_GUARD_RATIO = 1.25
 #: false-fail CI.
 PORTFOLIO_GUARD_SLACK_S = 0.25
 
+# The resilience scenario: the mixed corpus under deterministic fault
+# injection (worker crashes recovered by retry, plus stalled portfolio
+# legs) versus the same corpus fault-free.  Rolls are seeded and keyed
+# on (address, plan order), so the injected fault set is identical on
+# every run and machine; seed 2 is chosen so the sweep tasks keyed
+# 'x'#0 crash on their first attempt and recover on retry.
+RESILIENCE_CHAOS = ChaosSpec(
+    crash=0.1, leg_stall=0.5, stall_s=0.02, seed=2
+)
+RESILIENCE_CONFIGS: dict[str, dict] = {
+    "resilience-faultfree": {
+        "prepass": False, "jobs": 1, "pool": "thread", "portfolio": True,
+        "resilience": ResiliencePolicy(retries=3, backoff_s=0.001),
+    },
+    "resilience-chaos": {
+        "prepass": False, "jobs": 1, "pool": "thread", "portfolio": True,
+        "resilience": ResiliencePolicy(
+            retries=3, backoff_s=0.001, chaos=RESILIENCE_CHAOS
+        ),
+    },
+}
+
+#: Injected faults (crash retries + stalled legs) may cost at most this
+#: factor over the fault-free run — recovery must stay cheap.
+RESILIENCE_GUARD_RATIO = 1.3
+RESILIENCE_GUARD_SLACK_S = 0.25
+
 
 def run_config(
     corpus: list[Execution], cfg: dict, jobs: int, repeats: int
 ) -> dict:
     njobs = cfg["jobs"] or jobs
     portfolio = cfg.get("portfolio", False)
+    resilience = cfg.get("resilience")
     times: list[float] = []
     holds = 0
+    unknowns = 0
+    crashes = retries = quarantined = 0
     prepass_stats: dict[str, int] = {}
     races = 0
     race_wins: dict[str, int] = {}
@@ -214,9 +244,14 @@ def run_config(
                 pool=cfg["pool"],
                 cache=False,
                 portfolio=portfolio,
+                resilience=resilience,
             )
             if rep == 0:
                 holds += bool(r)
+                unknowns += r.unknown
+                crashes += r.report.crashes
+                retries += r.report.retries
+                quarantined += r.report.quarantined
                 for k, v in r.report.prepass.items():
                     prepass_stats[k] = prepass_stats.get(k, 0) + v
                 pf = r.report.portfolio
@@ -239,6 +274,11 @@ def run_config(
     if races:
         out["races"] = races
         out["race_wins"] = race_wins
+    if resilience is not None:
+        out["unknown"] = unknowns
+        out["crashes"] = crashes
+        out["retries"] = retries
+        out["quarantined"] = quarantined
     return out
 
 
@@ -364,6 +404,42 @@ def main(argv: list[str] | None = None) -> int:
         f"{PORTFOLIO_GUARD_RATIO}x + {PORTFOLIO_GUARD_SLACK_S}s slack)"
     )
 
+    # Resilience scenario: the same mixed corpus with deterministic
+    # injected crashes and stalled legs — recovery overhead is guarded.
+    resilience_results: dict[str, dict] = {}
+    for name, cfg in RESILIENCE_CONFIGS.items():
+        resilience_results[name] = run_config(
+            race_corpus, cfg, args.jobs, repeats
+        )
+        r = resilience_results[name]
+        print(
+            f"{name:<22} median {r['median_s'] * 1e3:>9.1f}ms  "
+            f"coherent {r['holds']}/{r['instances']}  "
+            f"crashes={r['crashes']} retries={r['retries']} "
+            f"quarantined={r['quarantined']} unknown={r['unknown']}"
+        )
+    faultfree = resilience_results["resilience-faultfree"]
+    chaotic = resilience_results["resilience-chaos"]
+    if chaotic["crashes"] == 0:
+        print("error: chaos arm injected no crashes (spec drifted?)",
+              file=sys.stderr)
+        return 1
+    if chaotic["unknown"] or chaotic["holds"] != faultfree["holds"]:
+        print("error: injected faults changed verdicts", file=sys.stderr)
+        return 1
+    resilience_ok = (
+        chaotic["median_s"]
+        <= RESILIENCE_GUARD_RATIO * faultfree["median_s"]
+        or chaotic["median_s"] - faultfree["median_s"]
+        <= RESILIENCE_GUARD_SLACK_S
+    )
+    print(
+        f"resilience {chaotic['median_s'] * 1e3:.1f}ms vs fault-free "
+        f"{faultfree['median_s'] * 1e3:.1f}ms "
+        f"({'ok' if resilience_ok else 'REGRESSION'}; guard "
+        f"{RESILIENCE_GUARD_RATIO}x + {RESILIENCE_GUARD_SLACK_S}s slack)"
+    )
+
     payload = {
         "benchmark": "engine-prepass-pools-portfolio",
         "recorded_utc": datetime.now(timezone.utc).isoformat(
@@ -394,6 +470,16 @@ def main(argv: list[str] | None = None) -> int:
             ),
             "guard_ok": guard_ok,
         },
+        "resilience": {
+            "instances": len(race_corpus),
+            "chaos": RESILIENCE_CHAOS.describe(),
+            "configs": resilience_results,
+            "chaos_vs_faultfree": (
+                round(chaotic["median_s"] / faultfree["median_s"], 3)
+                if faultfree["median_s"] else None
+            ),
+            "guard_ok": resilience_ok,
+        },
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -408,6 +494,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"error: portfolio median {portfolio_median}s regressed past "
             f"{PORTFOLIO_GUARD_RATIO}x the better solo leg ({best_solo}s)",
+            file=sys.stderr,
+        )
+        return 1
+    if not resilience_ok:
+        print(
+            f"error: fault recovery cost {chaotic['median_s']}s vs "
+            f"{faultfree['median_s']}s fault-free — past the "
+            f"{RESILIENCE_GUARD_RATIO}x overhead guard",
             file=sys.stderr,
         )
         return 1

@@ -11,7 +11,11 @@ Commands:
   parallel (``--pool thread|process|auto`` picks the worker kind),
   ``--no-prepass`` disables the polynomial pre-pass,
   ``--no-portfolio`` disables exact-vs-SAT racing on the exponential
-  tier, ``--stats`` prints the engine report.
+  tier, ``--stats`` prints the engine report.  Resilience knobs:
+  ``--timeout S`` caps the whole run, ``--task-timeout S`` caps each
+  per-address task, ``--retries N`` sets the crash-retry budget, and
+  ``--chaos SPEC`` (gated behind the ``REPRO_CHAOS`` environment
+  variable) injects deterministic faults for testing.
 * ``simulate``             — run the multiprocessor simulator on a
   workload, verify the result, optionally dump the trace.
 * ``solve <file.cnf>``     — decide a DIMACS formula with the built-in
@@ -20,12 +24,15 @@ Commands:
 * ``litmus``               — print the litmus-test model table.
 
 Exit status: 0 = property holds / SAT, 1 = violated / UNSAT,
-2 = usage or input error.
+2 = usage or input error, 3 = UNKNOWN (deadline, budget, or crash
+quarantine prevented a verdict — never a guess).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -34,7 +41,10 @@ from repro.core.serialize import save as save_json
 from repro.core.types import Execution, schedule_str
 from repro.core.vmc import verify_coherence
 from repro.core.vsc import verify_sequential_consistency
-from repro.engine import POOL_KINDS
+from repro.engine import CHAOS_ENV, POOL_KINDS, ChaosSpec, ResiliencePolicy
+
+#: Exit status for a verification abandoned without a verdict.
+EXIT_UNKNOWN = 3
 
 
 def _positive_int(text: str) -> int:
@@ -50,6 +60,28 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonneg_float(text: str) -> float:
+    """argparse type for ``--timeout`` / ``--task-timeout``: seconds >= 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type for ``--retries``: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _load_trace(path_str: str) -> Execution:
     path = Path(path_str)
     if not path.exists():
@@ -60,19 +92,61 @@ def _load_trace(path_str: str) -> Execution:
     if path.suffix == ".json" or text.lstrip()[:1] in ("{", "["):
         from repro.core.serialize import loads
 
-        return loads(text)
+        try:
+            return loads(text)
+        except json.JSONDecodeError as e:
+            # One line, naming the file and the byte offset, so a
+            # truncated or corrupted trace in a big sweep is findable.
+            raise ValueError(
+                f"{path}: malformed JSON at byte {e.pos} "
+                f"(line {e.lineno}, column {e.colno}): {e.msg}"
+            ) from e
     return parse_trace(text)
 
 
+def _resilience_from_args(args: argparse.Namespace) -> ResiliencePolicy | None:
+    """Build the engine policy from the verify flags (None = defaults).
+
+    ``--chaos`` is gated behind the ``REPRO_CHAOS`` environment
+    variable so a stray flag in a production pipeline cannot inject
+    faults; using it without the variable is a usage error.
+    """
+    chaos = None
+    if args.chaos is not None:
+        if not os.environ.get(CHAOS_ENV):
+            raise ValueError(
+                f"--chaos requires the {CHAOS_ENV} environment variable "
+                f"to be set (fault injection is test-only)"
+            )
+        chaos = ChaosSpec.parse(args.chaos)
+    if (
+        args.timeout is None
+        and args.task_timeout is None
+        and args.retries is None
+        and chaos is None
+    ):
+        return None
+    policy = ResiliencePolicy(
+        timeout=args.timeout,
+        task_timeout=args.task_timeout,
+        retries=args.retries if args.retries is not None else 2,
+        chaos=chaos,
+    )
+    return policy
+
+
 def _print_result(result, label: str, want_witness: bool, want_stats: bool) -> int:
-    print(f"{label}: {'holds' if result else 'VIOLATED'}  "
-          f"(method: {result.method})")
+    unknown = getattr(result, "unknown", False)
+    verdict = "UNKNOWN" if unknown else "holds" if result else "VIOLATED"
+    print(f"{label}: {verdict}  (method: {result.method})")
     if result and result.schedule and want_witness:
         print(f"witness: {schedule_str(result.schedule)}")
     if not result:
         print(f"reason: {result.reason}")
     if want_stats and result.report is not None:
         print(result.report.format())
+    if unknown:
+        return EXIT_UNKNOWN
     return 0 if result else 1
 
 
@@ -83,6 +157,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         print(f"error: {e}", file=sys.stderr)
         return 2
     try:
+        resilience = _resilience_from_args(args)
         if args.model:
             from repro.consistency.restrict import verifier_for
 
@@ -99,6 +174,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 method=args.method,
                 prepass=not args.no_prepass,
                 portfolio=args.portfolio,
+                resilience=resilience,
             )
             label = "sequential consistency"
         else:
@@ -109,6 +185,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 pool=args.pool,
                 prepass=not args.no_prepass,
                 portfolio=args.portfolio,
+                resilience=resilience,
             )
             label = "coherence"
     except ValueError as e:
@@ -260,6 +337,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the engine report (backend per address, prepass "
         "counters, cache hits, timing)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=_nonneg_float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget for the whole run in seconds; on expiry "
+        "unfinished addresses report UNKNOWN (exit 3), never a guess",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=_nonneg_float,
+        default=None,
+        metavar="S",
+        help="soft deadline per per-address task in seconds (observed "
+        "cooperatively by every backend and portfolio leg)",
+    )
+    p.add_argument(
+        "--retries",
+        type=_nonneg_int,
+        default=None,
+        metavar="N",
+        help="crash retries per task before it is quarantined to "
+        "in-process execution (default 2)",
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults, e.g. "
+        "'crash=0.2,stall=0.1,seed=7'; test-only, requires the "
+        "REPRO_CHAOS environment variable to be set",
     )
     p.set_defaults(func=cmd_verify)
 

@@ -55,7 +55,7 @@ from repro.core.types import (
     Value,
 )
 from repro.core.result import VerificationResult
-from repro.util.control import CHECK_INTERVAL, Cancelled, StopCheck
+from repro.util.control import StopCheck, poll
 
 
 class SearchBudgetExceeded(RuntimeError):
@@ -234,12 +234,7 @@ def _frontier_search(
 
     while stack:
         steps += 1
-        if (
-            should_stop is not None
-            and steps % CHECK_INTERVAL == 0
-            and should_stop()
-        ):
-            raise Cancelled("exact search", states_expanded)
+        poll(should_stop, steps, "exact search", states_expanded)
         frame = stack[-1]
         positions, values = frame[0], frame[1]
         if len(trail) == total:

@@ -8,14 +8,33 @@ from typing import Any
 from repro.core.types import Address, Operation, schedule_str
 
 
+#: The reasons an engine run may abandon a task without a verdict.
+#: ``timeout`` — the per-task soft deadline expired mid-decision;
+#: ``budget`` — the per-run wall-clock budget ran out before the task
+#: started (or finished); ``crashed`` — the task's worker died (or kept
+#: raising) through every retry and the task was quarantined.
+UNKNOWN_REASONS = ("timeout", "budget", "crashed")
+
+
 @dataclass
 class VerificationResult:
     """Outcome of a VMC/VSC/VSCC query.
 
-    Truthy iff the property holds.  When it holds, ``schedule`` carries
-    the witness (the NP certificate); when it does not, ``reason`` says
-    why (which read cannot be served, which constraint graph cycled, or
-    simply that the exhaustive search was completed without success).
+    Truthy iff the property *provably* holds.  When it holds,
+    ``schedule`` carries the witness (the NP certificate); when it does
+    not, ``reason`` says why (which read cannot be served, which
+    constraint graph cycled, or simply that the exhaustive search was
+    completed without success).
+
+    A result may also be **UNKNOWN** (``unknown=True``): the engine
+    abandoned the decision — deadline expiry, run-budget exhaustion, or
+    an unrecoverable worker crash — without learning the verdict either
+    way.  Soundness under resource exhaustion demands this third
+    outcome: an aborted search must never be reported as "violated"
+    (nothing was refuted) nor as "holds" (nothing was proved).  Unknown
+    results are falsy (they do not assert the property) but carry
+    ``unknown_reason`` in :data:`UNKNOWN_REASONS`; callers that branch
+    on violation must test ``result.violated``, not ``not result``.
 
     ``method`` names the algorithm that decided the instance —
     the dispatcher records its routing decision here so benchmarks and
@@ -32,6 +51,37 @@ class VerificationResult:
     #: Engine execution statistics (an :class:`repro.engine.EngineReport`)
     #: when the query went through the unified engine; None otherwise.
     report: Any = None
+    #: True when the engine gave up without a verdict (see class docs).
+    unknown: bool = False
+
+    @classmethod
+    def make_unknown(
+        cls, method: str, reason: str, detail: str = "",
+        address: Address | None = None,
+    ) -> "VerificationResult":
+        """An UNKNOWN outcome: no verdict, with a recorded ``reason``
+        from :data:`UNKNOWN_REASONS` (and optional free-form detail)."""
+        if reason not in UNKNOWN_REASONS:
+            raise ValueError(
+                f"unknown reason {reason!r}; expected one of {UNKNOWN_REASONS}"
+            )
+        text = f"{reason}: {detail}" if detail else reason
+        return cls(
+            holds=False, method=method, reason=text, address=address,
+            unknown=True,
+        )
+
+    @property
+    def unknown_reason(self) -> str:
+        """The :data:`UNKNOWN_REASONS` tag of an unknown result, else ''."""
+        if not self.unknown:
+            return ""
+        return self.reason.split(":", 1)[0]
+
+    @property
+    def violated(self) -> bool:
+        """Provably violated — decided false, not merely undecided."""
+        return not self.holds and not self.unknown
 
     def __bool__(self) -> bool:
         return self.holds
@@ -40,6 +90,8 @@ class VerificationResult:
         return schedule_str(self.schedule) if self.schedule else "<none>"
 
     def __repr__(self) -> str:
-        verdict = "holds" if self.holds else "violated"
+        verdict = (
+            "UNKNOWN" if self.unknown else "holds" if self.holds else "violated"
+        )
         loc = f", addr={self.address!r}" if self.address is not None else ""
         return f"VerificationResult({verdict}, method={self.method!r}{loc})"

@@ -69,6 +69,7 @@ def verify_coherence(
     pool: str = "auto",
     prepass: bool = True,
     portfolio=True,
+    resilience=None,
 ) -> VerificationResult:
     """Decide whether the execution is coherent (per Section 3): a
     coherent schedule exists for *every* address.
@@ -85,9 +86,13 @@ def verify_coherence(
     (``None`` uses a fresh per-call cache, ``False`` disables caching),
     ``prepass=False`` skips the polynomial pre-pass, and
     ``portfolio=False`` disables exact-vs-SAT racing on the
-    exponential tier.
+    exponential tier.  ``resilience`` (a
+    :class:`repro.engine.ResiliencePolicy`) adds deadlines, crash
+    retries and fault injection; undecided addresses yield a sound
+    UNKNOWN aggregate instead of a hang or a guessed verdict.
     """
     return verify_vmc(
         execution, method=method, write_orders=write_orders, jobs=jobs,
         cache=cache, pool=pool, prepass=prepass, portfolio=portfolio,
+        resilience=resilience,
     )

@@ -24,8 +24,10 @@ def verify_sequential_consistency(
     method: str = "auto",
     prepass: bool = True,
     portfolio=True,
+    resilience=None,
 ) -> VerificationResult:
     """Decide whether a sequentially consistent schedule exists."""
     return verify_vsc(
-        execution, method=method, prepass=prepass, portfolio=portfolio
+        execution, method=method, prepass=prepass, portfolio=portfolio,
+        resilience=resilience,
     )

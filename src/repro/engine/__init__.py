@@ -37,7 +37,14 @@ from repro.engine.backend import (
     estimated_states,
 )
 from repro.engine.cache import CacheStats, ResultCache, canonicalize, fingerprint
-from repro.engine.executor import POOL_KINDS, execute_plan, resolve_pool, run_task
+from repro.engine.chaos import CHAOS_ENV, ChaosCrash, ChaosSpec
+from repro.engine.executor import (
+    POOL_KINDS,
+    ResiliencePolicy,
+    execute_plan,
+    resolve_pool,
+    run_task,
+)
 from repro.engine.planner import PlannedTask, plan_vmc, plan_vsc
 from repro.engine.portfolio import (
     PORTFOLIO_MIN_STATES,
@@ -60,6 +67,7 @@ from repro.engine.registry import (
 from repro.engine.report import EngineReport, TaskStats
 
 __all__ = [
+    "CHAOS_ENV",
     "EXACT_STATE_BUDGET",
     "EXPONENTIAL_TIER",
     "POOL_KINDS",
@@ -69,11 +77,14 @@ __all__ = [
     "BackendInapplicableError",
     "BackendRegistry",
     "CacheStats",
+    "ChaosCrash",
+    "ChaosSpec",
     "EngineReport",
     "Instance",
     "PlannedTask",
     "PortfolioBackend",
     "PrepassInfo",
+    "ResiliencePolicy",
     "ResultCache",
     "TaskStats",
     "build_vmc_registry",
@@ -118,6 +129,7 @@ def verify_vmc(
     pool: str = "auto",
     prepass: bool = True,
     portfolio=True,
+    resilience: ResiliencePolicy | None = None,
 ) -> VerificationResult:
     """Decide whether the execution is coherent (Section 3): a coherent
     schedule exists for *every* address.
@@ -132,6 +144,11 @@ def verify_vmc(
     router's single choice.  Per-address results (with witnesses) are
     in ``result.per_address``; execution statistics are in
     ``result.report``.
+
+    ``resilience`` (a :class:`ResiliencePolicy`) adds deadlines, crash
+    retries and fault injection; tasks abandoned under it yield sound
+    UNKNOWN per-address results, and the aggregate is UNKNOWN exactly
+    when no violation was found but some address went undecided.
     """
     addrs = execution.constrained_addresses()
     if not addrs:
@@ -157,18 +174,30 @@ def verify_vmc(
         early_exit=early_exit,
         problem="vmc",
         pool=pool,
+        resilience=resilience,
     )
     per: dict[Address, VerificationResult] = {
         a: results[a] for a in addrs if a in results
     }
-    bad = [a for a in addrs if a in per and not per[a]]
+    bad = [a for a in addrs if a in per and per[a].violated]
+    undecided = [a for a in addrs if a in per and per[a].unknown]
     if bad:
+        # A violation is a verdict even if other addresses went
+        # undecided: incoherence at one address is incoherence.
         first = per[bad[0]]
         agg = VerificationResult(
             holds=False,
             method=first.method,
             reason=f"address {bad[0]!r} has no coherent schedule: "
             f"{first.reason}",
+        )
+    elif undecided:
+        first = per[undecided[0]]
+        agg = VerificationResult.make_unknown(
+            method=first.method,
+            reason=first.unknown_reason,
+            detail=f"{len(undecided)}/{len(addrs)} addresses undecided; "
+            f"first: {first.reason}",
         )
     else:
         only = per[addrs[0]]
@@ -193,6 +222,7 @@ def verify_vmc_at(
     registry: BackendRegistry | None = None,
     prepass: bool = True,
     portfolio=True,
+    resilience: ResiliencePolicy | None = None,
 ) -> VerificationResult:
     """Decide VMC at one address of a (possibly multi-address)
     execution."""
@@ -207,7 +237,8 @@ def verify_vmc_at(
         0, addr, instance, method, registry, prepass, portfolio
     )
     results, report = execute_plan(
-        [task], jobs=1, cache=_resolve_cache(cache), problem="vmc"
+        [task], jobs=1, cache=_resolve_cache(cache), problem="vmc",
+        resilience=resilience,
     )
     result = results[addr]
     result.report = report
@@ -221,6 +252,7 @@ def verify_vsc(
     registry: BackendRegistry | None = None,
     prepass: bool = True,
     portfolio=True,
+    resilience: ResiliencePolicy | None = None,
 ) -> VerificationResult:
     """Decide whether a sequentially consistent schedule exists
     (Definition 6.1).  VSC needs one schedule over all addresses at
@@ -233,7 +265,8 @@ def verify_vsc(
         portfolio=portfolio,
     )
     results, report = execute_plan(
-        tasks, jobs=1, cache=_resolve_cache(cache), problem="vsc"
+        tasks, jobs=1, cache=_resolve_cache(cache), problem="vsc",
+        resilience=resilience,
     )
     result = results[None]
     result.report = report

@@ -153,6 +153,24 @@ class Backend(abc.ABC):
         """
         return self.run(instance)
 
+    def run_resilient(
+        self, instance: Instance, should_stop: StopCheck = None
+    ) -> VerificationResult:
+        """The executor's deadline-aware entry point: :meth:`run`'s full
+        semantics (budget exhaustion escalates inline, never a task
+        error) *plus* cooperative cancellation.
+
+        When ``should_stop`` fires, :class:`~repro.util.control.
+        Cancelled` propagates to the executor, which records a sound
+        UNKNOWN — the abandoned work proves nothing either way.
+        """
+        if should_stop is None:
+            return self.run(instance)
+        try:
+            return self.run_cancellable(instance, should_stop)
+        except exact.SearchBudgetExceeded:
+            return self.run(instance)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r} tier={self.tier}>"
 
@@ -289,6 +307,26 @@ class ExactBackend(Backend):
             should_stop=should_stop,
         )
 
+    def run_resilient(
+        self, instance: Instance, should_stop: StopCheck = None
+    ) -> VerificationResult:
+        if should_stop is None:
+            return self.run(instance)
+        try:
+            return self.run_cancellable(instance, should_stop)
+        except exact.SearchBudgetExceeded as e:
+            # Same escalation as run(), but the SAT route inherits the
+            # deadline — an exhausted budget must not shed the clock.
+            result = sat_vmc(
+                instance.execution,
+                solver=self.fallback_solver,
+                order_hints=instance.order_hints,
+                should_stop=should_stop,
+            )
+            result.stats["fallback_from"] = "exact"
+            result.stats["exact_states"] = e.states
+            return result
+
 
 class SatBackend(Backend):
     """CNF + SAT for the NP-complete general case."""
@@ -380,6 +418,24 @@ class ExactVscBackend(Backend):
             order_hints=instance.order_hints,
             should_stop=should_stop,
         )
+
+    def run_resilient(
+        self, instance: Instance, should_stop: StopCheck = None
+    ) -> VerificationResult:
+        if should_stop is None:
+            return self.run(instance)
+        try:
+            return self.run_cancellable(instance, should_stop)
+        except exact.SearchBudgetExceeded as e:
+            result = sat_vsc(
+                instance.execution,
+                solver=self.fallback_solver,
+                order_hints=instance.order_hints,
+                should_stop=should_stop,
+            )
+            result.stats["fallback_from"] = "exact"
+            result.stats["exact_states"] = e.states
+            return result
 
 
 class SatVscBackend(Backend):

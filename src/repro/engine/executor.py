@@ -1,5 +1,5 @@
 """Task execution: serial, thread-pooled or process-pooled; cache-aware,
-early-exiting.
+early-exiting, and resilient.
 
 ``jobs=1`` runs the plan in order on the calling thread — fully
 deterministic, the right mode for debugging and the default.
@@ -15,10 +15,29 @@ exploiting the per-address independence of coherence (paper Section 3):
   completion.
 
 Submission is windowed (``2 × jobs`` tasks in flight) so an early exit
-has something left to cancel: after the first violated task the
+has something left to cancel: after the first *violated* task the
 executor cancels every not-yet-started future, stops submitting, and
 counts the avoided work in ``EngineReport.cancelled``.  In-flight tasks
 are harvested so their results are not silently discarded.
+
+Resilience (:class:`ResiliencePolicy`) hardens the run against the
+failure modes of long campaigns:
+
+* **deadlines** — each task runs under ``task_timeout`` (observed
+  cooperatively through the backends' stop checks) and the whole run
+  under the ``timeout`` wall-clock budget; expiry yields a sound
+  UNKNOWN result with a recorded reason, never a hang or exception;
+* **crash recovery** — a dead worker (``BrokenProcessPool``) rebuilds
+  the pool, and the victim tasks are retried up to ``retries`` times
+  with exponential backoff; a task that keeps killing workers is
+  *quarantined*: run once in-process (one bad pickle cannot sink a
+  sweep), and reported UNKNOWN(crashed) if it still fails;
+* **Ctrl-C** — ``KeyboardInterrupt`` shuts the pool down with
+  ``cancel_futures=True`` before re-raising, so no workers are
+  orphaned;
+* **chaos** — a :class:`~repro.engine.chaos.ChaosSpec` injects seeded
+  crashes, stalls, lost results and slow cache I/O at exactly these
+  seams, so tests can prove the above without real worker deaths.
 
 Verdicts are identical in all modes — every backend is deterministic
 and tasks share no state — though with ``early_exit`` the modes may
@@ -29,17 +48,68 @@ execution (whichever tasks finished before the exit fired).
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from collections import deque
+from dataclasses import dataclass
 from time import perf_counter
 
 from repro.core.result import VerificationResult
 from repro.engine.cache import CanonicalInstance, ResultCache, canonicalize
+from repro.engine.chaos import ChaosCrash, ChaosSpec
 from repro.engine.planner import PlannedTask
 from repro.engine.portfolio import PORTFOLIO_MIN_STATES, PortfolioBackend
 from repro.engine.prepass import EXPONENTIAL_TIER
 from repro.engine.report import EngineReport, TaskStats
+from repro.util.control import Cancelled
+from repro.util.deadline import Deadline
 
 POOL_KINDS = ("thread", "process")
+
+#: Exceptions that mean "the worker died", not "the task is wrong":
+#: retried with backoff, then quarantined.  Anything else (including a
+#: portfolio verdict disagreement) stays a hard error and propagates.
+RETRYABLE = (ChaosCrash, concurrent.futures.BrokenExecutor)
+
+#: Longest single retry-backoff sleep, so exponential backoff cannot
+#: dominate a run that has a wall-clock budget to respect.
+MAX_BACKOFF_S = 1.0
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Degrade-gracefully knobs for one engine run.
+
+    The default policy is inert for healthy runs — no deadlines, no
+    chaos — but still recovers crashed workers (``retries=2``), because
+    a ``BrokenProcessPool`` should never cost a whole sweep.
+    """
+
+    #: Per-run wall-clock budget in seconds (``verify --timeout``).
+    timeout: float | None = None
+    #: Per-task soft deadline in seconds (``verify --task-timeout``).
+    task_timeout: float | None = None
+    #: Crash retries per task before quarantine (``verify --retries``).
+    retries: int = 2
+    #: Base of the exponential retry backoff (doubles per attempt).
+    backoff_s: float = 0.05
+    #: Deterministic fault injection (``verify --chaos``); None = off.
+    chaos: ChaosSpec | None = None
+
+
+#: The inert-by-default policy used when the caller passes nothing.
+NO_RESILIENCE = ResiliencePolicy()
+
+
+@dataclass
+class _Outcome:
+    """One task's execution record (richer than the public result)."""
+
+    result: VerificationResult
+    cache_hit: bool
+    seconds: float
+    attempts: int = 1
+    crashes: int = 0
+    quarantined: bool = False
 
 
 def _is_heavy(task: PlannedTask) -> bool:
@@ -76,18 +146,98 @@ def resolve_pool(pool: str, tasks: list[PlannedTask], jobs: int) -> str:
     return "thread"
 
 
-def _decide_task(task: PlannedTask) -> tuple[VerificationResult, float]:
+def _task_key(task: PlannedTask) -> str:
+    """Stable identity for chaos rolls and diagnostics."""
+    return f"{task.address!r}#{task.order}"
+
+
+def _decide_task(
+    task: PlannedTask,
+    task_timeout: float | None = None,
+    chaos: ChaosSpec | None = None,
+    attempt: int = 0,
+    timeout_reason: str = "timeout",
+) -> tuple[VerificationResult, float]:
     """Run one task to a finished result — no cache I/O, only picklable
-    state, so this is the unit shipped to process-pool workers."""
+    state, so this is the unit shipped to process-pool workers.
+
+    The deadline is rebuilt worker-side from ``task_timeout`` seconds
+    (monotonic clocks do not travel across process boundaries), so
+    queue wait does not count against a task's soft deadline.  Expiry
+    returns UNKNOWN(``timeout_reason``) — "budget" when the run budget,
+    not the task's own allowance, was the binding constraint.
+    """
     t0 = perf_counter()
+    if chaos is not None:
+        chaos.before_decide(_task_key(task), attempt)
+        if isinstance(task.backend, PortfolioBackend):
+            task.backend.chaos = chaos
+            task.backend.chaos_key = _task_key(task)
     pp = task.prepass
     if pp is not None and pp.decided is not None:
-        result = pp.decided
-    else:
-        result = task.backend.run(task.run_instance)
-        if pp is not None:
-            result = pp.finish(result)
+        return pp.decided, perf_counter() - t0
+    deadline = Deadline.after(task_timeout)
+    try:
+        result = task.backend.run_resilient(
+            task.run_instance,
+            deadline.as_stop_check() if deadline is not None else None,
+        )
+    except Cancelled as e:
+        result = VerificationResult.make_unknown(
+            method=task.backend.name,
+            reason=timeout_reason,
+            detail=f"{e.where} abandoned after {task_timeout:g}s",
+            address=task.address,
+        )
+        return result, perf_counter() - t0
+    if pp is not None and not result.unknown:
+        result = pp.finish(result)
     return result, perf_counter() - t0
+
+
+def _effective_timeout(
+    policy: ResiliencePolicy, run_deadline: Deadline | None
+) -> tuple[float | None, str]:
+    """The task deadline to ship to a worker right now, and the UNKNOWN
+    reason to use if it expires: the run budget caps the per-task
+    allowance, and when the budget is the binding constraint the
+    outcome is UNKNOWN(budget), not UNKNOWN(timeout)."""
+    if run_deadline is None:
+        return policy.task_timeout, "timeout"
+    remaining = run_deadline.remaining()
+    if policy.task_timeout is None or remaining < policy.task_timeout:
+        return remaining, "budget"
+    return policy.task_timeout, "timeout"
+
+
+def _unknown_outcome(
+    task: PlannedTask, reason: str, detail: str = "",
+    attempts: int = 1, crashes: int = 0, quarantined: bool = False,
+) -> _Outcome:
+    return _Outcome(
+        result=VerificationResult.make_unknown(
+            method=task.backend.name, reason=reason, detail=detail,
+            address=task.address,
+        ),
+        cache_hit=False,
+        seconds=0.0,
+        attempts=attempts,
+        crashes=crashes,
+        quarantined=quarantined,
+    )
+
+
+def _backoff(policy: ResiliencePolicy, attempt: int,
+             run_deadline: Deadline | None) -> None:
+    """Exponential backoff before a crash retry, capped and clipped to
+    the run budget (waiting must never blow the deadline by itself)."""
+    delay = min(MAX_BACKOFF_S, policy.backoff_s * (2 ** attempt))
+    if delay <= 0:
+        return
+    if run_deadline is not None:
+        run_deadline.sleep(delay)
+    else:
+        time.sleep(delay)
 
 
 def _canon(
@@ -108,12 +258,33 @@ def _finalize(
     canon: CanonicalInstance | None,
     result: VerificationResult,
     cache: ResultCache | None,
+    chaos: ChaosSpec | None = None,
 ) -> VerificationResult:
-    if cache is not None and canon is not None:
+    # UNKNOWN is not a verdict: caching it would replay resource
+    # exhaustion as if it were a property of the instance.
+    if cache is not None and canon is not None and not result.unknown:
+        if chaos is not None:
+            chaos.on_cache_io(_task_key(task), "store")
         cache.store(canon, result)
     result.address = task.address
     result.stats.setdefault("cache_hit", False)
     return result
+
+
+def _cache_lookup(
+    task: PlannedTask,
+    cache: ResultCache | None,
+    chaos: ChaosSpec | None,
+) -> tuple[CanonicalInstance | None, VerificationResult | None]:
+    canon = _canon(task, cache)
+    if canon is None:
+        return None, None
+    if chaos is not None:
+        chaos.on_cache_io(_task_key(task), "lookup")
+    hit = cache.lookup(canon)
+    if hit is not None:
+        hit.address = task.address
+    return canon, hit
 
 
 def run_task(
@@ -121,18 +292,78 @@ def run_task(
 ) -> tuple[VerificationResult, bool, float]:
     """Decide one task, consulting ``cache`` first.
 
-    Returns ``(result, cache_hit, seconds)``.
+    Returns ``(result, cache_hit, seconds)``.  The non-resilient entry
+    point kept for direct callers; the executor proper goes through
+    :func:`_run_task_resilient`.
     """
+    out = _run_task_resilient(task, cache, NO_RESILIENCE, None)
+    return out.result, out.cache_hit, out.seconds
+
+
+def _run_task_resilient(
+    task: PlannedTask,
+    cache: ResultCache | None,
+    policy: ResiliencePolicy,
+    run_deadline: Deadline | None,
+) -> _Outcome:
+    """Cache-checked, deadline-capped, crash-retried serial execution."""
     t0 = perf_counter()
+    canon, hit = _cache_lookup(task, cache, policy.chaos)
+    if hit is not None:
+        return _Outcome(hit, True, perf_counter() - t0)
+    timeout, reason = _effective_timeout(policy, run_deadline)
+    attempt = 0
+    crashes = 0
+    while True:
+        try:
+            result, _seconds = _decide_task(
+                task, timeout, policy.chaos, attempt, reason
+            )
+            break
+        except RETRYABLE as e:
+            crashes += 1
+            if attempt >= policy.retries:
+                return _unknown_outcome(
+                    task, "crashed", f"gave up after {crashes} crashes: {e}",
+                    attempts=attempt + 1, crashes=crashes, quarantined=True,
+                )
+            _backoff(policy, attempt, run_deadline)
+            attempt += 1
+    _finalize(task, canon, result, cache, policy.chaos)
+    return _Outcome(
+        result, False, perf_counter() - t0,
+        attempts=attempt + 1, crashes=crashes,
+    )
+
+
+def _quarantine(
+    task: PlannedTask,
+    cache: ResultCache | None,
+    policy: ResiliencePolicy,
+    run_deadline: Deadline | None,
+    attempt: int,
+    crashes: int,
+) -> _Outcome:
+    """A task that exhausted its pool retries runs once in-process —
+    a poisoned pickle or a worker-killing input cannot sink the sweep.
+    If it *still* dies, it is reported UNKNOWN(crashed)."""
+    t0 = perf_counter()
+    timeout, reason = _effective_timeout(policy, run_deadline)
+    try:
+        result, _seconds = _decide_task(
+            task, timeout, policy.chaos, attempt, reason
+        )
+    except RETRYABLE as e:
+        return _unknown_outcome(
+            task, "crashed", f"gave up after {crashes + 1} crashes: {e}",
+            attempts=attempt + 1, crashes=crashes + 1, quarantined=True,
+        )
     canon = _canon(task, cache)
-    if canon is not None:
-        hit = cache.lookup(canon)
-        if hit is not None:
-            hit.address = task.address
-            return hit, True, perf_counter() - t0
-    result, _seconds = _decide_task(task)
-    _finalize(task, canon, result, cache)
-    return result, False, perf_counter() - t0
+    _finalize(task, canon, result, cache, policy.chaos)
+    return _Outcome(
+        result, False, perf_counter() - t0,
+        attempts=attempt + 1, crashes=crashes, quarantined=True,
+    )
 
 
 def execute_plan(
@@ -142,11 +373,14 @@ def execute_plan(
     early_exit: bool = True,
     problem: str = "vmc",
     pool: str = "thread",
+    resilience: ResiliencePolicy | None = None,
 ) -> tuple[dict, EngineReport]:
     """Run a plan; returns ``(results_by_address, report)``.
 
     ``results_by_address`` only contains the tasks that actually ran
-    (early exit may skip the tail of the plan).
+    (early exit may skip the tail of the plan; a run-budget expiry
+    instead records UNKNOWN(budget) results, so partial coverage is
+    visible rather than silent).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -155,21 +389,35 @@ def execute_plan(
             f"unknown pool kind {pool!r}; choose from "
             f"{POOL_KINDS + ('auto',)}"
         )
+    policy = resilience or NO_RESILIENCE
     pool = resolve_pool(pool, tasks, jobs)
     start = perf_counter()
+    run_deadline = Deadline.after(policy.timeout)
     report = EngineReport(
         problem=problem, jobs=jobs, pool=pool, planned=len(tasks)
     )
     evictions_before = cache.stats.evictions if cache is not None else 0
-    outcomes: dict[int, tuple[VerificationResult, bool, float]] = {}
+    outcomes: dict[int, _Outcome] = {}
 
     if jobs <= 1 or len(tasks) <= 1:
         for task in tasks:
-            outcomes[task.order] = run_task(task, cache)
-            if early_exit and not outcomes[task.order][0].holds:
+            if run_deadline is not None and run_deadline.expired():
+                outcomes[task.order] = _unknown_outcome(
+                    task, "budget",
+                    f"run budget {policy.timeout:g}s exhausted before "
+                    f"the task started",
+                )
+                continue
+            outcomes[task.order] = _run_task_resilient(
+                task, cache, policy, run_deadline
+            )
+            if early_exit and outcomes[task.order].result.violated:
                 break
     else:
-        _run_pooled(tasks, jobs, cache, early_exit, pool, outcomes, report)
+        _run_pooled(
+            tasks, jobs, cache, early_exit, pool, outcomes, report,
+            policy, run_deadline,
+        )
 
     results: dict = {}
     violated = False
@@ -186,11 +434,16 @@ def execute_plan(
                 )
             )
             continue
-        result, cache_hit, seconds = got
-        violated = violated or not result.holds
+        result = got.result
+        violated = violated or result.violated
         results[task.address] = result
+        report.crashes += got.crashes
+        if result.unknown and result.unknown_reason in ("timeout", "budget"):
+            report.deadline_expired += 1
         decided_by_prepass = (
-            task.prepass is not None and task.prepass.decided is not None
+            task.prepass is not None
+            and task.prepass.decided is not None
+            and not result.unknown
         )
         report.record(
             TaskStats(
@@ -198,9 +451,12 @@ def execute_plan(
                 backend="prepass" if decided_by_prepass else task.backend.name,
                 method=result.method,
                 estimate=task.estimate,
-                wall_time=seconds,
-                cache_hit=cache_hit,
-                holds=result.holds,
+                wall_time=got.seconds,
+                cache_hit=got.cache_hit,
+                holds=None if result.unknown else result.holds,
+                unknown=result.unknown,
+                attempts=got.attempts,
+                quarantined=got.quarantined,
                 detail={
                     k: v for k, v in result.stats.items() if k != "cache_hit"
                 },
@@ -227,7 +483,7 @@ def execute_plan(
 
 def _aggregate_portfolio(
     tasks: list[PlannedTask],
-    outcomes: dict[int, tuple[VerificationResult, bool, float]],
+    outcomes: dict[int, _Outcome],
     report: EngineReport,
 ) -> None:
     """Fold per-task race records into the report's portfolio summary.
@@ -241,9 +497,8 @@ def _aggregate_portfolio(
         got = outcomes.get(task.order)
         if got is None:
             continue
-        result, cache_hit, _seconds = got
-        record = result.stats.get("portfolio")
-        if cache_hit or not isinstance(record, dict):
+        record = got.result.stats.get("portfolio")
+        if got.cache_hit or not isinstance(record, dict):
             continue
         races += 1
         winner = record.get("winner", "?")
@@ -259,14 +514,21 @@ def _aggregate_portfolio(
         }
 
 
+class _LostResult(RuntimeError):
+    """Chaos dropped a completed result on the pool boundary; the task
+    must be retried exactly as if the worker had died."""
+
+
 def _run_pooled(
     tasks: list[PlannedTask],
     jobs: int,
     cache: ResultCache | None,
     early_exit: bool,
     pool: str,
-    outcomes: dict[int, tuple[VerificationResult, bool, float]],
+    outcomes: dict[int, _Outcome],
     report: EngineReport,
+    policy: ResiliencePolicy,
+    run_deadline: Deadline | None,
 ) -> None:
     """Windowed pool execution shared by both pool kinds.
 
@@ -274,64 +536,148 @@ def _run_pooled(
     in the parent — the cache's lock does not pickle, and a decided
     task needs no worker anyway.  Only undecided work crosses the pool
     boundary.
+
+    Failure handling: a retryable failure (dead worker, injected crash,
+    lost result) requeues the victim with backoff up to
+    ``policy.retries`` attempts, then quarantines it in-process; a
+    broken pool is rebuilt once per break with every in-flight task
+    requeued (the victim cannot be told apart from its innocent
+    neighbours).  ``KeyboardInterrupt`` cancels all futures, drains the
+    pool, and re-raises — no orphaned workers.
     """
     executor_cls = (
         concurrent.futures.ProcessPoolExecutor
         if pool == "process"
         else concurrent.futures.ThreadPoolExecutor
     )
+    max_workers = min(jobs, len(tasks))
     window = 2 * jobs
-    pending = deque(tasks)
+    chaos = policy.chaos
+    # (task, attempt, crashes) triples; retries re-enter at the front.
+    pending: deque[tuple[PlannedTask, int, int]] = deque(
+        (t, 0, 0) for t in tasks
+    )
     in_flight: dict[
-        concurrent.futures.Future, tuple[PlannedTask, CanonicalInstance | None]
+        concurrent.futures.Future,
+        tuple[PlannedTask, CanonicalInstance | None, int, int],
     ] = {}
     violated = False
-    with executor_cls(max_workers=min(jobs, len(tasks))) as executor:
+    budget_out = False
+    executor = executor_cls(max_workers=max_workers)
+    try:
         while (pending or in_flight) and not violated:
+            if run_deadline is not None and run_deadline.expired():
+                budget_out = True
+                break
             while pending and len(in_flight) < window and not violated:
-                task = pending.popleft()
-                t0 = perf_counter()
-                canon = _canon(task, cache)
-                if canon is not None:
-                    hit = cache.lookup(canon)
-                    if hit is not None:
-                        hit.address = task.address
-                        outcomes[task.order] = (hit, True, perf_counter() - t0)
-                        violated = early_exit and not hit.holds
-                        continue
+                task, attempt, crashes = pending.popleft()
+                canon, hit = _cache_lookup(task, cache, chaos)
+                if hit is not None:
+                    outcomes[task.order] = _Outcome(hit, True, 0.0)
+                    violated = early_exit and hit.violated
+                    continue
                 if task.prepass is not None and task.prepass.decided is not None:
                     result, seconds = _decide_task(task)
-                    _finalize(task, canon, result, cache)
-                    outcomes[task.order] = (result, False, seconds)
-                    violated = early_exit and not result.holds
+                    _finalize(task, canon, result, cache, chaos)
+                    outcomes[task.order] = _Outcome(result, False, seconds)
+                    violated = early_exit and result.violated
                     continue
-                in_flight[executor.submit(_decide_task, task)] = (task, canon)
+                timeout, reason = _effective_timeout(policy, run_deadline)
+                fut = executor.submit(
+                    _decide_task, task, timeout, chaos, attempt, reason
+                )
+                in_flight[fut] = (task, canon, attempt, crashes)
             if violated or not in_flight:
                 continue
+            wait_s = (
+                None if run_deadline is None
+                else max(0.01, min(0.25, run_deadline.remaining()))
+            )
             done, _running = concurrent.futures.wait(
-                in_flight, return_when=concurrent.futures.FIRST_COMPLETED
+                in_flight,
+                timeout=wait_s,
+                return_when=concurrent.futures.FIRST_COMPLETED,
             )
             for fut in done:
-                task, canon = in_flight.pop(fut)
-                result, seconds = fut.result()
-                _finalize(task, canon, result, cache)
-                outcomes[task.order] = (result, False, seconds)
-                if early_exit and not result.holds:
+                task, canon, attempt, crashes = in_flight.pop(fut)
+                try:
+                    result, seconds = fut.result()
+                    if chaos is not None and chaos.loses_result(
+                        _task_key(task), attempt
+                    ):
+                        raise _LostResult(_task_key(task))
+                except RETRYABLE + (_LostResult,) as e:
+                    crashes += 1
+                    if isinstance(e, concurrent.futures.BrokenExecutor):
+                        # The pool is dead: rebuild it and requeue every
+                        # in-flight task — their futures are broken too.
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = executor_cls(max_workers=max_workers)
+                        for other in list(in_flight):
+                            t2, _c2, a2, cr2 = in_flight.pop(other)
+                            pending.appendleft((t2, a2 + 1, cr2 + 1))
+                    if attempt >= policy.retries:
+                        outcomes[task.order] = _quarantine(
+                            task, cache, policy, run_deadline,
+                            attempt + 1, crashes,
+                        )
+                        violated = (
+                            early_exit and outcomes[task.order].result.violated
+                        )
+                    else:
+                        _backoff(policy, attempt, run_deadline)
+                        pending.appendleft((task, attempt + 1, crashes))
+                    continue
+                _finalize(task, canon, result, cache, chaos)
+                outcomes[task.order] = _Outcome(
+                    result, False, seconds,
+                    attempts=attempt + 1, crashes=crashes,
+                )
+                if early_exit and result.violated:
                     violated = True
-        if violated:
+        if violated or budget_out:
             # Cancel whatever has not started; count never-submitted
-            # tasks too — both are work the early exit avoided.
+            # tasks too — both are work the exit avoided.
             for fut in list(in_flight):
                 if fut.cancel():
                     report.cancelled += 1
                     del in_flight[fut]
-            report.cancelled += len(pending)
-            # In-flight tasks finish during pool shutdown; harvest them
-            # so their results are not silently discarded.
-            for fut, (task, canon) in list(in_flight.items()):
+            if violated:
+                report.cancelled += len(pending)
+            # In-flight tasks finish during pool shutdown (their worker-
+            # side deadlines are capped by the run budget, so this is
+            # bounded); harvest them so results are not discarded.
+            for fut, (task, canon, attempt, crashes) in list(in_flight.items()):
                 try:
                     result, seconds = fut.result()
                 except concurrent.futures.CancelledError:
                     continue
-                _finalize(task, canon, result, cache)
-                outcomes[task.order] = (result, False, seconds)
+                except RETRYABLE + (_LostResult,):
+                    outcomes[task.order] = _unknown_outcome(
+                        task, "crashed", "worker died during wind-down",
+                        attempts=attempt + 1, crashes=crashes + 1,
+                    )
+                    continue
+                _finalize(task, canon, result, cache, chaos)
+                outcomes[task.order] = _Outcome(
+                    result, False, seconds,
+                    attempts=attempt + 1, crashes=crashes,
+                )
+            if budget_out:
+                # Tasks that never ran (queued or cancelled on the pool)
+                # are UNKNOWN(budget), not silently skipped: partial
+                # coverage must be visible.
+                for task in tasks:
+                    if task.order not in outcomes:
+                        outcomes[task.order] = _unknown_outcome(
+                            task, "budget",
+                            f"run budget {policy.timeout:g}s exhausted "
+                            f"before the task started",
+                        )
+    except KeyboardInterrupt:
+        # Ctrl-C must not orphan workers: cancel everything that has
+        # not started, drain what has, then re-raise to the caller.
+        executor.shutdown(wait=True, cancel_futures=True)
+        raise
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)

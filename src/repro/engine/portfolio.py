@@ -41,7 +41,8 @@ from typing import Sequence
 from repro.core.exact import SearchBudgetExceeded
 from repro.core.result import VerificationResult
 from repro.engine.backend import Backend, Instance
-from repro.util.control import Cancelled, StopCheck
+from repro.engine.chaos import ChaosSpec
+from repro.util.control import Cancelled, StopCheck, any_stop
 
 #: Instances whose estimated state count is below this are decided by
 #: the exact search alone — it wins the race so fast that spinning up a
@@ -52,6 +53,17 @@ PORTFOLIO_MIN_STATES = 20_000
 #: retires and lets the SAT leg finish; deliberately smaller than the
 #: router's EXACT_STATE_BUDGET since here retiring is cheap.
 RACE_STATE_BUDGET = 250_000
+
+#: After a race is decided the losers get this long to observe the stop
+#: event and exit; a leg still alive past it is *abandoned* — left to
+#: die with its daemon thread rather than allowed to hang the race.  A
+#: cooperative leg stops within one CHECK_INTERVAL poll (milliseconds),
+#: so only a genuinely wedged leg ever hits this.
+LEG_GRACE_S = 1.0
+
+#: External-stop (deadline / run-budget) poll period while waiting for
+#: a verdict.  Only paid when the caller supplied a stop check.
+_WAIT_POLL_S = 0.01
 
 
 class PortfolioBackend(Backend):
@@ -72,6 +84,10 @@ class PortfolioBackend(Backend):
         self.problem = problem
         self.name = "portfolio"
         self.tier = min(leg.tier for leg in self.legs)
+        #: Fault-injection context, set per task by the executor when a
+        #: chaos spec is active (pickles with the task into workers).
+        self.chaos: ChaosSpec | None = None
+        self.chaos_key: str = ""
 
     def applicable(self, instance: Instance) -> bool:
         return any(leg.applicable(instance) for leg in self.legs)
@@ -80,23 +96,35 @@ class PortfolioBackend(Backend):
         return min(leg.cost_estimate(instance) for leg in self.legs)
 
     def run(self, instance: Instance) -> VerificationResult:
-        legs = [leg for leg in self.legs if leg.applicable(instance)]
-        if not legs:
-            legs = [self.legs[-1]]
-        if len(legs) == 1:
-            return legs[0].run(instance)
-        return self._race(legs, instance)
+        return self.run_resilient(instance, None)
 
     def run_cancellable(
         self, instance: Instance, should_stop: StopCheck = None
     ) -> VerificationResult:
-        return self.run(instance)
+        return self.run_resilient(instance, should_stop)
+
+    def run_resilient(
+        self, instance: Instance, should_stop: StopCheck = None
+    ) -> VerificationResult:
+        """Race the legs; ``should_stop`` (a task deadline or the run
+        budget) aborts the whole race, raising ``Cancelled``."""
+        legs = [leg for leg in self.legs if leg.applicable(instance)]
+        if not legs:
+            legs = [self.legs[-1]]
+        if len(legs) == 1:
+            return legs[0].run_resilient(instance, should_stop)
+        return self._race(legs, instance, should_stop)
 
     def _race(
-        self, legs: Sequence[Backend], instance: Instance
+        self,
+        legs: Sequence[Backend],
+        instance: Instance,
+        external_stop: StopCheck = None,
     ) -> VerificationResult:
         stop = threading.Event()
-        lock = threading.Lock()
+        leg_stop = any_stop(stop.is_set, external_stop)
+        cond = threading.Condition()
+        exited = [0]  # legs that returned/raised (not merely abandoned)
         done: list[tuple[str, VerificationResult]] = []
         cancelled: list[str] = []
         budget_exceeded: list[str] = []
@@ -104,24 +132,28 @@ class PortfolioBackend(Backend):
 
         def leg_main(leg: Backend) -> None:
             try:
-                result = leg.run_cancellable(instance, stop.is_set)
+                if self.chaos is not None:
+                    self.chaos.stall_leg(self.chaos_key, leg.name, leg_stop)
+                result = leg.run_cancellable(instance, leg_stop)
             except Cancelled:
-                with lock:
+                with cond:
                     cancelled.append(leg.name)
-                return
             except SearchBudgetExceeded:
                 # Bow out quietly; the other leg keeps running.
-                with lock:
+                with cond:
                     budget_exceeded.append(leg.name)
-                return
             except BaseException as e:  # noqa: BLE001 - re-raised below
-                with lock:
+                with cond:
                     errors.append((leg.name, e))
                 stop.set()  # no point letting the other leg spin
-                return
-            with lock:
-                done.append((leg.name, result))
-            stop.set()
+            else:
+                with cond:
+                    done.append((leg.name, result))
+                stop.set()
+            finally:
+                with cond:
+                    exited[0] += 1
+                    cond.notify_all()
 
         threads = [
             threading.Thread(target=leg_main, args=(leg,), daemon=True)
@@ -129,26 +161,46 @@ class PortfolioBackend(Backend):
         ]
         for t in threads:
             t.start()
+        # Wait for a verdict (or every leg to give up) — but never block
+        # unboundedly on a wedged leg when an external stop is watching.
+        with cond:
+            while not done and exited[0] < len(legs):
+                if external_stop is not None and external_stop():
+                    break
+                cond.wait(
+                    timeout=_WAIT_POLL_S if external_stop is not None else None
+                )
+        # The race is decided (or aborted): give the remaining legs one
+        # grace period to observe the stop event, then abandon them to
+        # their daemon threads — no leg outlives its race by more than a
+        # stop-check poll unless it has stopped polling entirely.
+        stop.set()
         for t in threads:
-            t.join()
+            t.join(timeout=LEG_GRACE_S)
+        abandoned = [t for t in threads if t.is_alive()]
 
-        if not done:
-            if errors:
-                raise errors[0][1]
+        with cond:  # freeze the records against late leg writes
+            done_now = list(done)
+            errors_now = list(errors)
+        if not done_now:
+            if external_stop is not None and external_stop():
+                raise Cancelled("portfolio race", 0)
+            if errors_now:
+                raise errors_now[0][1]
             # Every leg retired on budget: run the terminating leg
             # (by convention the SAT route is last) to completion.
-            result = legs[-1].run(instance)
+            result = legs[-1].run_resilient(instance, external_stop)
             winner = legs[-1].name
         else:
-            winner, result = done[0]
-            for other_name, other in done[1:]:
+            winner, result = done_now[0]
+            for other_name, other in done_now[1:]:
                 if other.holds != result.holds:
                     raise RuntimeError(
                         f"portfolio legs disagree on verdict: "
                         f"{winner}={result.holds} vs "
                         f"{other_name}={other.holds}"
                     )
-            if errors:
+            if errors_now:
                 # A losing leg crashed but the winner is sound; surface
                 # the crash in stats rather than failing the task.
                 pass
@@ -157,6 +209,7 @@ class PortfolioBackend(Backend):
             "raced": [leg.name for leg in legs],
             "cancelled": len(cancelled),
             "budget_exceeded": len(budget_exceeded),
-            "errors": [name for name, _ in errors],
+            "errors": [name for name, _ in errors_now],
+            "abandoned": len(abandoned),
         }
         return result

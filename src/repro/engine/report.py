@@ -25,15 +25,21 @@ class TaskStats:
     cache_hit: bool = False
     holds: bool | None = None   # None = task skipped (early exit)
     skipped: bool = False
+    unknown: bool = False       # abandoned without a verdict (see reason)
+    attempts: int = 1           # 1 = first try; >1 = crash retries happened
+    quarantined: bool = False   # exhausted retries, ran (or died) in-process
     detail: dict[str, Any] = field(default_factory=dict)
 
     def row(self) -> str:
         verdict = (
             "skipped" if self.skipped
+            else "UNKNOWN" if self.unknown
             else "holds" if self.holds
             else "VIOLATED"
         )
         src = "cache" if self.cache_hit else "-" if self.skipped else "run"
+        if self.quarantined:
+            src = "quar"
         extra = ", ".join(
             f"{k}={v}" for k, v in self.detail.items()
             if isinstance(v, (int, float, str))
@@ -62,6 +68,17 @@ class EngineReport:
     cancelled: int = 0
     early_exit: bool = False
     wall_time: float = 0.0
+    #: Tasks abandoned without a verdict (timeout / budget / crashed).
+    unknown: int = 0
+    #: Crash-retry attempts beyond each task's first try.
+    retries: int = 0
+    #: Task attempts that ended in a worker crash (injected or real).
+    crashes: int = 0
+    #: Tasks that exhausted their retries and were quarantined to
+    #: in-process serial execution.
+    quarantined: int = 0
+    #: Tasks whose per-task deadline or the run budget expired.
+    deadline_expired: int = 0
     #: Pre-pass aggregate counters (empty when the pre-pass ran on no
     #: task): tasks / decided / downgraded / edges_inferred /
     #: ops_eliminated / ops_before / ops_after.
@@ -76,6 +93,11 @@ class EngineReport:
         if task.skipped:
             return
         self.executed += 1
+        if task.unknown:
+            self.unknown += 1
+        self.retries += max(0, task.attempts - 1)
+        if task.quarantined:
+            self.quarantined += 1
         if task.cache_hit:
             self.cache_hits += 1
         else:
@@ -101,6 +123,16 @@ class EngineReport:
             f"early_exit={'yes' if self.early_exit else 'no'} "
             f"wall={self.wall_time * 1e3:.2f}ms",
         ]
+        if (
+            self.unknown or self.retries or self.crashes
+            or self.quarantined or self.deadline_expired
+        ):
+            lines.append(
+                f"resilience: unknown={self.unknown} "
+                f"retries={self.retries} crashes={self.crashes} "
+                f"quarantined={self.quarantined} "
+                f"deadline_expired={self.deadline_expired}"
+            )
         if self.prepass.get("tasks"):
             pp = self.prepass
             before = pp.get("ops_before", 0)

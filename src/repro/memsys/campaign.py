@@ -30,17 +30,35 @@ class CampaignResult:
     injected: int = 0
     detected: int = 0
     false_alarms: int = 0  # fault-free run flagged (must stay 0)
+    #: Runs whose verification was abandoned (deadline / budget /
+    #: crash quarantine) — excluded from the detection denominator.
+    unknown: int = 0
+    #: Runs whose verification raised; the sweep continues past them.
+    errors: int = 0
 
     @property
     def detection_rate(self) -> float:
         return self.detected / self.injected if self.injected else 0.0
 
+    @property
+    def coverage(self) -> float:
+        """Fraction of runs that produced a verdict: partial coverage
+        (a failed cell in a long sweep) is visible, not silent."""
+        decided = self.runs - self.unknown - self.errors
+        return decided / self.runs if self.runs else 0.0
+
     def row(self) -> str:
         rate = f"{self.detection_rate:.0%}" if self.injected else "n/a"
-        return (
+        line = (
             f"{self.kind.value:<20} {self.substrate:<10} "
             f"{self.injected:>9} {self.detected:>9} {rate:>7}"
         )
+        if self.unknown or self.errors:
+            line += (
+                f"  [coverage {self.coverage:.0%}: "
+                f"{self.unknown} unknown, {self.errors} errors]"
+            )
+        return line
 
 
 SUBSTRATES: dict[str, Callable] = {
@@ -61,6 +79,7 @@ def run_campaign(
     base_seed: int = 0,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    resilience=None,
 ) -> list[CampaignResult]:
     """Sweep seeds over every (fault kind, substrate) cell.
 
@@ -75,6 +94,11 @@ def run_campaign(
     is shared across the whole sweep — campaigns repeat many
     fingerprint-identical per-address histories, so later runs are
     largely served from the cache.
+
+    The sweep degrades gracefully: a run whose verification is
+    abandoned (under a ``resilience`` policy's deadlines) or raises is
+    counted in the cell's ``unknown`` / ``errors`` and the sweep moves
+    on — one bad cell costs its own coverage, never the campaign.
     """
     kinds = kinds or list(FaultKind)
     substrates = substrates or list(SUBSTRATES)
@@ -101,17 +125,25 @@ def run_campaign(
                     faults=FaultConfig.single(kind, seed=seed, rate=fault_rate),
                 ).run()
                 cell.runs += 1
-                verdict = verify_coherence(
-                    run.execution,
-                    write_orders=run.write_orders,
-                    jobs=jobs,
-                    cache=cache,
-                )
+                try:
+                    verdict = verify_coherence(
+                        run.execution,
+                        write_orders=run.write_orders,
+                        jobs=jobs,
+                        cache=cache,
+                        resilience=resilience,
+                    )
+                except Exception:
+                    cell.errors += 1
+                    continue
+                if verdict.unknown:
+                    cell.unknown += 1
+                    continue
                 if run.faults_injected:
                     cell.injected += 1
-                    if not verdict:
+                    if verdict.violated:
                         cell.detected += 1
-                elif not verdict:
+                elif verdict.violated:
                     cell.false_alarms += 1
             results.append(cell)
     return results

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.sat.cnf import CNF, Assignment, Lit
-from repro.util.control import Cancelled, StopCheck
+from repro.util.control import SOLVER_CHECK_INTERVAL, StopCheck, poll
 
 
 def solve_cdcl(
@@ -414,12 +414,8 @@ class CDCLSolver:
         steps = 0
         while True:
             steps += 1
-            if (
-                should_stop is not None
-                and steps % 256 == 0
-                and should_stop()
-            ):
-                raise Cancelled("cdcl", self.conflicts)
+            poll(should_stop, steps, "cdcl", self.conflicts,
+                 SOLVER_CHECK_INTERVAL)
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1

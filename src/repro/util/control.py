@@ -29,6 +29,47 @@ StopCheck = Optional[Callable[[], bool]]
 #: that polling is invisible in profiles.
 CHECK_INTERVAL = 1024
 
+#: Poll interval for solver inner loops (CDCL), whose iterations are an
+#: order of magnitude heavier than search-state expansions.
+SOLVER_CHECK_INTERVAL = 256
+
+
+def any_stop(*checks: StopCheck) -> StopCheck:
+    """Combine several optional stop checks into one (logical OR).
+
+    ``None`` entries are dropped; an all-``None`` combination returns
+    ``None``, preserving the "no check, zero hot-path cost" fast path.
+    A single survivor is returned as-is (no wrapper closure).  This is
+    how a portfolio leg observes *both* the race's stop event and the
+    task's deadline with one poll.
+    """
+    concrete = [c for c in checks if c is not None]
+    if not concrete:
+        return None
+    if len(concrete) == 1:
+        return concrete[0]
+
+    def check() -> bool:
+        return any(c() for c in concrete)
+
+    return check
+
+
+def poll(should_stop: StopCheck, steps: int, where: str, work: int,
+         interval: int = CHECK_INTERVAL) -> None:
+    """The engines' shared stop-check poll: every ``interval`` steps,
+    consult ``should_stop`` and raise :class:`Cancelled` if it fired.
+
+    Kept tiny and branch-predictable — this sits on the hot path of the
+    frontier search and the CDCL main loop.
+    """
+    if (
+        should_stop is not None
+        and steps % interval == 0
+        and should_stop()
+    ):
+        raise Cancelled(where, work)
+
 
 class Cancelled(RuntimeError):
     """A cooperative engine observed ``should_stop`` and gave up.

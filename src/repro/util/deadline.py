@@ -1,0 +1,95 @@
+"""Soft deadlines for cooperative decision procedures.
+
+A :class:`Deadline` is a point on the monotonic clock.  It plugs into
+the engine's cooperative-cancellation protocol
+(:mod:`repro.util.control`): ``deadline.as_stop_check()`` is a
+``StopCheck``, so any backend that can be cancelled can also be
+deadlined — no second mechanism, no signals, no watchdog threads.
+
+Two budgets use this primitive:
+
+* the **per-task soft deadline** (``verify --task-timeout``): each
+  planned task gets its own deadline when it starts running, so one
+  pathological address cannot starve the rest of the plan;
+* the **per-run wall-clock budget** (``verify --timeout``): a single
+  deadline created when the plan starts; the executor stops launching
+  work once it expires and reports the unfinished tasks as UNKNOWN.
+
+Deadlines are *soft*: expiry is observed at the next
+:data:`~repro.util.control.CHECK_INTERVAL` poll, so a task may overrun
+by one poll interval.  That is the price of never killing a worker
+mid-state — an aborted search always reports a sound UNKNOWN, never a
+corrupted verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import monotonic, sleep
+
+
+class DeadlineExpired(RuntimeError):
+    """A deadline was observed expired at a cooperative checkpoint."""
+
+    def __init__(self, where: str, overrun: float = 0.0):
+        super().__init__(f"{where} exceeded its deadline by {overrun:.3f}s")
+        self.where = where
+        self.overrun = overrun
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An instant on the monotonic clock after which work should stop.
+
+    Frozen and clock-relative: a ``Deadline`` never pickles across a
+    process boundary (monotonic epochs are per-process on some
+    platforms) — ship ``remaining()`` seconds instead and rebuild with
+    :meth:`after` on the other side.
+    """
+
+    expires_at: float
+
+    @classmethod
+    def after(cls, seconds: float | None) -> "Deadline | None":
+        """A deadline ``seconds`` from now; ``None`` means no deadline
+        (so optional-timeout plumbing needs no special cases)."""
+        if seconds is None:
+            return None
+        return cls(expires_at=monotonic() + max(0.0, seconds))
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.expires_at - monotonic())
+
+    def overrun(self) -> float:
+        """Seconds past expiry; never negative."""
+        return max(0.0, monotonic() - self.expires_at)
+
+    def expired(self) -> bool:
+        return monotonic() >= self.expires_at
+
+    def as_stop_check(self):
+        """This deadline as a ``StopCheck`` callable."""
+        return self.expired
+
+    def check(self, where: str) -> None:
+        """Raise :class:`DeadlineExpired` if the deadline has passed."""
+        if self.expired():
+            raise DeadlineExpired(where, self.overrun())
+
+    def sleep(self, seconds: float) -> float:
+        """Sleep ``seconds`` but never past the deadline; returns the
+        time actually slept (used by retry backoff, which must not burn
+        the whole run budget waiting to retry a doomed task)."""
+        t = min(max(0.0, seconds), self.remaining())
+        if t > 0:
+            sleep(t)
+        return t
+
+    @staticmethod
+    def earliest(*deadlines: "Deadline | None") -> "Deadline | None":
+        """The tightest of several optional deadlines (None = unbounded)."""
+        concrete = [d for d in deadlines if d is not None]
+        if not concrete:
+            return None
+        return min(concrete, key=lambda d: d.expires_at)

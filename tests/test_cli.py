@@ -113,6 +113,99 @@ class TestVerify:
         assert "engine:" in out and "backend" in out
 
 
+class TestMalformedTraces:
+    """Truncated / corrupt inputs exit 2 with a one-line diagnostic
+    naming the file and the byte offset — never a traceback."""
+
+    def test_truncated_json(self, tmp_path, capsys):
+        path = tmp_path / "truncated.json"
+        path.write_text('{"processors": 2, "histories": [')
+        assert main(["verify", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one line
+        assert str(path) in err
+        assert "byte" in err and "malformed JSON" in err
+
+    def test_corrupt_json_names_offset(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text('{"processors": 2, "histories": ###}')
+        assert main(["verify", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "byte 31" in err  # offset of the first '#'
+        assert "line 1" in err
+
+    def test_empty_json_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        assert main(["verify", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_sniffed_json_gets_same_diagnostic(self, tmp_path, capsys):
+        path = tmp_path / "trace.dat"  # JSON-shaped, wrong suffix
+        path.write_text("[1, 2,")
+        assert main(["verify", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert str(path) in err and "byte" in err
+
+
+class TestResilienceFlags:
+    def test_timeout_zero_exits_unknown(self, coherent_trace_file, capsys):
+        assert main(["verify", coherent_trace_file, "--timeout", "0"]) == 3
+        out = capsys.readouterr().out
+        assert "UNKNOWN" in out
+        assert "budget" in out
+
+    def test_generous_timeout_still_decides(self, coherent_trace_file):
+        assert main(["verify", coherent_trace_file, "--timeout", "60",
+                     "--task-timeout", "30"]) == 0
+
+    def test_negative_timeout_is_usage_error(self, coherent_trace_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["verify", coherent_trace_file, "--timeout", "-1"])
+        assert exc.value.code == 2
+
+    def test_chaos_without_env_exits_2(
+        self, coherent_trace_file, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert main(["verify", coherent_trace_file, "--chaos", "crash=1"]) == 2
+        assert "REPRO_CHAOS" in capsys.readouterr().err
+
+    def test_chaos_with_env_injects(
+        self, coherent_trace_file, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", "1")
+        code = main(["verify", coherent_trace_file, "--chaos",
+                     "crash=1,seed=0", "--retries", "1", "--stats"])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "UNKNOWN" in out
+        assert "crashed" in out
+        assert "resilience:" in out and "quarantined" in out
+
+    def test_chaos_recovers_with_retries(
+        self, coherent_trace_file, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", "1")
+        code = main(["verify", coherent_trace_file, "--chaos",
+                     "crash=0.4,seed=5", "--retries", "6"])
+        assert code == 0
+
+    def test_bad_chaos_spec_exits_2(
+        self, coherent_trace_file, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", "1")
+        assert main(["verify", coherent_trace_file, "--chaos",
+                     "explode=1"]) == 2
+        assert "bad chaos field" in capsys.readouterr().err
+
+    def test_unknown_on_violation_trace_never_masks(
+        self, violation_trace_file
+    ):
+        # A violated trace under a generous deadline still reports 1.
+        assert main(["verify", violation_trace_file, "--timeout", "60"]) == 1
+
+
 class TestSimulate:
     def test_healthy_run(self, capsys):
         assert main(["simulate", "--ops", "30", "--seed", "3"]) == 0

@@ -1,0 +1,108 @@
+"""The Deadline primitive: expiry, stop-check integration, bounded sleep."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.util.control import Cancelled
+from repro.util.deadline import Deadline, DeadlineExpired
+
+
+def test_after_none_is_none():
+    assert Deadline.after(None) is None
+
+
+def test_fresh_deadline_not_expired():
+    d = Deadline.after(60.0)
+    assert not d.expired()
+    assert 59.0 < d.remaining() <= 60.0
+    assert d.overrun() == 0.0
+
+
+def test_zero_deadline_expires_immediately():
+    d = Deadline.after(0.0)
+    assert d.expired()
+    assert d.remaining() == 0.0
+
+
+def test_negative_seconds_clamped_to_now():
+    d = Deadline.after(-5.0)
+    assert d.expired()
+    # overrun counts from expiry, not from the negative request
+    assert d.overrun() < 1.0
+
+
+def test_expiry_after_real_time():
+    d = Deadline.after(0.01)
+    time.sleep(0.02)
+    assert d.expired()
+    assert d.remaining() == 0.0
+    assert d.overrun() > 0.0
+
+
+def test_as_stop_check_plugs_into_cancellation():
+    live = Deadline.after(60.0).as_stop_check()
+    dead = Deadline.after(0.0).as_stop_check()
+    assert live() is False
+    assert dead() is True
+
+
+def test_check_raises_with_where_and_overrun():
+    d = Deadline.after(0.0)
+    time.sleep(0.005)
+    with pytest.raises(DeadlineExpired) as exc:
+        d.check("exact search")
+    assert exc.value.where == "exact search"
+    assert exc.value.overrun > 0.0
+
+
+def test_check_passes_before_expiry():
+    Deadline.after(60.0).check("anything")  # no raise
+
+
+def test_sleep_is_bounded_by_deadline():
+    d = Deadline.after(0.02)
+    t0 = time.monotonic()
+    slept = d.sleep(10.0)
+    elapsed = time.monotonic() - t0
+    assert slept <= 0.02 + 1e-6
+    assert elapsed < 1.0  # nowhere near the requested 10s
+
+
+def test_sleep_after_expiry_is_zero():
+    assert Deadline.after(0.0).sleep(1.0) == 0.0
+
+
+def test_sleep_negative_is_zero():
+    assert Deadline.after(60.0).sleep(-1.0) == 0.0
+
+
+def test_earliest_picks_tightest():
+    tight = Deadline.after(0.5)
+    loose = Deadline.after(60.0)
+    assert Deadline.earliest(loose, tight, None) is tight
+    assert Deadline.earliest(None, None) is None
+    assert Deadline.earliest(loose) is loose
+
+
+def test_cancellation_observes_deadline_in_exact_search():
+    """End to end: an expired deadline cancels the exact search at its
+    next poll, yielding Cancelled — the seam the executor turns into a
+    sound UNKNOWN."""
+    from repro.core.exact import exact_vmc
+    from repro.core.types import Execution, OpKind, Operation
+
+    histories = []
+    v = 1
+    for p in range(3):
+        ops = []
+        for i in range(8):
+            ops.append(Operation(OpKind.WRITE, "x", p, i, value_written=v))
+            v += 1
+        histories.append(ops)
+    ex = Execution.from_ops(histories, initial={"x": 0}, final={"x": 99})
+    stop = Deadline.after(0.0).as_stop_check()
+    with pytest.raises(Cancelled):
+        exact_vmc(ex, should_stop=stop)
