@@ -220,6 +220,33 @@ RESILIENCE_CONFIGS: dict[str, dict] = {
 RESILIENCE_GUARD_RATIO = 1.3
 RESILIENCE_GUARD_SLACK_S = 0.25
 
+# The certification scenario: the mixed corpus verified with proof-
+# carrying verdicts (witness replays, hb-cycle and infeasibility
+# re-checks, DRAT-logged SAT refutations) versus the same corpus
+# uncertified.  Certification trades the solver-side shortcuts (order
+# hints, preprocessing) for an auditable proof, so it is not free — the
+# guard keeps the premium honest.
+CERTIFY_CONFIGS: dict[str, dict] = {
+    "certify-off": {
+        "prepass": True, "jobs": 1, "pool": "thread", "portfolio": True,
+        "certify": "off",
+    },
+    "certify-on": {
+        "prepass": True, "jobs": 1, "pool": "thread", "portfolio": True,
+        "certify": "on",
+    },
+    "certify-strict": {
+        "prepass": True, "jobs": 1, "pool": "thread", "portfolio": True,
+        "certify": "strict",
+    },
+}
+
+#: Producing + validating certificates may cost at most this factor
+#: over the uncertified run (the ISSUE's acceptance bound)...
+CERTIFY_GUARD_RATIO = 1.25
+#: ...with the same absolute slack floor as the other guards.
+CERTIFY_GUARD_SLACK_S = 0.25
+
 
 def run_config(
     corpus: list[Execution], cfg: dict, jobs: int, repeats: int
@@ -227,10 +254,12 @@ def run_config(
     njobs = cfg["jobs"] or jobs
     portfolio = cfg.get("portfolio", False)
     resilience = cfg.get("resilience")
+    certify = cfg.get("certify", "off")
     times: list[float] = []
     holds = 0
     unknowns = 0
     crashes = retries = quarantined = 0
+    certified = uncertified = 0
     prepass_stats: dict[str, int] = {}
     races = 0
     race_wins: dict[str, int] = {}
@@ -245,6 +274,7 @@ def run_config(
                 cache=False,
                 portfolio=portfolio,
                 resilience=resilience,
+                certify=certify,
             )
             if rep == 0:
                 holds += bool(r)
@@ -252,6 +282,8 @@ def run_config(
                 crashes += r.report.crashes
                 retries += r.report.retries
                 quarantined += r.report.quarantined
+                certified += r.report.certified
+                uncertified += r.report.uncertified
                 for k, v in r.report.prepass.items():
                     prepass_stats[k] = prepass_stats.get(k, 0) + v
                 pf = r.report.portfolio
@@ -279,6 +311,11 @@ def run_config(
         out["crashes"] = crashes
         out["retries"] = retries
         out["quarantined"] = quarantined
+    if certify != "off":
+        out["certify"] = certify
+        out["unknown"] = unknowns
+        out["certified"] = certified
+        out["uncertified"] = uncertified
     return out
 
 
@@ -440,6 +477,53 @@ def main(argv: list[str] | None = None) -> int:
         f"{RESILIENCE_GUARD_RATIO}x + {RESILIENCE_GUARD_SLACK_S}s slack)"
     )
 
+    # Certification scenario: the same mixed corpus with proof-carrying
+    # verdicts on and strict vs off — verdicts must not move, every
+    # decided verdict must certify, and the premium is guarded.
+    certify_results: dict[str, dict] = {}
+    for name, cfg in CERTIFY_CONFIGS.items():
+        certify_results[name] = run_config(
+            race_corpus, cfg, args.jobs, repeats
+        )
+        r = certify_results[name]
+        extra = (
+            f"  certified={r['certified']} uncertified={r['uncertified']}"
+            if "certified" in r
+            else ""
+        )
+        print(
+            f"{name:<18} median {r['median_s'] * 1e3:>9.1f}ms  "
+            f"coherent {r['holds']}/{r['instances']}{extra}"
+        )
+    uncert = certify_results["certify-off"]
+    cert_on = certify_results["certify-on"]
+    strict = certify_results["certify-strict"]
+    if cert_on["holds"] != uncert["holds"] or strict["holds"] != uncert["holds"]:
+        print("error: certification changed verdicts", file=sys.stderr)
+        return 1
+    if cert_on["certified"] == 0:
+        print("error: certify-on arm produced no certificates",
+              file=sys.stderr)
+        return 1
+    if strict["uncertified"] or strict["unknown"]:
+        print(
+            "error: strict certification left verdicts uncertified on an "
+            "honest run", file=sys.stderr,
+        )
+        return 1
+    certify_median = cert_on["median_s"]
+    uncert_median = uncert["median_s"]
+    certify_ok = (
+        certify_median <= CERTIFY_GUARD_RATIO * uncert_median
+        or certify_median - uncert_median <= CERTIFY_GUARD_SLACK_S
+    )
+    print(
+        f"certification {certify_median * 1e3:.1f}ms vs uncertified "
+        f"{uncert_median * 1e3:.1f}ms "
+        f"({'ok' if certify_ok else 'REGRESSION'}; guard "
+        f"{CERTIFY_GUARD_RATIO}x + {CERTIFY_GUARD_SLACK_S}s slack)"
+    )
+
     payload = {
         "benchmark": "engine-prepass-pools-portfolio",
         "recorded_utc": datetime.now(timezone.utc).isoformat(
@@ -480,6 +564,15 @@ def main(argv: list[str] | None = None) -> int:
             ),
             "guard_ok": resilience_ok,
         },
+        "certify": {
+            "instances": len(race_corpus),
+            "configs": certify_results,
+            "certified_vs_uncertified": (
+                round(certify_median / uncert_median, 3)
+                if uncert_median else None
+            ),
+            "guard_ok": certify_ok,
+        },
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -502,6 +595,14 @@ def main(argv: list[str] | None = None) -> int:
             f"error: fault recovery cost {chaotic['median_s']}s vs "
             f"{faultfree['median_s']}s fault-free — past the "
             f"{RESILIENCE_GUARD_RATIO}x overhead guard",
+            file=sys.stderr,
+        )
+        return 1
+    if not certify_ok:
+        print(
+            f"error: certification cost {certify_median}s vs "
+            f"{uncert_median}s uncertified — past the "
+            f"{CERTIFY_GUARD_RATIO}x overhead guard",
             file=sys.stderr,
         )
         return 1

@@ -16,6 +16,11 @@ Commands:
   per-address task, ``--retries N`` sets the crash-retry budget, and
   ``--chaos SPEC`` (gated behind the ``REPRO_CHAOS`` environment
   variable) injects deterministic faults for testing.
+  ``--certify {off,on,strict}`` makes every verdict carry a
+  certificate validated by the independent trusted checker
+  (:mod:`repro.engine.certify`): ``on`` exits 3 loudly when a verdict
+  cannot be certified; ``strict`` downgrades it to
+  UNKNOWN(uncertified) and continues.
 * ``simulate``             — run the multiprocessor simulator on a
   workload, verify the result, optionally dump the trace.
 * ``solve <file.cnf>``     — decide a DIMACS formula with the built-in
@@ -41,7 +46,14 @@ from repro.core.serialize import save as save_json
 from repro.core.types import Execution, schedule_str
 from repro.core.vmc import verify_coherence
 from repro.core.vsc import verify_sequential_consistency
-from repro.engine import CHAOS_ENV, POOL_KINDS, ChaosSpec, ResiliencePolicy
+from repro.engine import (
+    CERTIFY_MODES,
+    CHAOS_ENV,
+    POOL_KINDS,
+    CertificationError,
+    ChaosSpec,
+    ResiliencePolicy,
+)
 
 #: Exit status for a verification abandoned without a verdict.
 EXIT_UNKNOWN = 3
@@ -175,6 +187,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 prepass=not args.no_prepass,
                 portfolio=args.portfolio,
                 resilience=resilience,
+                certify=args.certify,
             )
             label = "sequential consistency"
         else:
@@ -186,8 +199,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 prepass=not args.no_prepass,
                 portfolio=args.portfolio,
                 resilience=resilience,
+                certify=args.certify,
             )
             label = "coherence"
+    except CertificationError as e:
+        # --certify on: a verdict failed the trusted checker.  Producer
+        # or checker is wrong — either way the verdict is untrustworthy,
+        # and that is an UNKNOWN outcome, not a usage error.
+        print(f"certification failed: {e}", file=sys.stderr)
+        return EXIT_UNKNOWN
     except ValueError as e:
         # Unknown method names and inapplicable forced backends
         # (BackendInapplicableError, which lists the applicable ones)
@@ -331,6 +351,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="race exact search vs SAT on exponential-tier tasks, first "
         "sound verdict wins (--no-portfolio keeps the router's single "
         "choice)",
+    )
+    p.add_argument(
+        "--certify",
+        choices=CERTIFY_MODES,
+        default="off",
+        help="attach a certificate to every verdict and validate it "
+        "with the independent trusted checker: 'on' fails loudly when "
+        "a verdict cannot be certified (exit 3), 'strict' downgrades "
+        "it to UNKNOWN(uncertified) (exit 3) and keeps going",
     )
     p.add_argument(
         "--stats",

@@ -32,7 +32,7 @@ from repro.core.types import (
     Execution,
     Operation,
 )
-from repro.core.result import VerificationResult
+from repro.core.result import Certificate, VerificationResult
 from repro.sat import solve
 from repro.sat.cnf import CNF
 from repro.util.control import Cancelled, StopCheck
@@ -53,6 +53,10 @@ class ScheduleEncoding:
     before: dict[tuple[int, int], int]  # (i, j) i<j -> var: op_i before op_j
     feasible: bool = True  # False when a read has no possible source
     infeasible_reason: str = ""
+    #: Structured counterpart of ``infeasible_reason``: a claim tuple a
+    #: trusted checker can re-verify by scanning the raw trace (see
+    #: :class:`repro.core.result.Certificate`, kind ``infeasible``).
+    infeasible_claim: tuple | None = None
     #: Pre-pass order hints as ``before`` literals (filled instead of
     #: unit clauses when ``hints_as_units=False``); the CDCL path feeds
     #: them to the preprocessor / solver as assumptions.
@@ -190,6 +194,7 @@ def encode_legal_schedule(
                     f"{ops[r]} reads {want!r}, which is never written to "
                     f"{a!r} and is not its initial value {d_i!r}"
                 )
+                enc.infeasible_claim = ("read-impossible", ops[r].uid)
                 cnf.add_clause([])  # formula is UNSAT
                 continue
             cnf.add_clause(selectors)  # at least one source
@@ -203,12 +208,14 @@ def encode_legal_schedule(
                     enc.infeasible_reason = (
                         f"no writes to {a!r} but final {d_f!r} != initial"
                     )
+                    enc.infeasible_claim = ("final-vs-initial", a)
                     cnf.add_clause([])
             elif not finals:
                 enc.feasible = False
                 enc.infeasible_reason = (
                     f"required final value {d_f!r} of {a!r} is never written"
                 )
+                enc.infeasible_claim = ("final-unwritten", a)
                 cnf.add_clause([])
             else:
                 selectors = []
@@ -229,6 +236,7 @@ def sat_vmc(
     max_conflicts: int | None = None,
     order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
     should_stop: StopCheck = None,
+    certify: bool = False,
 ) -> VerificationResult:
     """Decide VMC by CNF encoding + SAT solving."""
     if addr is not None:
@@ -237,7 +245,7 @@ def sat_vmc(
     if len(addrs) > 1:
         raise ValueError(f"VMC is per-address; execution touches {addrs}")
     result = _solve_encoding(
-        execution, solver, max_conflicts, order_hints, should_stop
+        execution, solver, max_conflicts, order_hints, should_stop, certify
     )
     result.address = addrs[0] if addrs else addr
     return result
@@ -249,10 +257,11 @@ def sat_vsc(
     max_conflicts: int | None = None,
     order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
     should_stop: StopCheck = None,
+    certify: bool = False,
 ) -> VerificationResult:
     """Decide VSC by CNF encoding + SAT solving."""
     return _solve_encoding(
-        execution, solver, max_conflicts, order_hints, should_stop
+        execution, solver, max_conflicts, order_hints, should_stop, certify
     )
 
 
@@ -262,6 +271,7 @@ def _solve_encoding(
     max_conflicts: int | None,
     order_hints: Sequence[tuple[tuple[int, int], tuple[int, int]]] | None = None,
     should_stop: StopCheck = None,
+    certify: bool = False,
 ) -> VerificationResult:
     """Encode, preprocess, solve, decode.
 
@@ -272,8 +282,18 @@ def _solve_encoding(
     formulas past :data:`SIMPLIFY_CLAUSE_LIMIT` skip preprocessing and
     assert the hints as root-level solver assumptions instead.  Other
     solvers keep the plain encoding with hints as unit clauses.
+
+    With ``certify`` the CDCL route instead solves the *plain* encoding
+    (no hints, no preprocessing: a refutation must be checkable against
+    a CNF an auditor re-derives from the trace alone, and pre-pass
+    hints are untrusted solver-side input) with DRAT proof logging, and
+    an UNSAT verdict carries the proof as a ``rup`` certificate.
+    Infeasible encodings carry the structured claim instead; a SAT
+    verdict's witness schedule is its own certificate.
     """
     use_cdcl = solver == "cdcl"
+    if certify:
+        order_hints = None
     enc = encode_legal_schedule(
         execution,
         order_hints=order_hints,
@@ -287,11 +307,26 @@ def _solve_encoding(
             method=f"sat-{solver}",
             reason=enc.infeasible_reason,
             stats=stats,
+            certificate=(
+                Certificate("infeasible", enc.infeasible_claim)
+                if certify else None
+            ),
         )
+    proof = None
     if use_cdcl:
         from repro.sat.cdcl import solve_cdcl
 
-        if enc.cnf.num_clauses <= SIMPLIFY_CLAUSE_LIMIT:
+        if certify:
+            from repro.sat.drat import ProofLog
+
+            proof = ProofLog()
+            model = solve_cdcl(
+                enc.cnf,
+                max_conflicts=max_conflicts,
+                should_stop=should_stop,
+                proof=proof,
+            )
+        elif enc.cnf.num_clauses <= SIMPLIFY_CLAUSE_LIMIT:
             from repro.sat.simplify import simplify
 
             pre = simplify(enc.cnf, assume=enc.hint_lits)
@@ -324,11 +359,16 @@ def _solve_encoding(
     else:
         model = solve(enc.cnf, solver=solver)
     if model is None:
+        certificate = None
+        if proof is not None:
+            stats["proof_lines"] = len(proof)
+            certificate = Certificate("rup", tuple(proof.lines))
         return VerificationResult(
             holds=False,
             method=f"sat-{solver}",
             reason="the CNF encoding of a legal schedule is unsatisfiable",
             stats=stats,
+            certificate=certificate,
         )
     schedule = enc.decode(model)
     # Sync ops were stripped for the encoding; reinsert them respecting
@@ -339,6 +379,7 @@ def _solve_encoding(
         method=f"sat-{solver}",
         schedule=schedule,
         stats=stats,
+        certificate=Certificate("witness") if certify else None,
     )
 
 

@@ -29,11 +29,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.result import VerificationResult
+from repro.core.result import Certificate, VerificationResult
 from repro.core.types import Execution, OpKind, Operation, ProcessHistory
 from repro.util.digraph import CycleError, Digraph
 
 Uid = tuple[int, int]
+
+#: One certificate proof step: ``(u_uid, v_uid, rule, aux)`` asserting
+#: the necessary edge u -> v.  Rules ``po``/``rf``/``init``/``fin``/
+#: ``finr`` are axioms a checker verifies directly against the trace;
+#: ``wr``/``fr`` are closure steps whose ``aux`` is the forced
+#: reads-from pair ``(w_uid, r_uid)`` that, combined with reachability
+#: over *earlier* steps, forces the edge.
+Step = tuple[Uid, Uid, str, tuple | None]
 
 
 # ---------------------------------------------------------------------
@@ -202,6 +210,9 @@ class Inference:
     #: Inferred non-program-order edges as (uid, uid, reason) triples —
     #: necessary in every coherent schedule, usable as search hints.
     edges: list[tuple[Uid, Uid, str]] = field(default_factory=list)
+    #: Every edge in derivation order as structured proof steps (see
+    #: :data:`Step`) — the raw material of ``cycle`` certificates.
+    steps: list[Step] = field(default_factory=list)
     #: Saturation rounds until fixpoint.
     rounds: int = 0
 
@@ -262,11 +273,15 @@ def infer_order(execution: Execution) -> Inference:
     g = Digraph(n)
     reasons: dict[tuple[int, int], str] = {}
 
-    def add(u: int, v: int, why: str) -> bool:
+    def add(
+        u: int, v: int, why: str, rule: str = "po",
+        aux: tuple | None = None,
+    ) -> bool:
         if u == v:
             return False
         if g.add_edge(u, v):
             reasons[(u, v)] = why
+            inf.steps.append((ops[u].uid, ops[v].uid, rule, aux))
             return True
         return False
 
@@ -286,6 +301,9 @@ def infer_order(execution: Execution) -> Inference:
                     f"{addr!r} and is not its initial value {d_i!r}"
                 ),
                 address=addr,
+                certificate=Certificate(
+                    "infeasible", ("read-impossible", ops[r].uid)
+                ),
             )
             return inf
     if d_f is not None:
@@ -296,6 +314,9 @@ def infer_order(execution: Execution) -> Inference:
                     method="prepass",
                     reason=f"no writes to {addr!r} but final {d_f!r} != initial",
                     address=addr,
+                    certificate=Certificate(
+                        "infeasible", ("final-vs-initial", addr)
+                    ),
                 )
                 return inf
         elif not writers_of.get(d_f):
@@ -306,6 +327,9 @@ def infer_order(execution: Execution) -> Inference:
                     f"required final value {d_f!r} of {addr!r} is never written"
                 ),
                 address=addr,
+                certificate=Certificate(
+                    "infeasible", ("final-unwritten", addr)
+                ),
             )
             return inf
 
@@ -322,20 +346,27 @@ def infer_order(execution: Execution) -> Inference:
             forced_rf.append((cands[0], r))
 
     for w, r in forced_rf:
-        add(w, r, f"{ops[r]} must read from {ops[w]} (unique writer)")
+        add(w, r, f"{ops[r]} must read from {ops[w]} (unique writer)", "rf")
     for r in init_readers:
         for w in writes:
-            add(r, w, f"{ops[r]} reads the initial value, never re-written")
+            add(
+                r, w, f"{ops[r]} reads the initial value, never re-written",
+                "init",
+            )
     if d_f is not None and len(writers_of.get(d_f, ())) == 1:
         wf = writers_of[d_f][0]
         for w in writes:
-            add(w, wf, f"{ops[wf]} uniquely writes the final value {d_f!r}")
+            add(
+                w, wf, f"{ops[wf]} uniquely writes the final value {d_f!r}",
+                "fin",
+            )
         for r in reads:
             if r != wf and ops[r].value_read != d_f:
                 add(
                     r, wf,
                     f"{ops[r]} reads {ops[r].value_read!r}, stale after the "
                     f"final write {ops[wf]}",
+                    "finr",
                 )
 
     # Saturate: closure-driven coherence/from-read rules to fixpoint.
@@ -360,6 +391,13 @@ def infer_order(execution: Execution) -> Inference:
                 ),
                 address=addr,
                 stats={"cycle_length": len(cycle)},
+                certificate=Certificate(
+                    "cycle",
+                    (
+                        tuple(inf.steps),
+                        tuple(ops[u].uid for u in cycle),
+                    ),
+                ),
             )
             return inf
         changed = False
@@ -373,11 +411,13 @@ def infer_order(execution: Execution) -> Inference:
                         w2, w,
                         f"{ops[w2]} precedes {ops[r]}, which reads from "
                         f"{ops[w]}",
+                        "wr", (ops[w].uid, ops[r].uid),
                     )
                 if reach[w] & (1 << w2):
                     changed |= add(
                         r, w2,
                         f"{ops[w2]} follows {ops[w]}, the source of {ops[r]}",
+                        "fr", (ops[w].uid, ops[r].uid),
                     )
         if not changed:
             break

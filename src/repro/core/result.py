@@ -12,8 +12,64 @@ from repro.core.types import Address, Operation, schedule_str
 #: ``timeout`` — the per-task soft deadline expired mid-decision;
 #: ``budget`` — the per-run wall-clock budget ran out before the task
 #: started (or finished); ``crashed`` — the task's worker died (or kept
-#: raising) through every retry and the task was quarantined.
-UNKNOWN_REASONS = ("timeout", "budget", "crashed")
+#: raising) through every retry and the task was quarantined;
+#: ``uncertified`` — certification ran in strict mode and the verdict
+#: either carried no certificate or carried one the trusted checker
+#: rejected, so the verdict is withheld rather than trusted.
+UNKNOWN_REASONS = ("timeout", "budget", "crashed", "uncertified")
+
+
+#: The certificate kinds a result may carry (see :class:`Certificate`).
+CERTIFICATE_KINDS = ("witness", "cycle", "infeasible", "rup")
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A machine-checkable justification attached to a verdict.
+
+    Defined here (not in :mod:`repro.engine.certify`, which validates
+    certificates) so ``core`` producers can attach them without
+    importing the engine.  ``kind`` is one of
+    :data:`CERTIFICATE_KINDS`:
+
+    ``witness``
+        A HOLDS verdict; the certificate *is* the result's witness
+        schedule (the paper's §4 NP yes-certificate) and the payload is
+        unused — the checker replays the schedule op-by-op.
+    ``cycle``
+        A VIOLATED verdict refuted by a happens-before cycle.  Payload:
+        ``(steps, cycle)`` where ``steps`` is an ordered tuple of
+        ``(u_uid, v_uid, rule, aux)`` proof steps (rules ``po``/``rf``/
+        ``init``/``fin``/``finr`` are axioms checkable directly against
+        the trace; ``wr``/``fr`` are closure steps whose ``aux`` names
+        the reads-from pair that forces them) and ``cycle`` is the uid
+        tuple of the cycle the steps close.
+    ``infeasible``
+        A VIOLATED verdict from a value-level impossibility.  Payload is
+        one claim tuple: ``("read-impossible", uid)`` — the operation
+        reads a value never written to its address and distinct from the
+        initial value; ``("final-vs-initial", addr)`` — no writes but
+        final differs from initial; ``("final-unwritten", addr)`` — the
+        required final value is never written.
+    ``rup``
+        A VIOLATED verdict refuted by SAT.  Payload is a DRAT-style
+        proof (tuple of ``("a"|"d", lits)`` lines) that
+        :func:`repro.sat.drat.check_rup` validates against a CNF
+        re-derived from the raw trace.
+
+    Payloads are tuples of primitives so certificates pickle across the
+    process pool and survive the result cache.
+    """
+
+    kind: str
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CERTIFICATE_KINDS:
+            raise ValueError(
+                f"certificate kind {self.kind!r}; "
+                f"expected one of {CERTIFICATE_KINDS}"
+            )
 
 
 @dataclass
@@ -53,6 +109,9 @@ class VerificationResult:
     report: Any = None
     #: True when the engine gave up without a verdict (see class docs).
     unknown: bool = False
+    #: The verdict's :class:`Certificate` when a certified run produced
+    #: one; None for uncertified runs and UNKNOWN results.
+    certificate: Certificate | None = None
 
     @classmethod
     def make_unknown(

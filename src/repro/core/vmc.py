@@ -47,6 +47,7 @@ def verify_coherence_at(
     write_order: Sequence[Operation] | None = None,
     prepass: bool = True,
     portfolio=True,
+    certify: str = "off",
 ) -> VerificationResult:
     """Decide VMC at one address of a (possibly multi-address) execution."""
     return verify_vmc_at(
@@ -56,6 +57,7 @@ def verify_coherence_at(
         write_order=write_order,
         prepass=prepass,
         portfolio=portfolio,
+        certify=certify,
     )
 
 
@@ -70,6 +72,7 @@ def verify_coherence(
     prepass: bool = True,
     portfolio=True,
     resilience=None,
+    certify: str = "off",
 ) -> VerificationResult:
     """Decide whether the execution is coherent (per Section 3): a
     coherent schedule exists for *every* address.
@@ -90,9 +93,11 @@ def verify_coherence(
     :class:`repro.engine.ResiliencePolicy`) adds deadlines, crash
     retries and fault injection; undecided addresses yield a sound
     UNKNOWN aggregate instead of a hang or a guessed verdict.
+    ``certify`` (``"off"``/``"on"``/``"strict"``) attaches checkable
+    certificates validated by :mod:`repro.engine.certify`.
     """
     return verify_vmc(
         execution, method=method, write_orders=write_orders, jobs=jobs,
         cache=cache, pool=pool, prepass=prepass, portfolio=portfolio,
-        resilience=resilience,
+        resilience=resilience, certify=certify,
     )

@@ -25,9 +25,10 @@ def verify_sequential_consistency(
     prepass: bool = True,
     portfolio=True,
     resilience=None,
+    certify: str = "off",
 ) -> VerificationResult:
     """Decide whether a sequentially consistent schedule exists."""
     return verify_vsc(
         execution, method=method, prepass=prepass, portfolio=portfolio,
-        resilience=resilience,
+        resilience=resilience, certify=certify,
     )

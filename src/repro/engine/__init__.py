@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.core.result import VerificationResult
+from repro.core.result import Certificate, VerificationResult
 from repro.core.types import Address, Execution, Operation
 from repro.engine.backend import (
     EXACT_STATE_BUDGET,
@@ -37,6 +37,13 @@ from repro.engine.backend import (
     estimated_states,
 )
 from repro.engine.cache import CacheStats, ResultCache, canonicalize, fingerprint
+from repro.engine.certify import (
+    CERTIFY_MODES,
+    CertCheck,
+    CertificationError,
+    ensure_certificate,
+    validate_result,
+)
 from repro.engine.chaos import CHAOS_ENV, ChaosCrash, ChaosSpec
 from repro.engine.executor import (
     POOL_KINDS,
@@ -67,6 +74,7 @@ from repro.engine.registry import (
 from repro.engine.report import EngineReport, TaskStats
 
 __all__ = [
+    "CERTIFY_MODES",
     "CHAOS_ENV",
     "EXACT_STATE_BUDGET",
     "EXPONENTIAL_TIER",
@@ -77,6 +85,9 @@ __all__ = [
     "BackendInapplicableError",
     "BackendRegistry",
     "CacheStats",
+    "CertCheck",
+    "Certificate",
+    "CertificationError",
     "ChaosCrash",
     "ChaosSpec",
     "EngineReport",
@@ -90,6 +101,7 @@ __all__ = [
     "build_vmc_registry",
     "build_vsc_registry",
     "canonicalize",
+    "ensure_certificate",
     "estimated_states",
     "execute_plan",
     "fingerprint",
@@ -99,6 +111,7 @@ __all__ = [
     "prepass_vsc",
     "resolve_pool",
     "run_task",
+    "validate_result",
     "verify_vmc",
     "verify_vmc_at",
     "verify_vsc",
@@ -130,6 +143,7 @@ def verify_vmc(
     prepass: bool = True,
     portfolio=True,
     resilience: ResiliencePolicy | None = None,
+    certify: str = "off",
 ) -> VerificationResult:
     """Decide whether the execution is coherent (Section 3): a coherent
     schedule exists for *every* address.
@@ -149,10 +163,19 @@ def verify_vmc(
     retries and fault injection; tasks abandoned under it yield sound
     UNKNOWN per-address results, and the aggregate is UNKNOWN exactly
     when no violation was found but some address went undecided.
+
+    ``certify`` (``"off"``/``"on"``/``"strict"``) makes every verdict
+    carry a certificate validated by the independent trusted checker
+    (:mod:`repro.engine.certify`) before it is cached or returned:
+    ``on`` raises :class:`CertificationError` on any failure, ``strict``
+    downgrades the offending verdict to a sound UNKNOWN(uncertified).
     """
     addrs = execution.constrained_addresses()
     if not addrs:
         result = VerificationResult(holds=True, method="trivial", schedule=[])
+        if certify != "off":
+            result.certificate = Certificate("witness")
+            result.stats["certified"] = True
         result.report = EngineReport(
             problem="vmc",
             jobs=max(1, jobs),
@@ -175,6 +198,7 @@ def verify_vmc(
         problem="vmc",
         pool=pool,
         resilience=resilience,
+        certify=certify,
     )
     per: dict[Address, VerificationResult] = {
         a: results[a] for a in addrs if a in results
@@ -190,6 +214,7 @@ def verify_vmc(
             method=first.method,
             reason=f"address {bad[0]!r} has no coherent schedule: "
             f"{first.reason}",
+            certificate=first.certificate,
         )
     elif undecided:
         first = per[undecided[0]]
@@ -205,6 +230,7 @@ def verify_vmc(
             holds=True,
             method=only.method if len(addrs) == 1 else "per-address",
             schedule=only.schedule if len(addrs) == 1 else None,
+            certificate=only.certificate if len(addrs) == 1 else None,
         )
     agg.per_address = per
     if len(addrs) == 1:
@@ -223,6 +249,7 @@ def verify_vmc_at(
     prepass: bool = True,
     portfolio=True,
     resilience: ResiliencePolicy | None = None,
+    certify: str = "off",
 ) -> VerificationResult:
     """Decide VMC at one address of a (possibly multi-address)
     execution."""
@@ -238,7 +265,7 @@ def verify_vmc_at(
     )
     results, report = execute_plan(
         [task], jobs=1, cache=_resolve_cache(cache), problem="vmc",
-        resilience=resilience,
+        resilience=resilience, certify=certify,
     )
     result = results[addr]
     result.report = report
@@ -253,6 +280,7 @@ def verify_vsc(
     prepass: bool = True,
     portfolio=True,
     resilience: ResiliencePolicy | None = None,
+    certify: str = "off",
 ) -> VerificationResult:
     """Decide whether a sequentially consistent schedule exists
     (Definition 6.1).  VSC needs one schedule over all addresses at
@@ -266,7 +294,7 @@ def verify_vsc(
     )
     results, report = execute_plan(
         tasks, jobs=1, cache=_resolve_cache(cache), problem="vsc",
-        resilience=resilience,
+        resilience=resilience, certify=certify,
     )
     result = results[None]
     result.report = report

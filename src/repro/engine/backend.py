@@ -96,6 +96,14 @@ class Instance:
     #: search) or to strengthen the encoding (unit clauses); ignoring
     #: them is always correct.
     order_hints: tuple[tuple[tuple[int, int], tuple[int, int]], ...] | None = None
+    #: Produce a checkable certificate alongside the verdict (the
+    #: engine's ``--certify`` modes): SAT backends log a DRAT-style
+    #: proof on the *plain* encoding — untrusted pre-pass hints are
+    #: dropped so the refutation matches the CNF an auditor re-derives
+    #: from the trace alone.  Backends without certificate support
+    #: ignore the flag; :func:`repro.engine.certify.ensure_certificate`
+    #: fills the gap afterwards.
+    certify: bool = False
     _states: float | None = field(default=None, repr=False)
 
     @property
@@ -292,6 +300,7 @@ class ExactBackend(Backend):
                 instance.execution,
                 solver=self.fallback_solver,
                 order_hints=instance.order_hints,
+                certify=instance.certify,
             )
             result.stats["fallback_from"] = "exact"
             result.stats["exact_states"] = e.states
@@ -322,6 +331,7 @@ class ExactBackend(Backend):
                 solver=self.fallback_solver,
                 order_hints=instance.order_hints,
                 should_stop=should_stop,
+                certify=instance.certify,
             )
             result.stats["fallback_from"] = "exact"
             result.stats["exact_states"] = e.states
@@ -355,6 +365,7 @@ class SatBackend(Backend):
             instance.execution,
             solver=self.solver,
             order_hints=instance.order_hints,
+            certify=instance.certify,
         )
 
     def run_cancellable(
@@ -365,6 +376,7 @@ class SatBackend(Backend):
             solver=self.solver,
             order_hints=instance.order_hints,
             should_stop=should_stop,
+            certify=instance.certify,
         )
 
 
@@ -404,6 +416,7 @@ class ExactVscBackend(Backend):
                 instance.execution,
                 solver=self.fallback_solver,
                 order_hints=instance.order_hints,
+                certify=instance.certify,
             )
             result.stats["fallback_from"] = "exact"
             result.stats["exact_states"] = e.states
@@ -432,6 +445,7 @@ class ExactVscBackend(Backend):
                 solver=self.fallback_solver,
                 order_hints=instance.order_hints,
                 should_stop=should_stop,
+                certify=instance.certify,
             )
             result.stats["fallback_from"] = "exact"
             result.stats["exact_states"] = e.states
@@ -462,6 +476,7 @@ class SatVscBackend(Backend):
             instance.execution,
             solver=self.solver,
             order_hints=instance.order_hints,
+            certify=instance.certify,
         )
 
     def run_cancellable(
@@ -472,4 +487,5 @@ class SatVscBackend(Backend):
             solver=self.solver,
             order_hints=instance.order_hints,
             should_stop=should_stop,
+            certify=instance.certify,
         )

@@ -36,7 +36,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Sequence
 
-from repro.core.result import VerificationResult
+from repro.core.result import Certificate, VerificationResult
 from repro.core.types import Execution, Operation
 
 
@@ -140,6 +140,13 @@ class _Entry:
     reason: str
     schedule_idx: list[int] | None
     stats: dict[str, Any]
+    #: The verdict's certificate, stored verbatim.  Witness markers
+    #: transfer to any isomorphic hit (the schedule is re-materialized
+    #: onto the new ops); refutation certificates reference original
+    #: uids / variable numberings, so a permuted hit may fail the
+    #: on-hit re-validation — which costs a recompute, never a wrong
+    #: answer.
+    certificate: Certificate | None = None
 
 
 @dataclass
@@ -148,6 +155,10 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Hits whose re-materialized result failed the on-hit check (a
+    #: witness that no longer replays, or a certificate the trusted
+    #: checker rejects): the entry is dropped and the task recomputed.
+    validation_failures: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -158,7 +169,8 @@ class CacheStats:
         return (
             f"{self.hits} hit / {self.misses} miss "
             f"({self.hit_rate:.0%}), {self.stores} stored, "
-            f"{self.evictions} evicted"
+            f"{self.evictions} evicted, "
+            f"{self.validation_failures} failed validation"
         )
 
 
@@ -198,7 +210,15 @@ class ResultCache:
             schedule=schedule,
             reason=entry.reason,
             stats=stats,
+            certificate=entry.certificate,
         )
+
+    def invalidate(self, canon: CanonicalInstance) -> None:
+        """Drop an entry whose re-materialized result failed the on-hit
+        check; the caller recomputes the task as if it had missed."""
+        with self._lock:
+            self._data.pop(canon.key, None)
+            self.stats.validation_failures += 1
 
     def store(self, canon: CanonicalInstance, result: VerificationResult) -> None:
         schedule_idx = None
@@ -215,6 +235,7 @@ class ResultCache:
             reason=result.reason,
             schedule_idx=schedule_idx,
             stats={k: v for k, v in result.stats.items() if k != "cache_hit"},
+            certificate=result.certificate,
         )
         with self._lock:
             if (

@@ -15,7 +15,18 @@ lost         parent, on harvest     a completed result dropped on the
                                     pool boundary (lost IPC message)
 slow-cache   parent, cache I/O      slow shared-cache reads/writes
 leg-stall    portfolio leg start    one race leg scheduled late / slowly
+bad-verdict  worker, after decide   a buggy solver reporting the
+                                    opposite verdict
+bad-cert     worker, after decide   a corrupted / tampered certificate
 ===========  =====================  =====================================
+
+The last two are *semantic* faults: unlike crashes and stalls they
+produce a wrong answer, not a slow one, so no amount of retrying
+recovers from them.  They exist to make the certification layer's
+guarantee falsifiable — ``--certify strict`` must catch every injected
+flip or tampering (see :func:`tamper_result` and
+``tests/engine/test_chaos.py``), while certification ``off`` must
+*never* catch them, documenting exactly what uncertified runs trust.
 
 Injections are **deterministic**: whether a fault fires at a given seam
 is a pure function of ``(seed, site, task key, attempt)`` — a SHA-256
@@ -35,6 +46,7 @@ faults into a production run)::
     field   := KIND "=" RATE | "seed" "=" INT
              | "stall-s" "=" SECONDS | "slow-s" "=" SECONDS
     KIND    := "crash" | "stall" | "lost" | "slow-cache" | "leg-stall"
+             | "bad-verdict" | "bad-cert"
     RATE    := float in [0, 1]
 
 Example: ``--chaos crash=0.2,stall=0.1,lost=0.1,seed=7``.
@@ -85,11 +97,16 @@ class ChaosSpec:
     lost: float = 0.0
     slow_cache: float = 0.0
     leg_stall: float = 0.0
+    bad_verdict: float = 0.0
+    bad_cert: float = 0.0
     stall_s: float = 0.05
     slow_s: float = 0.02
     seed: int = 0
 
-    _RATES = ("crash", "stall", "lost", "slow_cache", "leg_stall")
+    _RATES = (
+        "crash", "stall", "lost", "slow_cache", "leg_stall",
+        "bad_verdict", "bad_cert",
+    )
 
     def __post_init__(self) -> None:
         for name in self._RATES:
@@ -177,6 +194,16 @@ class ChaosSpec:
             return self.stall_s
         return 0.0
 
+    def flips_verdict(self, key: str, attempt: int) -> bool:
+        """Should this (task, attempt) report the *opposite* verdict?
+        (Simulates a buggy or corrupted solver — the fault the
+        certification layer exists to catch.)"""
+        return self._roll("bad-verdict", key, attempt) < self.bad_verdict
+
+    def corrupts_certificate(self, key: str, attempt: int) -> bool:
+        """Should this (task, attempt) tamper with its certificate?"""
+        return self._roll("bad-cert", key, attempt) < self.bad_cert
+
     # ------------------------------------------------------------------
     # Injection helpers for the seams
     # ------------------------------------------------------------------
@@ -208,3 +235,54 @@ class ChaosSpec:
         delay = self.cache_delay(key, io)
         if delay > 0:
             time.sleep(delay)
+
+
+def tamper_result(spec: ChaosSpec, key: str, attempt: int, result):
+    """Apply the semantic faults to a freshly decided result, in place.
+
+    ``bad-verdict`` flips holds <-> violated without touching the
+    witness or certificate, exactly what a sign bug in a solver looks
+    like.  ``bad-cert`` corrupts whatever certificate material the
+    result carries — duplicating a witness op, emptying a cycle,
+    pointing an infeasibility claim at a non-existent operation, or
+    stripping a RUP proof's empty clause.  Every corruption is chosen
+    so the trusted checker *must* reject it; whether anyone looks is
+    the certify mode's business, not chaos's.
+
+    UNKNOWN results pass through untouched: they assert nothing, so
+    there is no verdict to corrupt.
+    """
+    if result.unknown:
+        return result
+    if spec.flips_verdict(key, attempt):
+        result.holds = not result.holds
+        result.reason = f"[chaos bad-verdict] {result.reason}".strip()
+    if spec.corrupts_certificate(key, attempt):
+        _corrupt_certificate(result)
+    return result
+
+
+def _corrupt_certificate(result) -> None:
+    from repro.core.result import Certificate
+
+    cert = result.certificate
+    if result.holds or (cert is not None and cert.kind == "witness"):
+        if result.schedule:
+            result.schedule = list(result.schedule) + [result.schedule[0]]
+        else:
+            result.schedule = None
+        return
+    if cert is None:
+        return  # nothing attached (certification off) — nothing to corrupt
+    if cert.kind == "cycle":
+        steps, _cycle = cert.payload
+        result.certificate = Certificate("cycle", (steps, ()))
+    elif cert.kind == "infeasible":
+        result.certificate = Certificate(
+            "infeasible", ("read-impossible", (-99, -99))
+        )
+    elif cert.kind == "rup":
+        result.certificate = Certificate(
+            "rup",
+            tuple(line for line in cert.payload if line[1] != ()),
+        )

@@ -55,7 +55,13 @@ from time import perf_counter
 
 from repro.core.result import VerificationResult
 from repro.engine.cache import CanonicalInstance, ResultCache, canonicalize
-from repro.engine.chaos import ChaosCrash, ChaosSpec
+from repro.engine.certify import (
+    CERTIFY_MODES,
+    CertificationError,
+    ensure_certificate,
+    validate_result,
+)
+from repro.engine.chaos import ChaosCrash, ChaosSpec, tamper_result
 from repro.engine.planner import PlannedTask
 from repro.engine.portfolio import PORTFOLIO_MIN_STATES, PortfolioBackend
 from repro.engine.prepass import EXPONENTIAL_TIER
@@ -157,6 +163,7 @@ def _decide_task(
     chaos: ChaosSpec | None = None,
     attempt: int = 0,
     timeout_reason: str = "timeout",
+    certify: str = "off",
 ) -> tuple[VerificationResult, float]:
     """Run one task to a finished result — no cache I/O, only picklable
     state, so this is the unit shipped to process-pool workers.
@@ -166,6 +173,13 @@ def _decide_task(
     queue wait does not count against a task's soft deadline.  Expiry
     returns UNKNOWN(``timeout_reason``) — "budget" when the run budget,
     not the task's own allowance, was the binding constraint.
+
+    With ``certify`` enabled the decided result leaves here carrying a
+    certificate (:func:`~repro.engine.certify.ensure_certificate`);
+    *validation* stays parent-side in :func:`_finalize`, so a worker
+    can never vouch for its own verdict.  Chaos's semantic faults
+    (``bad-verdict`` / ``bad-cert``) tamper *after* certification —
+    they model a corrupted producer, and must be caught downstream.
     """
     t0 = perf_counter()
     if chaos is not None:
@@ -173,25 +187,53 @@ def _decide_task(
         if isinstance(task.backend, PortfolioBackend):
             task.backend.chaos = chaos
             task.backend.chaos_key = _task_key(task)
+    deadline = Deadline.after(task_timeout)
+    stop = deadline.as_stop_check() if deadline is not None else None
+    task.run_instance.certify = certify != "off"
     pp = task.prepass
     if pp is not None and pp.decided is not None:
-        return pp.decided, perf_counter() - t0
-    deadline = Deadline.after(task_timeout)
-    try:
-        result = task.backend.run_resilient(
-            task.run_instance,
-            deadline.as_stop_check() if deadline is not None else None,
-        )
-    except Cancelled as e:
-        result = VerificationResult.make_unknown(
-            method=task.backend.name,
-            reason=timeout_reason,
-            detail=f"{e.where} abandoned after {task_timeout:g}s",
-            address=task.address,
-        )
-        return result, perf_counter() - t0
-    if pp is not None and not result.unknown:
-        result = pp.finish(result)
+        result = pp.decided
+    else:
+        try:
+            result = task.backend.run_resilient(task.run_instance, stop)
+        except Cancelled as e:
+            result = VerificationResult.make_unknown(
+                method=task.backend.name,
+                reason=timeout_reason,
+                detail=f"{e.where} abandoned after {task_timeout:g}s",
+                address=task.address,
+            )
+            return result, perf_counter() - t0
+        if pp is not None and not result.unknown:
+            result = pp.finish(result)
+    if certify != "off" and not result.unknown:
+        cert = result.certificate
+        if (
+            cert is not None
+            and cert.kind == "rup"
+            and task.run_instance.execution is not task.instance.execution
+        ):
+            # The proof refutes the pre-pass *residual's* CNF; the
+            # auditor re-derives the CNF from the original trace, so the
+            # proof does not transfer.  Drop it and re-derive below.
+            # (Cycle/infeasible certificates survive read elimination —
+            # residual ops are original ops and writes are never
+            # eliminated — so only RUP proofs pay this.)
+            result.certificate = None
+        try:
+            result = ensure_certificate(
+                task.instance.execution, result, task.instance.problem, stop
+            )
+        except Cancelled as e:
+            result = VerificationResult.make_unknown(
+                method=result.method,
+                reason=timeout_reason,
+                detail=f"{e.where} abandoned while deriving a certificate",
+                address=task.address,
+            )
+            return result, perf_counter() - t0
+    if chaos is not None and not result.unknown:
+        result = tamper_result(chaos, _task_key(task), attempt, result)
     return result, perf_counter() - t0
 
 
@@ -259,7 +301,32 @@ def _finalize(
     result: VerificationResult,
     cache: ResultCache | None,
     chaos: ChaosSpec | None = None,
+    certify: str = "off",
 ) -> VerificationResult:
+    # The trusted-checker gate: with certification enabled every
+    # decided verdict is validated here — in the parent, against the
+    # *original* execution, before it can reach the cache or the caller.
+    # ``on`` makes a failure loud (producer or checker is wrong; the
+    # run must not quietly pick a side); ``strict`` degrades to a sound
+    # UNKNOWN(uncertified) so sweeps survive an uncertifiable verdict.
+    if certify != "off" and not result.unknown:
+        check = validate_result(
+            task.instance.execution, result, task.instance.problem
+        )
+        result.stats["certified"] = bool(check)
+        if not check:
+            if certify == "strict":
+                result = VerificationResult.make_unknown(
+                    method=result.method,
+                    reason="uncertified",
+                    detail=check.reason,
+                    address=task.address,
+                )
+            else:
+                raise CertificationError(
+                    f"task {_task_key(task)} failed certification: "
+                    f"{check.reason}"
+                )
     # UNKNOWN is not a verdict: caching it would replay resource
     # exhaustion as if it were a property of the instance.
     if cache is not None and canon is not None and not result.unknown:
@@ -275,6 +342,7 @@ def _cache_lookup(
     task: PlannedTask,
     cache: ResultCache | None,
     chaos: ChaosSpec | None,
+    certify: str = "off",
 ) -> tuple[CanonicalInstance | None, VerificationResult | None]:
     canon = _canon(task, cache)
     if canon is None:
@@ -282,13 +350,31 @@ def _cache_lookup(
     if chaos is not None:
         chaos.on_cache_io(_task_key(task), "lookup")
     hit = cache.lookup(canon)
-    if hit is not None:
-        hit.address = task.address
+    if hit is None:
+        return canon, None
+    hit.address = task.address
+    # On-hit validation.  Witness hits are *always* re-replayed against
+    # the current execution — the cached schedule was computed for an
+    # isomorphic instance, and serving it unchecked would launder a
+    # stale or corrupted entry into a verdict.  Refutation certificates
+    # are re-checked whenever certification is enabled (their uids /
+    # variable numberings may not survive the isomorphism).  Any
+    # failure drops the entry and recomputes: a cache miss, never a
+    # wrong answer.
+    if hit.holds or certify != "off":
+        check = validate_result(
+            task.instance.execution, hit, task.instance.problem
+        )
+        if not check:
+            cache.invalidate(canon)
+            return canon, None
+        if certify != "off":
+            hit.stats["certified"] = True
     return canon, hit
 
 
 def run_task(
-    task: PlannedTask, cache: ResultCache | None
+    task: PlannedTask, cache: ResultCache | None, certify: str = "off"
 ) -> tuple[VerificationResult, bool, float]:
     """Decide one task, consulting ``cache`` first.
 
@@ -296,7 +382,7 @@ def run_task(
     point kept for direct callers; the executor proper goes through
     :func:`_run_task_resilient`.
     """
-    out = _run_task_resilient(task, cache, NO_RESILIENCE, None)
+    out = _run_task_resilient(task, cache, NO_RESILIENCE, None, certify)
     return out.result, out.cache_hit, out.seconds
 
 
@@ -305,10 +391,11 @@ def _run_task_resilient(
     cache: ResultCache | None,
     policy: ResiliencePolicy,
     run_deadline: Deadline | None,
+    certify: str = "off",
 ) -> _Outcome:
     """Cache-checked, deadline-capped, crash-retried serial execution."""
     t0 = perf_counter()
-    canon, hit = _cache_lookup(task, cache, policy.chaos)
+    canon, hit = _cache_lookup(task, cache, policy.chaos, certify)
     if hit is not None:
         return _Outcome(hit, True, perf_counter() - t0)
     timeout, reason = _effective_timeout(policy, run_deadline)
@@ -317,7 +404,7 @@ def _run_task_resilient(
     while True:
         try:
             result, _seconds = _decide_task(
-                task, timeout, policy.chaos, attempt, reason
+                task, timeout, policy.chaos, attempt, reason, certify
             )
             break
         except RETRYABLE as e:
@@ -329,7 +416,7 @@ def _run_task_resilient(
                 )
             _backoff(policy, attempt, run_deadline)
             attempt += 1
-    _finalize(task, canon, result, cache, policy.chaos)
+    result = _finalize(task, canon, result, cache, policy.chaos, certify)
     return _Outcome(
         result, False, perf_counter() - t0,
         attempts=attempt + 1, crashes=crashes,
@@ -343,6 +430,7 @@ def _quarantine(
     run_deadline: Deadline | None,
     attempt: int,
     crashes: int,
+    certify: str = "off",
 ) -> _Outcome:
     """A task that exhausted its pool retries runs once in-process —
     a poisoned pickle or a worker-killing input cannot sink the sweep.
@@ -351,7 +439,7 @@ def _quarantine(
     timeout, reason = _effective_timeout(policy, run_deadline)
     try:
         result, _seconds = _decide_task(
-            task, timeout, policy.chaos, attempt, reason
+            task, timeout, policy.chaos, attempt, reason, certify
         )
     except RETRYABLE as e:
         return _unknown_outcome(
@@ -359,7 +447,7 @@ def _quarantine(
             attempts=attempt + 1, crashes=crashes + 1, quarantined=True,
         )
     canon = _canon(task, cache)
-    _finalize(task, canon, result, cache, policy.chaos)
+    result = _finalize(task, canon, result, cache, policy.chaos, certify)
     return _Outcome(
         result, False, perf_counter() - t0,
         attempts=attempt + 1, crashes=crashes, quarantined=True,
@@ -374,6 +462,7 @@ def execute_plan(
     problem: str = "vmc",
     pool: str = "thread",
     resilience: ResiliencePolicy | None = None,
+    certify: str = "off",
 ) -> tuple[dict, EngineReport]:
     """Run a plan; returns ``(results_by_address, report)``.
 
@@ -381,6 +470,11 @@ def execute_plan(
     (early exit may skip the tail of the plan; a run-budget expiry
     instead records UNKNOWN(budget) results, so partial coverage is
     visible rather than silent).
+
+    ``certify`` is one of :data:`~repro.engine.certify.CERTIFY_MODES`:
+    with ``"on"`` or ``"strict"`` every decided verdict must carry a
+    certificate the trusted checker validates before the result is
+    cached or returned.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -388,6 +482,10 @@ def execute_plan(
         raise ValueError(
             f"unknown pool kind {pool!r}; choose from "
             f"{POOL_KINDS + ('auto',)}"
+        )
+    if certify not in CERTIFY_MODES:
+        raise ValueError(
+            f"unknown certify mode {certify!r}; choose from {CERTIFY_MODES}"
         )
     policy = resilience or NO_RESILIENCE
     pool = resolve_pool(pool, tasks, jobs)
@@ -409,14 +507,14 @@ def execute_plan(
                 )
                 continue
             outcomes[task.order] = _run_task_resilient(
-                task, cache, policy, run_deadline
+                task, cache, policy, run_deadline, certify
             )
             if early_exit and outcomes[task.order].result.violated:
                 break
     else:
         _run_pooled(
             tasks, jobs, cache, early_exit, pool, outcomes, report,
-            policy, run_deadline,
+            policy, run_deadline, certify,
         )
 
     results: dict = {}
@@ -440,6 +538,10 @@ def execute_plan(
         report.crashes += got.crashes
         if result.unknown and result.unknown_reason in ("timeout", "budget"):
             report.deadline_expired += 1
+        if result.stats.get("certified"):
+            report.certified += 1
+        elif result.unknown and result.unknown_reason == "uncertified":
+            report.uncertified += 1
         decided_by_prepass = (
             task.prepass is not None
             and task.prepass.decided is not None
@@ -529,6 +631,7 @@ def _run_pooled(
     report: EngineReport,
     policy: ResiliencePolicy,
     run_deadline: Deadline | None,
+    certify: str = "off",
 ) -> None:
     """Windowed pool execution shared by both pool kinds.
 
@@ -571,20 +674,31 @@ def _run_pooled(
                 break
             while pending and len(in_flight) < window and not violated:
                 task, attempt, crashes = pending.popleft()
-                canon, hit = _cache_lookup(task, cache, chaos)
+                canon, hit = _cache_lookup(task, cache, chaos, certify)
                 if hit is not None:
                     outcomes[task.order] = _Outcome(hit, True, 0.0)
                     violated = early_exit and hit.violated
                     continue
                 if task.prepass is not None and task.prepass.decided is not None:
-                    result, seconds = _decide_task(task)
-                    _finalize(task, canon, result, cache, chaos)
+                    # Decided in the parent, so chaos must not ride into
+                    # _decide_task (an injected crash would surface here
+                    # as a hard error, not a retryable worker death);
+                    # the semantic faults still apply, explicitly.
+                    result, seconds = _decide_task(task, certify=certify)
+                    if chaos is not None and not result.unknown:
+                        result = tamper_result(
+                            chaos, _task_key(task), attempt, result
+                        )
+                    result = _finalize(
+                        task, canon, result, cache, chaos, certify
+                    )
                     outcomes[task.order] = _Outcome(result, False, seconds)
                     violated = early_exit and result.violated
                     continue
                 timeout, reason = _effective_timeout(policy, run_deadline)
                 fut = executor.submit(
-                    _decide_task, task, timeout, chaos, attempt, reason
+                    _decide_task, task, timeout, chaos, attempt, reason,
+                    certify,
                 )
                 in_flight[fut] = (task, canon, attempt, crashes)
             if violated or not in_flight:
@@ -619,7 +733,7 @@ def _run_pooled(
                     if attempt >= policy.retries:
                         outcomes[task.order] = _quarantine(
                             task, cache, policy, run_deadline,
-                            attempt + 1, crashes,
+                            attempt + 1, crashes, certify,
                         )
                         violated = (
                             early_exit and outcomes[task.order].result.violated
@@ -628,7 +742,7 @@ def _run_pooled(
                         _backoff(policy, attempt, run_deadline)
                         pending.appendleft((task, attempt + 1, crashes))
                     continue
-                _finalize(task, canon, result, cache, chaos)
+                result = _finalize(task, canon, result, cache, chaos, certify)
                 outcomes[task.order] = _Outcome(
                     result, False, seconds,
                     attempts=attempt + 1, crashes=crashes,
@@ -658,7 +772,7 @@ def _run_pooled(
                         attempts=attempt + 1, crashes=crashes + 1,
                     )
                     continue
-                _finalize(task, canon, result, cache, chaos)
+                result = _finalize(task, canon, result, cache, chaos, certify)
                 outcomes[task.order] = _Outcome(
                     result, False, seconds,
                     attempts=attempt + 1, crashes=crashes,

@@ -66,6 +66,51 @@ LEG_GRACE_S = 1.0
 _WAIT_POLL_S = 0.01
 
 
+def _dump_disagreement(
+    instance: Instance,
+    legs: Sequence[tuple[str, VerificationResult]],
+) -> str:
+    """Write a self-contained diagnostics file for a verdict
+    disagreement — the instance's full trace plus each leg's verdict,
+    witness and certificate — and return its path."""
+    import json
+    import os
+    import tempfile
+
+    from repro.core.serialize import execution_to_dict
+
+    payload = {
+        "what": "portfolio verdict disagreement",
+        "problem": instance.problem,
+        "address": repr(instance.address),
+        "execution": execution_to_dict(instance.execution),
+        "legs": [
+            {
+                "leg": name,
+                "holds": r.holds,
+                "method": r.method,
+                "reason": r.reason,
+                "schedule": (
+                    None if r.schedule is None
+                    else [repr(op) for op in r.schedule]
+                ),
+                "certificate": repr(r.certificate),
+                "stats": {
+                    k: v for k, v in r.stats.items()
+                    if isinstance(v, (int, float, str, bool))
+                },
+            }
+            for name, r in legs
+        ],
+    }
+    fd, path = tempfile.mkstemp(
+        prefix="repro-disagreement-", suffix=".json"
+    )
+    with os.fdopen(fd, "w") as f:
+        json.dump(payload, f, indent=2, default=repr)
+    return path
+
+
 class PortfolioBackend(Backend):
     """Race several backends on one instance; first sound verdict wins.
 
@@ -195,10 +240,25 @@ class PortfolioBackend(Backend):
             winner, result = done_now[0]
             for other_name, other in done_now[1:]:
                 if other.holds != result.holds:
+                    # A disagreement means one leg (or the shared
+                    # instance) is wrong — the single most valuable bug
+                    # report this engine can produce.  Dump everything
+                    # a human needs to replay it before failing loudly.
+                    try:
+                        where = (
+                            "; trace, both verdicts and their "
+                            "certificates dumped to "
+                            + _dump_disagreement(
+                                instance,
+                                [(winner, result), (other_name, other)],
+                            )
+                        )
+                    except Exception as dump_err:  # noqa: BLE001
+                        where = f"; diagnostics dump failed: {dump_err}"
                     raise RuntimeError(
                         f"portfolio legs disagree on verdict: "
                         f"{winner}={result.holds} vs "
-                        f"{other_name}={other.holds}"
+                        f"{other_name}={other.holds}{where}"
                     )
             if errors_now:
                 # A losing leg crashed but the winner is sound; surface

@@ -37,7 +37,7 @@ from typing import Any
 from repro.core import writeorder
 from repro.core.conflict import vsc_conflict
 from repro.core.infer import Inference, ReinsertionPlan, eliminate_reads, infer_order
-from repro.core.result import VerificationResult
+from repro.core.result import Certificate, VerificationResult
 from repro.core.types import Execution
 from repro.engine.backend import Instance
 from repro.util.digraph import CycleError, Digraph
@@ -174,6 +174,9 @@ def _trivial_verdict(ex: Execution, instance: Instance) -> VerificationResult:
                     f"initial {ex.initial_value(a)!r}"
                 ),
                 address=instance.address,
+                certificate=Certificate(
+                    "infeasible", ("final-vs-initial", a)
+                ),
             )
     return VerificationResult(
         holds=True, method="prepass", schedule=[], address=instance.address
@@ -246,6 +249,18 @@ def prepass_vsc(instance: Instance) -> PrepassInfo | None:
                 f"{ops[u]} -> {ops[v]} "
                 f"[{reasons.get((u, v), 'program order')}]"
             )
+        # Certificate step log: global program order first, then every
+        # per-address derivation verbatim — each address's closure steps
+        # only ever cite edges earlier in its own log, and prepending
+        # more edges can only make the checker's reachability test more
+        # permissive, never less, so the concatenation stays replayable.
+        cert_steps = [
+            (o1.uid, o2.uid, "po", None)
+            for h in residual_ex.histories
+            for o1, o2 in zip(h.operations, h.operations[1:])
+        ]
+        for inf in per_addr.values():
+            cert_steps.extend(inf.steps)
         return _decide(
             info,
             VerificationResult(
@@ -256,6 +271,13 @@ def prepass_vsc(instance: Instance) -> PrepassInfo | None:
                     "form a cycle: " + "; ".join(steps)
                 ),
                 stats={"cycle_length": len(e.cycle)},
+                certificate=Certificate(
+                    "cycle",
+                    (
+                        tuple(cert_steps),
+                        tuple(ops[u].uid for u in e.cycle),
+                    ),
+                ),
             ),
         )
 

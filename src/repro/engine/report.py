@@ -79,6 +79,12 @@ class EngineReport:
     quarantined: int = 0
     #: Tasks whose per-task deadline or the run budget expired.
     deadline_expired: int = 0
+    #: Verdicts whose certificate the trusted checker validated
+    #: (``--certify on``/``strict``; 0 when certification is off).
+    certified: int = 0
+    #: Verdicts downgraded to UNKNOWN(uncertified) under
+    #: ``--certify strict``.
+    uncertified: int = 0
     #: Pre-pass aggregate counters (empty when the pre-pass ran on no
     #: task): tasks / decided / downgraded / edges_inferred /
     #: ops_eliminated / ops_before / ops_after.
@@ -132,6 +138,11 @@ class EngineReport:
                 f"retries={self.retries} crashes={self.crashes} "
                 f"quarantined={self.quarantined} "
                 f"deadline_expired={self.deadline_expired}"
+            )
+        if self.certified or self.uncertified:
+            lines.append(
+                f"certify: certified={self.certified} "
+                f"uncertified={self.uncertified}"
             )
         if self.prepass.get("tasks"):
             pp = self.prepass

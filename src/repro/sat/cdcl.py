@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.sat.cnf import CNF, Assignment, Lit
+from repro.sat.drat import ProofLog
 from repro.util.control import SOLVER_CHECK_INTERVAL, StopCheck, poll
 
 
@@ -28,6 +29,7 @@ def solve_cdcl(
     seed: int = 0,
     should_stop: StopCheck = None,
     assumptions: Sequence[Lit] | None = None,
+    proof: ProofLog | None = None,
 ) -> Assignment | None:
     """Solve ``cnf`` with CDCL; return a model or ``None`` (UNSAT).
 
@@ -40,12 +42,20 @@ def solve_cdcl(
     vouches they are consistent with satisfiability (the engine passes
     pre-pass order hints, which hold in every legal schedule), so
     ``None`` still means UNSAT.
+
+    ``proof`` collects a DRAT-style refutation log (learned clauses,
+    deletions, and the final empty clause) that
+    :func:`repro.sat.drat.check_rup` can validate against ``cnf`` when
+    the answer is UNSAT.  Proof logging is incompatible with
+    ``assumptions``: UNSAT *under assumptions* does not refute the
+    formula, so combining them raises ``ValueError``.
     """
     solver = CDCLSolver(cnf, seed=seed)
     return solver.solve(
         max_conflicts=max_conflicts,
         should_stop=should_stop,
         assumptions=assumptions,
+        proof=proof,
     )
 
 
@@ -106,6 +116,7 @@ class CDCLSolver:
         self.conflicts = 0
         self._order_dirty = True
         self._seed = seed
+        self._proof: ProofLog | None = None
         for clause in cnf.clauses:
             if not self._add_clause([self._to_internal(l) for l in clause]):
                 self.ok = False
@@ -353,13 +364,18 @@ class CDCLSolver:
     def _reduce_db(self) -> None:
         self.learned.sort(key=lambda c: c.activity)
         keep = self.learned[len(self.learned) // 2 :]
-        drop = set(id(c) for c in self.learned[: len(self.learned) // 2])
+        dropped = self.learned[: len(self.learned) // 2]
+        drop = set(id(c) for c in dropped)
         # Never drop reason clauses of current assignments.
         for v in range(1, self.nvars + 1):
             r = self.reason[v]
             if r is not None and id(r) in drop:
                 drop.discard(id(r))
                 keep.append(r)
+        if self._proof is not None:
+            for c in dropped:
+                if id(c) in drop:
+                    self._proof.delete(self._to_external(l) for l in c.lits)
         self.learned = keep
         kept_ids = set(id(c) for c in self.learned) | set(
             id(c) for c in self.clauses
@@ -390,10 +406,20 @@ class CDCLSolver:
         max_conflicts: int | None = None,
         should_stop: StopCheck = None,
         assumptions: Sequence[Lit] | None = None,
+        proof: ProofLog | None = None,
     ) -> Assignment | None:
+        if proof is not None and assumptions:
+            # UNSAT under assumptions is not a refutation of the
+            # formula, so a proof logged alongside them would be a lie.
+            raise ValueError("proof logging is incompatible with assumptions")
+        self._proof = proof
         if not self.ok:
+            if proof is not None:
+                proof.add(())
             return None
         if self._propagate() is not None:
+            if proof is not None:
+                proof.add(())
             return None
         # Root-level assumptions: assert each, propagate, and treat a
         # contradiction as UNSAT (sound for implied literals such as the
@@ -422,8 +448,12 @@ class CDCLSolver:
                 if max_conflicts is not None and self.conflicts > max_conflicts:
                     raise TimeoutError("CDCL conflict budget exhausted")
                 if self._decision_level() == 0:
+                    if proof is not None:
+                        proof.add(())
                     return None  # UNSAT
                 learned, bj = self._analyze(conflict)
+                if proof is not None:
+                    proof.add(self._to_external(l) for l in learned)
                 self._cancel_until(bj)
                 if len(learned) == 1:
                     self._enqueue(learned[0], None)

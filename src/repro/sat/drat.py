@@ -1,0 +1,204 @@
+"""DRAT-style proof logging and a trusted RUP proof checker.
+
+When the CDCL solver refutes a formula it can log every learned clause
+(and learned-clause deletion) as a DRAT-style proof: a sequence of
+``("a", lits)`` addition lines and ``("d", lits)`` deletion lines in
+the DIMACS literal convention, ending in the empty clause.  The proof
+is validated by :func:`check_rup`, which knows nothing about the
+solver: each added clause must be a *reverse unit propagation* (RUP)
+consequence of the active clause set — asserting the negation of every
+literal in the clause and unit-propagating over the formula must reach
+a conflict.  A proof whose every addition is RUP and which derives the
+empty clause is a machine-checkable refutation of the original CNF.
+
+The checker is deliberately simple (counter-free, occurrence-list unit
+propagation re-run from scratch per step) so it stays independent of
+the solver's data structures: a bug in the watched-literal engine
+cannot hide in the checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.sat.cnf import CNF, Lit
+
+#: A proof line: ``("a", lits)`` adds a clause, ``("d", lits)`` deletes one.
+ProofLine = tuple[str, tuple[Lit, ...]]
+
+
+class ProofLog:
+    """An append-only DRAT proof under construction.
+
+    The solver calls :meth:`add` for every learned clause (including
+    learned units and the final empty clause) and :meth:`delete` when
+    the clause database drops a learned clause.  Lines store *external*
+    (DIMACS) literals so the proof is meaningful against the input CNF.
+    """
+
+    __slots__ = ("lines",)
+
+    def __init__(self) -> None:
+        self.lines: list[ProofLine] = []
+
+    def add(self, lits: Iterable[Lit]) -> None:
+        self.lines.append(("a", tuple(lits)))
+
+    def delete(self, lits: Iterable[Lit]) -> None:
+        self.lines.append(("d", tuple(lits)))
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __iter__(self) -> Iterator[ProofLine]:
+        return iter(self.lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        adds = sum(1 for k, _ in self.lines if k == "a")
+        return f"ProofLog(adds={adds}, lines={len(self.lines)})"
+
+
+@dataclass(frozen=True)
+class RupCheck:
+    """Outcome of :func:`check_rup` — truthy iff the proof is valid."""
+
+    ok: bool
+    reason: str = ""
+    steps: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _clause_key(lits: Iterable[Lit]) -> tuple[Lit, ...]:
+    return tuple(sorted(set(lits)))
+
+
+class _ActiveSet:
+    """The evolving clause set the checker propagates over.
+
+    Deleted clauses are tombstoned (occurrence lists keep stale indices,
+    filtered on traversal); deletion matches clauses by their sorted
+    deduplicated literal tuple, as DRAT deletion lines are set-level.
+    """
+
+    def __init__(self) -> None:
+        self.clauses: list[tuple[Lit, ...] | None] = []
+        self.occ: dict[Lit, list[int]] = {}
+        self.by_key: dict[tuple[Lit, ...], list[int]] = {}
+        self.units: list[int] = []  # indices of (possibly stale) unit clauses
+        self.has_empty = False
+
+    def add(self, lits: Iterable[Lit]) -> None:
+        clause = tuple(lits)
+        idx = len(self.clauses)
+        self.clauses.append(clause)
+        for lit in set(clause):
+            self.occ.setdefault(lit, []).append(idx)
+        self.by_key.setdefault(_clause_key(clause), []).append(idx)
+        if len(clause) == 1:
+            self.units.append(idx)
+        elif not clause:
+            self.has_empty = True
+
+    def delete(self, lits: Iterable[Lit]) -> bool:
+        """Tombstone one clause matching ``lits``; False when absent
+        (a harmless no-op, as in standard DRAT checkers)."""
+        stack = self.by_key.get(_clause_key(lits))
+        if not stack:
+            return False
+        self.clauses[stack.pop()] = None
+        return True
+
+
+def _propagates_to_conflict(active: _ActiveSet, target: tuple[Lit, ...]) -> bool:
+    """Whether ``active ∧ ¬target`` unit-propagates to a conflict."""
+    value: dict[int, bool] = {}
+    queue: list[Lit] = []
+
+    def enqueue(lit: Lit) -> bool:
+        """Record ``lit`` true; False signals a conflict."""
+        var, want = abs(lit), lit > 0
+        current = value.get(var)
+        if current is None:
+            value[var] = want
+            queue.append(lit)
+            return True
+        return current == want
+
+    for lit in target:
+        if not enqueue(-lit):
+            return True
+    for idx in active.units:
+        clause = active.clauses[idx]
+        if clause is not None and not enqueue(clause[0]):
+            return True
+    head = 0
+    while head < len(queue):
+        lit = queue[head]
+        head += 1
+        for idx in active.occ.get(-lit, ()):
+            clause = active.clauses[idx]
+            if clause is None:
+                continue
+            unassigned: Lit | None = None
+            open_count = 0
+            satisfied = False
+            for l in clause:
+                assigned = value.get(abs(l))
+                if assigned is None:
+                    open_count += 1
+                    unassigned = l
+                    if open_count > 1:
+                        break
+                elif assigned == (l > 0):
+                    satisfied = True
+                    break
+            if satisfied or open_count > 1:
+                continue
+            if open_count == 0:
+                return True
+            assert unassigned is not None
+            if not enqueue(unassigned):
+                return True
+    return False
+
+
+def check_rup(cnf: CNF, proof: Iterable[ProofLine]) -> RupCheck:
+    """Validate a DRAT-style proof as a refutation of ``cnf``.
+
+    Every ``("a", lits)`` line must be RUP with respect to the clauses
+    active at that point (original CNF plus earlier additions, minus
+    deletions); the proof — or the CNF itself — must contain the empty
+    clause.  Returns a falsy :class:`RupCheck` naming the first failing
+    step otherwise.
+    """
+    active = _ActiveSet()
+    for clause in cnf.clauses:
+        active.add(clause)
+    empty_derived = active.has_empty
+    steps = 0
+    for kind, lits in proof:
+        steps += 1
+        if kind == "d":
+            active.delete(lits)
+            continue
+        if kind != "a":
+            return RupCheck(False, f"unknown proof line kind {kind!r}", steps)
+        litset = set(lits)
+        if any(-l in litset for l in litset):
+            active.add(lits)  # tautology: trivially entailed
+            continue
+        if not _propagates_to_conflict(active, tuple(lits)):
+            return RupCheck(
+                False,
+                f"proof line {steps} is not a RUP consequence: {list(lits)}",
+                steps,
+            )
+        active.add(lits)
+        if not lits:
+            empty_derived = True
+    if not empty_derived:
+        return RupCheck(False, "proof does not derive the empty clause", steps)
+    return RupCheck(True, "", steps)

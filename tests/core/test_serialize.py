@@ -1,5 +1,7 @@
 """JSON serialization round-trips."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 
@@ -12,9 +14,9 @@ from repro.core.serialize import (
     loads,
     save,
 )
-from repro.core.types import INITIAL, Execution, OpKind
+from repro.core.types import INITIAL, Execution, OpKind, Operation
 
-from tests.conftest import coherent_executions
+from tests.conftest import coherent_executions, make_coherent_execution
 
 
 class TestRoundTrip:
@@ -103,3 +105,82 @@ class TestValidation:
 
     def test_empty_execution(self):
         assert loads(dumps(Execution.from_ops([]))).num_ops == 0
+
+
+class TestSeededFuzz:
+    """Seeded random round-trips and corruptions — the failing seed in
+    the test id reproduces any case exactly, no shrinking needed."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_round_trip_is_faithful(self, seed):
+        rng = random.Random(seed)
+        addresses = (("x",), ("x", "y"), ("x", 7))[rng.randrange(3)]
+        ex, _ = make_coherent_execution(
+            rng.randrange(0, 16),
+            rng.randrange(1, 5),
+            seed,
+            addresses=addresses,
+            num_values=rng.randrange(1, 5),
+            rmw_fraction=rng.choice([0.0, 0.4]),
+            record_final=rng.random() < 0.5,
+        )
+        back = loads(dumps(ex))
+        # Dict-level equality covers op kinds, values, addresses and
+        # both endpoint constraints in one faithful comparison.
+        assert execution_to_dict(back) == execution_to_dict(ex)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exotic_values_round_trip(self, seed):
+        """Tuples, nested tuples, floats, None, booleans and the
+        INITIAL sentinel all survive arbitrary placement."""
+        rng = random.Random(100 + seed)
+        addresses = ["x", 9, ("addr", 1)]
+        values = [0, 1, "a", ("p", 1), (("q", 2), 3), None, 2.5, INITIAL]
+        histories = []
+        for proc in range(rng.randrange(1, 4)):
+            ops = []
+            for index in range(rng.randrange(0, 6)):
+                addr = rng.choice(addresses)
+                if rng.random() < 0.5:
+                    ops.append(Operation(
+                        OpKind.WRITE, addr, proc, index,
+                        value_written=rng.choice(values),
+                    ))
+                else:
+                    ops.append(Operation(
+                        OpKind.READ, addr, proc, index,
+                        value_read=rng.choice(values),
+                    ))
+            histories.append(ops)
+        ex = Execution.from_ops(
+            histories,
+            initial={a: rng.choice(values) for a in addresses},
+            final={a: rng.choice(values) for a in addresses
+                   if rng.random() < 0.5},
+        )
+        back = loads(dumps(ex))
+        assert execution_to_dict(back) == execution_to_dict(ex)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_corruptions_rejected(self, seed):
+        rng = random.Random(1000 + seed)
+        ex, _ = make_coherent_execution(8, 2, seed, num_values=3)
+        data = execution_to_dict(ex)
+        rows = [ops for ops in data["histories"] if ops]
+        corruption = rng.choice(["format", "op", "value"])
+        if corruption == "format":
+            data["format"] = rng.choice(
+                ["repro-execution/99", "", None, "repro-schedule/1"]
+            )
+        elif corruption == "op":
+            ops = rng.choice(rows)
+            ops[rng.randrange(len(ops))]["op"] = rng.choice(
+                ["Q", "", None, "read"]
+            )
+        else:
+            ops = rng.choice(rows)
+            op = ops[rng.randrange(len(ops))]
+            key = "value" if "value" in op else "read"
+            op[key] = {"$bogus": rng.randrange(9)}
+        with pytest.raises(ValueError):
+            execution_from_dict(data)

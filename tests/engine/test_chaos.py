@@ -26,6 +26,7 @@ from repro.core.exact import SearchBudgetExceeded
 from repro.core.result import UNKNOWN_REASONS, VerificationResult
 from repro.core.types import Execution, OpKind, Operation
 from repro.engine import (
+    CertificationError,
     ChaosCrash,
     ChaosSpec,
     PortfolioBackend,
@@ -547,6 +548,128 @@ class TestPortfolioChaos:
                 should_stop=lambda: True,
             )
         assert time.monotonic() - t0 < 10.0
+
+
+# ---------------------------------------------------------------------
+# Semantic faults vs the certification layer
+# ---------------------------------------------------------------------
+class TestChaosCertification:
+    """``bad-verdict`` / ``bad-cert`` faults produce *wrong answers*,
+    not slow ones.  The certification layer's guarantee is exactly
+    dual: under ``certify="strict"`` every injected flip or tampering
+    is caught (downgraded to UNKNOWN(uncertified), never reported),
+    and with certification off none of them is — documenting what an
+    uncertified run trusts."""
+
+    def test_spec_grammar_covers_semantic_faults(self):
+        spec = ChaosSpec.parse("bad-verdict=0.5,bad-cert=0.25,seed=3")
+        assert spec.bad_verdict == 0.5
+        assert spec.bad_cert == 0.25
+        assert spec.any_enabled()
+        assert ChaosSpec.parse(spec.describe()) == spec
+
+    def test_flipped_verdicts_always_caught_under_strict(self):
+        policy = ResiliencePolicy(
+            retries=0, backoff_s=0.0,
+            chaos=ChaosSpec(bad_verdict=1.0, seed=0),
+        )
+        for ex in _corpus(6):
+            result = verify_vmc(
+                ex, cache=False, early_exit=False,
+                resilience=policy, certify="strict",
+            )
+            assert result.unknown
+            assert result.unknown_reason == "uncertified"
+            for res in result.per_address.values():
+                assert res.unknown
+                assert res.unknown_reason == "uncertified"
+            assert result.report.uncertified == len(result.per_address)
+
+    def test_tampered_certificates_always_caught_under_strict(self):
+        policy = ResiliencePolicy(
+            retries=0, backoff_s=0.0,
+            chaos=ChaosSpec(bad_cert=1.0, seed=0),
+        )
+        for ex in _corpus(6):
+            result = verify_vmc(
+                ex, cache=False, early_exit=False,
+                resilience=policy, certify="strict",
+            )
+            for res in result.per_address.values():
+                assert res.unknown
+                assert res.unknown_reason == "uncertified"
+
+    def test_partial_flip_rate_never_yields_a_wrong_verdict(self):
+        """At a partial rate the survivors decide and must agree with
+        the fault-free verdicts; only the flipped tasks are withheld."""
+        policy = ResiliencePolicy(
+            retries=0, backoff_s=0.0,
+            chaos=ChaosSpec(bad_verdict=0.3, seed=5),
+        )
+        flips_caught = 0
+        for ex in _corpus(10):
+            baseline = verify_vmc(ex, cache=False, early_exit=False)
+            result = verify_vmc(
+                ex, cache=False, early_exit=False,
+                resilience=policy, certify="strict",
+            )
+            flips_caught += result.report.uncertified
+            for addr, res in result.per_address.items():
+                if res.unknown:
+                    assert res.unknown_reason == "uncertified"
+                else:
+                    assert res.holds == baseline.per_address[addr].holds
+        assert flips_caught > 0  # the rate actually injected flips
+
+    def test_flips_caught_across_the_pool_boundary(self):
+        policy = ResiliencePolicy(
+            retries=0, backoff_s=0.0,
+            chaos=ChaosSpec(bad_verdict=1.0, seed=1),
+        )
+        ex, _ = make_coherent_execution(
+            12, 3, 21, addresses=("x", "y", "z"), num_values=3
+        )
+        result = verify_vmc(
+            ex, jobs=CHAOS_JOBS, pool=CHAOS_POOL, cache=False,
+            early_exit=False, resilience=policy, certify="strict",
+        )
+        assert result.unknown
+        for res in result.per_address.values():
+            assert res.unknown_reason == "uncertified"
+        _assert_no_orphans()
+
+    def test_bad_verdict_raises_under_certify_on(self):
+        policy = ResiliencePolicy(
+            retries=0, backoff_s=0.0,
+            chaos=ChaosSpec(bad_verdict=1.0, seed=0),
+        )
+        ex, _ = make_coherent_execution(10, 2, 22)
+        with pytest.raises(CertificationError, match="failed certification"):
+            verify_vmc(ex, cache=False, resilience=policy, certify="on")
+
+    def test_semantic_faults_invisible_without_certification(self):
+        """With certification off the engine trusts its workers: an
+        injected flip silently becomes the run's verdict.  This is the
+        boundary the certify modes exist to close — if this test ever
+        fails, chaos's flips stopped modelling a wrong answer."""
+        policy = ResiliencePolicy(
+            retries=0, backoff_s=0.0,
+            chaos=ChaosSpec(bad_verdict=1.0, seed=0),
+        )
+        ex, _ = make_coherent_execution(
+            12, 3, 23, addresses=("x", "y", "z"), num_values=3
+        )
+        baseline = verify_vmc(ex, cache=False, early_exit=False)
+        assert baseline.holds
+        result = verify_vmc(
+            ex, cache=False, early_exit=False, resilience=policy
+        )
+        assert not result.unknown
+        assert result.holds != baseline.holds
+        assert any(
+            "[chaos bad-verdict]" in res.reason
+            for res in result.per_address.values()
+        )
 
 
 # ---------------------------------------------------------------------

@@ -5,16 +5,19 @@ skeletons — these cover coherent and incoherent executions, multi- and
 single-address — and (b) random sliced-schedule executions, half of
 them corrupted to read a never-written value.  Each execution is
 decided by the auto-routed engine and then re-decided with every
-registered backend forced by name; the verdicts must be unanimous and
-every positive witness must pass the certificate checker.
+registered backend forced by name; the verdicts must be unanimous.
+
+The suite runs **certified by default** (``certify="on"``): every
+verdict — positive or negative, from any backend — must carry a
+certificate the independent trusted checker validates against the raw
+trace.
 """
 
 import pytest
 
 from repro.consistency.generate import candidate_executions, skeleton
-from repro.core.checker import is_coherent_schedule
 from repro.core.types import Execution, OpKind, Operation
-from repro.engine import verify_vmc, vmc_registry
+from repro.engine import validate_result, verify_vmc, vmc_registry
 from tests.conftest import make_coherent_execution
 
 SKELETONS = [
@@ -64,28 +67,31 @@ def test_corpus_is_substantial():
     assert verdicts == {True, False}  # both outcomes represented
 
 
-def _check_witnesses(ex, result):
+def _check_certified(ex, result):
+    """Every decided per-address verdict must validate independently."""
     for addr, res in result.per_address.items():
-        if res.holds:
-            assert res.schedule is not None
-            outcome = is_coherent_schedule(ex, res.schedule, addr=addr)
-            assert outcome, outcome.reason
+        assert not res.unknown
+        assert res.stats.get("certified") is True
+        check = validate_result(ex.restrict_to_address(addr), res)
+        assert check, f"{addr!r}: {check.reason}"
 
 
 @pytest.mark.parametrize("idx", range(len(CORPUS)))
 def test_backends_agree(idx):
     ex = CORPUS[idx]
-    auto = verify_vmc(ex, cache=False, early_exit=False)
-    _check_witnesses(ex, auto)
+    auto = verify_vmc(ex, cache=False, early_exit=False, certify="on")
+    _check_certified(ex, auto)
     for name in FORCIBLE:
         try:
-            forced = verify_vmc(ex, method=name, cache=False, early_exit=False)
+            forced = verify_vmc(
+                ex, method=name, cache=False, early_exit=False, certify="on"
+            )
         except ValueError:
             continue  # backend not applicable at some address
         assert forced.holds == auto.holds, (
             f"{name} disagrees with auto ({auto.method}) on corpus[{idx}]"
         )
-        _check_witnesses(ex, forced)
+        _check_certified(ex, forced)
 
 
 @pytest.mark.parametrize("idx", range(0, len(CORPUS), 7))
@@ -100,15 +106,17 @@ def test_write_order_backend_agrees_on_coherent(idx):
     for addr, res in auto.per_address.items():
         orders[addr] = [op for op in res.schedule if op.kind.writes]
     forced = verify_vmc(
-        ex, method="write-order", write_orders=orders, cache=False
+        ex, method="write-order", write_orders=orders, cache=False,
+        certify="on",
     )
     assert forced.holds
+    _check_certified(ex, forced)
 
 
 def test_parallel_matches_serial_on_corpus():
     for ex in CORPUS[:: max(1, len(CORPUS) // 50)]:
-        serial = verify_vmc(ex, jobs=1, cache=False)
-        parallel = verify_vmc(ex, jobs=4, cache=False)
+        serial = verify_vmc(ex, jobs=1, cache=False, certify="on")
+        parallel = verify_vmc(ex, jobs=4, cache=False, certify="on")
         assert serial.holds == parallel.holds
 
 

@@ -101,7 +101,17 @@ class TestVmcBackends:
     @given(arbitrary_traces())
     @settings(max_examples=80, deadline=None)
     def test_dispatcher_consistency(self, execution):
-        assert bool(verify_coherence(execution)) == bool(exact_vmc(execution))
+        """The engine agrees with the exact oracle — and, run certified
+        by default, every verdict it returns validates independently."""
+        from repro.engine import validate_result
+
+        result = verify_coherence(execution, certify="on")
+        assert bool(result) == bool(exact_vmc(execution))
+        for addr, res in result.per_address.items():
+            check = validate_result(
+                execution.restrict_to_address(addr), res
+            )
+            assert check, check.reason
 
     @given(arbitrary_traces(max_procs=4, max_ops_per_proc=1))
     @settings(max_examples=100, deadline=None)
