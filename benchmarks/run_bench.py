@@ -23,6 +23,13 @@ Two comparison matrices:
   guard) and in practice beats both, since neither leg wins on every
   family.
 
+* **Kernel-scaling ladder**: one execution per size from 1k to 200k
+  ops (chain blocks of ~1.6k ops per address), verified once under
+  each data-plane kernel (``python`` int bitsets vs ``numpy`` packed
+  matrices).  Records the fitted log-log wall-time-vs-ops exponent per
+  kernel; the numpy kernel must be >= 3x faster than the fallback at
+  the largest size.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--jobs N]
@@ -246,6 +253,122 @@ CERTIFY_CONFIGS: dict[str, dict] = {
 CERTIFY_GUARD_RATIO = 1.25
 #: ...with the same absolute slack floor as the other guards.
 CERTIFY_GUARD_SLACK_S = 0.25
+
+# The kernel-scaling scenario: one execution per size, chain blocks of
+# ~1.6k ops per address (the regime where the packed-uint64 saturation
+# matrices amortize best), verified once per kernel backend.  The
+# fitted log-log slope of wall time vs total ops is recorded — with
+# bounded per-address blocks the data plane should scale ~linearly —
+# and the numpy kernel must beat the int-bitset fallback by
+# SCALING_GUARD_SPEEDUP at the largest size.
+SCALING_SIZES_FULL = [1_000, 5_000, 25_000, 100_000, 200_000]
+SCALING_SIZES_QUICK = [1_000, 5_000, 25_000]
+#: Chain length per address: ~2*len+1 ops per address block.
+SCALING_BLOCK_LEN = 800
+#: Required numpy-over-python speedup at the largest scaling size.
+SCALING_GUARD_SPEEDUP = 3.0
+
+
+def build_scaling_execution(total_ops: int) -> Execution:
+    """One multi-address execution of ~``total_ops`` operations, split
+    into per-address chain blocks of ``2*SCALING_BLOCK_LEN + 1`` ops."""
+    block_ops = 2 * SCALING_BLOCK_LEN + 1
+    n_addr = max(1, round(total_ops / block_ops))
+    nproc = 8
+    ops: list[list[Operation]] = [[] for _ in range(nproc)]
+    initial: dict = {}
+    final: dict = {}
+    for a in range(n_addr):
+        addr = f"s{a}"
+        sub = chain_address(addr, nproc, SCALING_BLOCK_LEN, proc_offset=a)
+        for p in range(nproc):
+            ops[p].extend(sub[p])
+        initial[addr] = 0
+        final[addr] = 0
+    return Execution.from_ops(ops, initial=initial, final=final)
+
+
+def _fit_loglog_exponent(sizes: list[int], times: list[float]) -> float:
+    """Least-squares slope of ln(time) vs ln(ops): the scaling exponent."""
+    import math
+
+    pts = [
+        (math.log(n), math.log(t)) for n, t in zip(sizes, times) if t > 0
+    ]
+    if len(pts) < 2:
+        return 0.0
+    mx = sum(x for x, _ in pts) / len(pts)
+    my = sum(y for _, y in pts) / len(pts)
+    num = sum((x - mx) * (y - my) for x, y in pts)
+    den = sum((x - mx) ** 2 for x, _ in pts)
+    return round(num / den, 3) if den else 0.0
+
+
+def run_scaling(quick: bool) -> tuple[dict, bool]:
+    """Time each kernel backend across the size ladder (one repeat —
+    the large sizes dominate and the comparison is across backends on
+    identical instances, not across noisy repeats)."""
+    from repro.core import kernels
+
+    sizes = SCALING_SIZES_QUICK if quick else SCALING_SIZES_FULL
+    backends = ["python"]
+    if "numpy" in kernels.available_backends():
+        backends.append("numpy")
+    times: dict[str, list[float]] = {b: [] for b in backends}
+    actual_ops: list[int] = []
+    for size in sizes:
+        ex = build_scaling_execution(size)
+        actual_ops.append(ex.num_ops)
+        for b in backends:
+            with kernels.use(b):
+                t0 = time.perf_counter()
+                r = verify_vmc(ex, prepass=True, jobs=1, cache=False)
+            dt = time.perf_counter() - t0
+            times[b].append(round(dt, 4))
+            if not r:
+                print(
+                    f"error: kernel-{b} flagged the {size}-op scaling "
+                    f"execution", file=sys.stderr,
+                )
+                raise SystemExit(1)
+        row = "  ".join(
+            f"{b}={times[b][-1] * 1e3:>9.1f}ms" for b in backends
+        )
+        print(f"scaling {actual_ops[-1]:>7} ops  {row}")
+
+    exponents = {
+        b: _fit_loglog_exponent(actual_ops, times[b]) for b in backends
+    }
+    print(
+        "scaling exponents (fitted wall-time vs ops): "
+        + ", ".join(f"{b}={e}" for b, e in exponents.items())
+    )
+    speedup = None
+    guard_ok = True
+    if "numpy" in backends:
+        speedup = (
+            round(times["python"][-1] / times["numpy"][-1], 2)
+            if times["numpy"][-1]
+            else None
+        )
+        guard_ok = speedup is not None and speedup >= SCALING_GUARD_SPEEDUP
+        print(
+            f"scaling numpy speedup at {actual_ops[-1]} ops: {speedup}x "
+            f"({'ok' if guard_ok else 'REGRESSION'}; guard "
+            f">={SCALING_GUARD_SPEEDUP}x)"
+        )
+    else:
+        print("scaling: numpy unavailable, speedup guard skipped")
+    payload = {
+        "sizes_requested": sizes,
+        "ops": actual_ops,
+        "block_ops": 2 * SCALING_BLOCK_LEN + 1,
+        "times_s": times,
+        "fitted_exponent": exponents,
+        "numpy_speedup_at_max": speedup,
+        "guard_ok": guard_ok,
+    }
+    return payload, guard_ok
 
 
 def run_config(
@@ -524,6 +647,10 @@ def main(argv: list[str] | None = None) -> int:
         f"{CERTIFY_GUARD_RATIO}x + {CERTIFY_GUARD_SLACK_S}s slack)"
     )
 
+    # Kernel-scaling ladder: wall time vs total ops per data-plane
+    # kernel, with the numpy-vs-python speedup guard at the top size.
+    scaling_payload, scaling_ok = run_scaling(args.quick)
+
     payload = {
         "benchmark": "engine-prepass-pools-portfolio",
         "recorded_utc": datetime.now(timezone.utc).isoformat(
@@ -573,6 +700,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
             "guard_ok": certify_ok,
         },
+        "scaling": scaling_payload,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -603,6 +731,15 @@ def main(argv: list[str] | None = None) -> int:
             f"error: certification cost {certify_median}s vs "
             f"{uncert_median}s uncertified — past the "
             f"{CERTIFY_GUARD_RATIO}x overhead guard",
+            file=sys.stderr,
+        )
+        return 1
+    if not scaling_ok:
+        print(
+            f"error: numpy kernel speedup "
+            f"{scaling_payload['numpy_speedup_at_max']}x at "
+            f"{scaling_payload['ops'][-1]} ops is below the "
+            f"{SCALING_GUARD_SPEEDUP}x guard",
             file=sys.stderr,
         )
         return 1

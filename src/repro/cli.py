@@ -98,7 +98,23 @@ def _load_trace(path_str: str) -> Execution:
     path = Path(path_str)
     if not path.exists():
         raise FileNotFoundError(f"trace file {path} does not exist")
-    text = path.read_text()
+    raw = path.read_bytes()
+    # Content sniffing, not extension trust: the binary magic wins,
+    # then JSON-shaped text, then the line-oriented text format.
+    from repro.core import serialize_bin
+
+    if serialize_bin.sniff(raw):
+        try:
+            return serialize_bin.loads_bin(raw)
+        except serialize_bin.BinaryFormatError as e:
+            raise ValueError(f"{path}: malformed binary trace: {e}") from e
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as e:
+        raise ValueError(
+            f"{path}: not a binary trace, and not UTF-8 text "
+            f"(bad byte at {e.start})"
+        ) from e
     # A .json suffix means the serialize format, but so does JSON-shaped
     # content under any name — sniff the first significant character.
     if path.suffix == ".json" or text.lstrip()[:1] in ("{", "["):
@@ -163,11 +179,15 @@ def _print_result(result, label: str, want_witness: bool, want_stats: bool) -> i
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    t_load = perf_counter()
     try:
         execution = _load_trace(args.trace)
     except (OSError, ValueError, FileNotFoundError) as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
+    t_load = perf_counter() - t_load
     try:
         resilience = _resilience_from_args(args)
         if args.model:
@@ -179,6 +199,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 else args.model.upper()
             )
             result = verifier_for(name)(execution)
+            if result.report is not None:
+                result.report.stage_times["load"] = t_load
             return _print_result(result, args.model, args.witness, args.stats)
         if args.sc:
             result = verify_sequential_consistency(
@@ -214,6 +236,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         # are usage errors.
         print(f"error: {e}", file=sys.stderr)
         return 2
+    if result.report is not None:
+        result.report.stage_times["load"] = t_load
     return _print_result(result, label, args.witness, args.stats)
 
 

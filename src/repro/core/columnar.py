@@ -1,0 +1,382 @@
+"""Columnar (structure-of-arrays) view of an execution.
+
+The object model in :mod:`repro.core.types` is the right interface for
+building and inspecting traces, but the polynomial hot paths — read
+elimination, happens-before saturation, frontier packing, CNF layout,
+cache fingerprinting — only ever need *codes*: which kind, which
+process, which address, which value.  Re-deriving those codes by
+walking ``Operation`` dataclasses was duplicated across ``infer.py``,
+``exact.py``, ``encode.py`` and ``engine/cache.py``; this module
+computes them once per execution and shares the result.
+
+A :class:`ColumnarTrace` holds parallel columns over the flat,
+process-major operation sequence (process 0's history first, in
+program order, then process 1's, ...):
+
+* ``kinds[i]`` — the operation kind as a small integer code;
+* ``procs[i]`` / ``indices[i]`` — the operation's uid, preserving
+  *gappy* program-order indices of sub-executions;
+* ``addr_ids[i]`` — index into the interned ``addrs`` table;
+* ``read_vids[i]`` / ``write_vids[i]`` — indices into the interned
+  ``values`` table, ``-1`` when the kind does not read / write.
+
+plus per-process (``proc_slice``) and per-address (``addr_ops``) index
+slices, and the initial/final constraints as value ids per address.
+``initial_ids[ai]`` is always a valid value id — the *effective*
+initial value, interning the :data:`~repro.core.types.INITIAL` default
+for addresses absent from the ``initial`` mapping — so consumers can
+compare read value ids against it directly; ``implicit_initial[ai]``
+records which entries were defaulted, keeping the round-trip to
+``Execution`` lossless.
+
+Address table ordering is load-bearing: the first ``n_touched``
+entries are the touched addresses in first-appearance order (exactly
+``Execution.addresses()``), the first ``n_constrained`` entries add
+the final-only addresses (exactly ``Execution.constrained_addresses()``),
+and any remaining entries are addresses appearing only in ``initial``.
+
+Columns are stdlib ``array`` arrays with fixed little-endian-friendly
+type codes, so the binary trace format (:mod:`repro.core.serialize_bin`)
+can dump and load them as raw blobs, and the numpy kernels
+(:mod:`repro.core.kernels`) can wrap them zero-copy via
+``np.frombuffer``.
+
+Value interning uses dictionary (``hash``/``==``) semantics — the same
+equality every verifier already applies when it groups writers by
+value — so two values receive the same id exactly when the verifiers
+would treat them as the same value.
+
+The view is immutable and cached: :meth:`Execution.columnar` builds it
+on first use and memoizes it on the instance (executions are never
+mutated after construction).  The cache is excluded from pickling so
+process-pool tasks do not ship redundant columns.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Hashable
+
+from repro.core.types import (
+    Address,
+    Execution,
+    OpKind,
+    Operation,
+    ProcessHistory,
+    Value,
+)
+
+#: Kind codes, stable across releases (the binary format stores them).
+KIND_CODES: dict[OpKind, int] = {
+    OpKind.READ: 0,
+    OpKind.WRITE: 1,
+    OpKind.RMW: 2,
+    OpKind.ACQUIRE: 3,
+    OpKind.RELEASE: 4,
+}
+KINDS_BY_CODE: tuple[OpKind, ...] = tuple(
+    k for k, _ in sorted(KIND_CODES.items(), key=lambda kv: kv[1])
+)
+
+#: ``array`` type codes per column — fixed sizes, so the binary format
+#: can compute blob lengths from the header alone.
+COLUMN_TYPECODES = {
+    "kinds": "B",       # u8
+    "procs": "I",       # u32
+    "indices": "I",     # u32
+    "addr_ids": "I",    # u32
+    "read_vids": "i",   # i32 (-1 = kind does not read)
+    "write_vids": "i",  # i32 (-1 = kind does not write)
+}
+#: The per-op columns in their canonical (binary-format) order.
+OP_COLUMNS = tuple(COLUMN_TYPECODES)
+
+
+class ColumnarTrace:
+    """Immutable structure-of-arrays view of one :class:`Execution`."""
+
+    __slots__ = (
+        "n_ops",
+        "n_procs",
+        "kinds",
+        "procs",
+        "indices",
+        "addr_ids",
+        "read_vids",
+        "write_vids",
+        "proc_offsets",
+        "addrs",
+        "values",
+        "n_touched",
+        "n_constrained",
+        "initial_ids",
+        "implicit_initial",
+        "final_ids",
+        "_addr_ops",
+        "_uid_pos",
+        "_addr_id_of",
+        "_source_ops",
+    )
+
+    def __init__(
+        self,
+        *,
+        kinds: array,
+        procs: array,
+        indices: array,
+        addr_ids: array,
+        read_vids: array,
+        write_vids: array,
+        proc_offsets: array,
+        addrs: tuple[Address, ...],
+        values: tuple[Value, ...],
+        n_touched: int,
+        n_constrained: int,
+        initial_ids: array,
+        implicit_initial: array,
+        final_ids: array,
+    ):
+        self.n_ops = len(kinds)
+        self.n_procs = len(proc_offsets) - 1
+        self.kinds = kinds
+        self.procs = procs
+        self.indices = indices
+        self.addr_ids = addr_ids
+        self.read_vids = read_vids
+        self.write_vids = write_vids
+        self.proc_offsets = proc_offsets
+        self.addrs = addrs
+        self.values = values
+        self.n_touched = n_touched
+        self.n_constrained = n_constrained
+        self.initial_ids = initial_ids
+        self.implicit_initial = implicit_initial
+        self.final_ids = final_ids
+        self._addr_ops: list[array] | None = None
+        self._uid_pos: dict[tuple[int, int], int] | None = None
+        self._addr_id_of: dict[Address, int] | None = None
+        #: Original Operation objects in flat order when the view was
+        #: built from an Execution (None for views loaded from the
+        #: binary format); lets op_at/restricted views hand back the
+        #: *same* objects the caller already holds.
+        self._source_ops: tuple[Operation, ...] | None = None
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def from_execution(execution: Execution) -> "ColumnarTrace":
+        """Build the columnar view (one O(n) walk of the object model)."""
+        addr_id: dict[Hashable, int] = {}
+        value_id: dict[Hashable, int] = {}
+        addrs: list[Address] = []
+        values: list[Value] = []
+
+        def aid(a: Address) -> int:
+            i = addr_id.get(a)
+            if i is None:
+                i = addr_id[a] = len(addrs)
+                addrs.append(a)
+            return i
+
+        def vid(v: Value) -> int:
+            i = value_id.get(v)
+            if i is None:
+                i = value_id[v] = len(values)
+                values.append(v)
+            return i
+
+        kinds = array(COLUMN_TYPECODES["kinds"])
+        procs = array(COLUMN_TYPECODES["procs"])
+        indices = array(COLUMN_TYPECODES["indices"])
+        addr_ids = array(COLUMN_TYPECODES["addr_ids"])
+        read_vids = array(COLUMN_TYPECODES["read_vids"])
+        write_vids = array(COLUMN_TYPECODES["write_vids"])
+        proc_offsets = array("Q", [0])
+        for h in execution.histories:
+            for op in h:
+                kinds.append(KIND_CODES[op.kind])
+                procs.append(op.proc)
+                indices.append(op.index)
+                addr_ids.append(aid(op.addr))
+                read_vids.append(vid(op.value_read) if op.kind.reads else -1)
+                write_vids.append(
+                    vid(op.value_written) if op.kind.writes else -1
+                )
+            proc_offsets.append(len(kinds))
+        n_touched = len(addrs)
+        for a in execution.final:
+            aid(a)
+        n_constrained = len(addrs)
+        for a in execution.initial:
+            aid(a)
+
+        initial_ids = array("i")
+        implicit_initial = array("B")
+        final_ids = array("i")
+        for a in addrs:
+            initial_ids.append(vid(execution.initial_value(a)))
+            implicit_initial.append(0 if a in execution.initial else 1)
+            final_ids.append(
+                vid(execution.final[a]) if a in execution.final else -1
+            )
+        view = ColumnarTrace(
+            kinds=kinds,
+            procs=procs,
+            indices=indices,
+            addr_ids=addr_ids,
+            read_vids=read_vids,
+            write_vids=write_vids,
+            proc_offsets=proc_offsets,
+            addrs=tuple(addrs),
+            values=tuple(values),
+            n_touched=n_touched,
+            n_constrained=n_constrained,
+            initial_ids=initial_ids,
+            implicit_initial=implicit_initial,
+            final_ids=final_ids,
+        )
+        view._source_ops = tuple(
+            op for h in execution.histories for op in h
+        )
+        return view
+
+    # -- slices -----------------------------------------------------------
+    def proc_slice(self, p: int) -> slice:
+        """Flat-position slice of process ``p``'s operations."""
+        return slice(self.proc_offsets[p], self.proc_offsets[p + 1])
+
+    @property
+    def addr_ops(self) -> list[array]:
+        """Per-address flat positions, process-major program order.
+
+        ``addr_ops[ai]`` lists every flat position whose operation
+        touches ``addrs[ai]`` — the shared replacement for the ad-hoc
+        address→ops maps the verifiers used to rebuild individually.
+        """
+        if self._addr_ops is None:
+            per = [array("I") for _ in self.addrs]
+            for i, ai in enumerate(self.addr_ids):
+                per[ai].append(i)
+            self._addr_ops = per
+        return self._addr_ops
+
+    def ops_at_id(self, ai: int) -> array:
+        """Flat positions of the operations at address id ``ai``."""
+        return self.addr_ops[ai]
+
+    @property
+    def uid_pos(self) -> dict[tuple[int, int], int]:
+        """uid ``(proc, index)`` → flat position."""
+        if self._uid_pos is None:
+            self._uid_pos = {
+                (self.procs[i], self.indices[i]): i
+                for i in range(self.n_ops)
+            }
+        return self._uid_pos
+
+    # -- conversion back --------------------------------------------------
+    def to_execution(self) -> Execution:
+        """Materialize an equal :class:`Execution` from the columns.
+
+        Gappy program-order indices (sub-executions) are preserved, so
+        the histories are rebuilt through ``object.__new__`` exactly
+        like :meth:`Execution.restrict_to_address` does.
+        """
+        histories = []
+        for p in range(self.n_procs):
+            s = self.proc_slice(p)
+            ops = tuple(self.op_at(i) for i in range(s.start, s.stop))
+            ph = object.__new__(ProcessHistory)
+            object.__setattr__(ph, "proc", p)
+            object.__setattr__(ph, "operations", ops)
+            histories.append(ph)
+        initial = {
+            a: self.values[vi]
+            for a, vi, imp in zip(
+                self.addrs, self.initial_ids, self.implicit_initial
+            )
+            if not imp
+        }
+        final = {
+            a: self.values[vi]
+            for a, vi in zip(self.addrs, self.final_ids)
+            if vi >= 0
+        }
+        return Execution(histories, initial=initial, final=final)
+
+    def op_at(self, i: int) -> Operation:
+        """The :class:`Operation` at flat position ``i`` — the original
+        object when the view came from an Execution, a freshly (and
+        equally) materialized one when it was loaded from bytes."""
+        if self._source_ops is not None:
+            return self._source_ops[i]
+        kind = KINDS_BY_CODE[self.kinds[i]]
+        rv = self.read_vids[i]
+        wv = self.write_vids[i]
+        return Operation(
+            kind,
+            self.addrs[self.addr_ids[i]],
+            self.procs[i],
+            self.indices[i],
+            value_read=self.values[rv] if rv >= 0 else None,
+            value_written=self.values[wv] if wv >= 0 else None,
+        )
+
+    # -- address-restricted views -----------------------------------------
+    def restrict_to_address_id(self, ai: int) -> Execution:
+        """Single-address sub-execution for ``addrs[ai]`` (the engine's
+        per-address VMC task unit), built from the column slices."""
+        addr = self.addrs[ai]
+        positions = self.addr_ops[ai]
+        per_proc: list[list[Operation]] = [[] for _ in range(self.n_procs)]
+        for i in positions:
+            per_proc[self.procs[i]].append(self.op_at(i))
+        histories = []
+        for p in range(self.n_procs):
+            ph = object.__new__(ProcessHistory)
+            object.__setattr__(ph, "proc", p)
+            object.__setattr__(ph, "operations", tuple(per_proc[p]))
+            histories.append(ph)
+        ex = object.__new__(Execution)
+        ex.histories = tuple(histories)
+        ex.initial = {addr: self.values[self.initial_ids[ai]]}
+        fi = self.final_ids[ai]
+        ex.final = {addr: self.values[fi]} if fi >= 0 else {}
+        return ex
+
+    def addr_index(self, addr: Address) -> int:
+        """Address → id (cached dict; KeyError for unknown addresses)."""
+        if self._addr_id_of is None:
+            self._addr_id_of = {a: i for i, a in enumerate(self.addrs)}
+        return self._addr_id_of[addr]
+
+    # -- misc -------------------------------------------------------------
+    def column_bytes(self) -> dict[str, bytes]:
+        """Raw little-endian bytes of every per-op column (plus the
+        offsets and constraint columns), the payload of the binary
+        trace format."""
+        import sys
+
+        def raw(a: array) -> bytes:
+            if sys.byteorder == "big":  # pragma: no cover
+                a = array(a.typecode, a)
+                a.byteswap()
+            return a.tobytes()
+
+        out = {name: raw(getattr(self, name)) for name in OP_COLUMNS}
+        out["proc_offsets"] = raw(self.proc_offsets)
+        out["initial_ids"] = raw(self.initial_ids)
+        out["implicit_initial"] = raw(self.implicit_initial)
+        out["final_ids"] = raw(self.final_ids)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarTrace(ops={self.n_ops}, procs={self.n_procs}, "
+            f"addrs={len(self.addrs)}, values={len(self.values)})"
+        )
+
+
+def columnar(execution: Execution) -> ColumnarTrace:
+    """The cached columnar view of ``execution`` (module-level alias of
+    :meth:`Execution.columnar` for call sites that prefer a function)."""
+    return execution.columnar()

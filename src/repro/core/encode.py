@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.core.columnar import KINDS_BY_CODE
 from repro.core.types import (
     Address,
     Execution,
@@ -150,23 +151,41 @@ def encode_legal_schedule(
                 else:
                     enc.hint_lits.append(enc.lit_before(iu, iv))
 
-    # Reads-from.
-    by_addr: dict[Address, list[int]] = {
-        a: [] for a in execution.constrained_addresses()
-    }
-    for i, op in enumerate(ops):
-        by_addr.setdefault(op.addr, []).append(i)
-    for a, idxs in by_addr.items():
-        writes = [i for i in idxs if ops[i].kind.writes]
-        reads = [i for i in idxs if ops[i].kind.reads]
+    # Reads-from, over the columnar view's per-address slices.  Value
+    # comparisons become vid comparisons (interning uses the same
+    # hash/== the old object walk applied); diagnostics still quote the
+    # caller's own objects, not the interned representatives.
+    view = execution.columnar()
+    col_rv = view.read_vids
+    col_wv = view.write_vids
+    # Flat column position -> encoding index (sync ops are stripped
+    # from the encoding, so positions shift).
+    pos2enc = []
+    nxt = 0
+    for pos in range(view.n_ops):
+        if KINDS_BY_CODE[view.kinds[pos]].is_sync:
+            pos2enc.append(-1)
+        else:
+            pos2enc.append(nxt)
+            nxt += 1
+    for ai in range(view.n_constrained):
+        a = view.addrs[ai]
+        positions = [p for p in view.ops_at_id(ai) if pos2enc[p] >= 0]
+        writes = [pos2enc[p] for p in positions if col_wv[p] >= 0]
+        wvid = {pos2enc[p]: col_wv[p] for p in positions if col_wv[p] >= 0}
         d_i = execution.initial_value(a)
-        for r in reads:
+        d_i_vid = view.initial_ids[ai]
+        for p in positions:
+            if col_rv[p] < 0:
+                continue
+            r = pos2enc[p]
+            want_vid = col_rv[p]
             want = ops[r].value_read
             candidates = [
-                w for w in writes if w != r and ops[w].value_written == want
+                w for w in writes if w != r and wvid[w] == want_vid
             ]
             selectors: list[int] = []
-            if want == d_i:
+            if want_vid == d_i_vid:
                 s_init = cnf.new_var()
                 selectors.append(s_init)
                 # Reading the initial value: every write follows r.
@@ -201,7 +220,8 @@ def encode_legal_schedule(
         # Final value.
         d_f = execution.final_value(a)
         if d_f is not None:
-            finals = [w for w in writes if ops[w].value_written == d_f]
+            d_f_vid = view.final_ids[ai]
+            finals = [w for w in writes if wvid[w] == d_f_vid]
             if not writes:
                 if d_f != d_i:
                     enc.feasible = False

@@ -51,8 +51,8 @@ from typing import Sequence
 from repro.core.types import (
     Address,
     Execution,
+    OpKind,
     Operation,
-    Value,
 )
 from repro.core.result import VerificationResult
 from repro.util.control import StopCheck, poll
@@ -131,20 +131,28 @@ def _frontier_search(
     lengths = [len(h) for h in histories]
     total = sum(lengths)
 
-    # Address/value bookkeeping uses dense address and value indices.
-    # Final-only addresses are included so an unreachable d_F is caught.
-    addr_list = execution.constrained_addresses()
-    addr_idx = {a: i for i, a in enumerate(addr_list)}
+    # Address/value bookkeeping uses the columnar view's interned ids.
+    # Final-only addresses are included so an unreachable d_F is caught
+    # (the view's first ``n_constrained`` address ids are exactly
+    # ``constrained_addresses()``, in the same order).
+    view = execution.columnar()
+    n_addrs = view.n_constrained
+    col_kinds = view.kinds
+    col_addr = view.addr_ids
+    col_rv = view.read_vids
+    col_wv = view.write_vids
     # Per address: the values it can ever hold (initial + every written
-    # value), densely numbered for the packed-state encoding.
-    val_ids: list[dict[Value, int]] = []
-    for a in addr_list:
-        ids: dict[Value, int] = {execution.initial_value(a): 0}
-        for h in histories:
-            for op in h:
-                if op.kind.writes and op.addr == a:
-                    ids.setdefault(op.value_written, len(ids))
-        val_ids.append(ids)
+    # value), densely numbered for the packed-state encoding.  Keyed by
+    # interned value id — interning uses the same hash/== semantics the
+    # old value-keyed dicts did.
+    val_ids: list[dict[int, int]] = [
+        {view.initial_ids[ai]: 0} for ai in range(n_addrs)
+    ]
+    for pos in range(view.n_ops):
+        wv = col_wv[pos]
+        if wv >= 0:
+            ids = val_ids[col_addr[pos]]
+            ids.setdefault(wv, len(ids))
 
     # Mixed-radix strides: a state packs into the single integer
     #   (sum_p positions[p] * pos_stride[p]) * val_space
@@ -160,32 +168,46 @@ def _frontier_search(
         val_stride.append(val_space)
         val_space *= len(ids)
 
-    initial_vals = tuple(0 for _ in addr_list)  # initial value has idx 0
+    initial_vals = tuple(0 for _ in range(n_addrs))  # initial has idx 0
     final_req: list[int | None] = []
-    for i, a in enumerate(addr_list):
-        d_f = execution.final_value(a)
-        if d_f is None:
+    for ai in range(n_addrs):
+        fi = view.final_ids[ai]
+        if fi < 0:
             final_req.append(None)
         else:
-            final_req.append(val_ids[i].get(d_f, _IMPOSSIBLE))
+            final_req.append(val_ids[ai].get(fi, _IMPOSSIBLE))
     check_final = [
         (i, req) for i, req in enumerate(final_req) if req is not None
     ]
 
     # Per-op dense info: (op, addr_idx, is_sync, reads, writes,
-    # read_val_idx, write_val_idx, committable).  A committable op
-    # cannot change the store, so once enabled it is executed eagerly.
+    # read_val_idx, write_val_idx, committable), packed straight from
+    # the column slices.  A committable op cannot change the store, so
+    # once enabled it is executed eagerly.
+    from repro.core.columnar import KIND_CODES
+
+    _READ = KIND_CODES[OpKind.READ]
+    _WRITE = KIND_CODES[OpKind.WRITE]
+    _RMW = KIND_CODES[OpKind.RMW]
     op_info: list[list[tuple]] = []
-    for h in histories:
+    for p in range(k):
         row = []
-        for op in h:
-            if op.kind.is_sync:
+        s = view.proc_slice(p)
+        for pos in range(s.start, s.stop):
+            op = view.op_at(pos)
+            code = col_kinds[pos]
+            if code != _READ and code != _WRITE and code != _RMW:
                 row.append((op, -1, True, False, False, _IMPOSSIBLE, 0, True))
                 continue
-            ai = addr_idx[op.addr]
-            reads, writes = op.kind.reads, op.kind.writes
-            rv = val_ids[ai].get(op.value_read, _IMPOSSIBLE) if reads else _IMPOSSIBLE
-            wv = val_ids[ai].get(op.value_written, 0) if writes else 0
+            ai = col_addr[pos]
+            reads = code != _WRITE
+            writes = code != _READ
+            rv = (
+                val_ids[ai].get(col_rv[pos], _IMPOSSIBLE)
+                if reads
+                else _IMPOSSIBLE
+            )
+            wv = val_ids[ai][col_wv[pos]] if writes else 0
             row.append((op, ai, False, reads, writes, rv, wv, reads and not writes))
         op_info.append(row)
 

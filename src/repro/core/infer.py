@@ -22,6 +22,14 @@ Soundness contract: every edge emitted by :func:`infer_order` holds in
 *every* coherent schedule of the instance, and every read eliminated by
 :func:`eliminate_reads` can be re-inserted into *any* coherent schedule
 of the residual (so residual-coherent ⇔ original-coherent).
+
+The inner loops — the covered-read scan, the reachability closure and
+the wr/fr rule application — live in :mod:`repro.core.kernels` behind
+the ``REPRO_KERNEL`` switch; this module is the driver: it reads the
+columnar view, seeds the base edges, interprets the saturation outcome
+and materializes human-readable reasons, step logs and hint edges
+*lazily* (an inferred chain with half a million implied edges costs
+nothing unless somebody actually asks for the proof).
 """
 
 from __future__ import annotations
@@ -29,9 +37,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.core import kernels
+from repro.core.kernels import (
+    RULE_FIN,
+    RULE_FINR,
+    RULE_FR,
+    RULE_INIT,
+    RULE_NAMES,
+    RULE_PO,
+    RULE_RF,
+    RULE_WR,
+)
 from repro.core.result import Certificate, VerificationResult
 from repro.core.types import Execution, OpKind, Operation, ProcessHistory
-from repro.util.digraph import CycleError, Digraph
 
 Uid = tuple[int, int]
 
@@ -135,56 +153,43 @@ def eliminate_reads(execution: Execution) -> tuple[Execution, ReinsertionPlan]:
 
     Executions containing sync operations are returned unchanged (the
     sync semantics live outside this module's model).
+
+    The covered/front/tail decisions come from the active kernel's
+    :meth:`~repro.core.kernels.PythonKernel.eliminate_scan` over the
+    columnar view; both kernels report them in the same order, so the
+    plan is identical either way.
     """
     plan = ReinsertionPlan()
     if any(op.kind.is_sync for op in execution.all_ops()):
         return execution, plan
 
-    FRONT = (-1, -1)  # pseudo-anchor for front placements
+    view = execution.columnar()
+    scan = kernels.backend().eliminate_scan(view)
+    if scan is None or scan.total == 0:
+        return execution, plan
+
+    eliminated = set(scan.eliminated)
+    tail_set = set(scan.tails)
+    anchor_of = dict(zip(scan.eliminated, scan.anchors))
     residual_histories: list[tuple[int, tuple[Operation, ...]]] = []
-    for h in execution.histories:
+    for p in range(view.n_procs):
+        start, stop = view.proc_offsets[p], view.proc_offsets[p + 1]
         kept: list[Operation] = []
-        # Anchor of the *previous* op in this history: its own uid if it
-        # survived, else wherever it was re-attached.
-        prev_op: Operation | None = None
-        prev_anchor: Uid | None = None
-        for op in h:
-            anchor: Uid | None = None  # set when `op` is eliminated
-            if op.kind is OpKind.READ:
-                v = op.value_read
-                if (
-                    prev_op is not None
-                    and prev_op.addr == op.addr
-                    and _determined_value(prev_op) == v
-                ):
-                    # Covered read: the immediately preceding op at this
-                    # address guarantees the value; re-insert right
-                    # after wherever that op (or its anchor) lands.
-                    anchor = prev_anchor
-                elif prev_op is None and v == execution.initial_value(op.addr):
-                    anchor = FRONT
-            if anchor is None:
-                kept.append(op)
-                prev_op, prev_anchor = op, op.uid
-            else:
-                if anchor == FRONT:
+        for i in range(start, stop):
+            op = view.op_at(i)
+            if i in eliminated:
+                a = anchor_of[i]
+                if a < 0:
                     plan.front.append(op)
                 else:
-                    plan.attached.setdefault(anchor, []).append(op)
-                prev_op, prev_anchor = op, anchor
-        # Trailing final-value read: the process's last operation reads
-        # the constrained final value of its address — it can close any
-        # schedule.  (If it was already eliminated above, fine.)
-        if kept and kept[-1] is h[len(h) - 1]:
-            last = kept[-1]
-            if (
-                last.kind is OpKind.READ
-                and execution.final_value(last.addr) is not None
-                and last.value_read == execution.final_value(last.addr)
-            ):
-                kept.pop()
-                plan.tail.append(last)
-        residual_histories.append((h.proc, tuple(kept)))
+                    plan.attached.setdefault(
+                        view.op_at(a).uid, []
+                    ).append(op)
+            elif i in tail_set:
+                plan.tail.append(op)
+            else:
+                kept.append(op)
+        residual_histories.append((p, tuple(kept)))
 
     if plan.eliminated == 0:
         return execution, plan
@@ -197,36 +202,119 @@ def eliminate_reads(execution: Execution) -> tuple[Execution, ReinsertionPlan]:
 # ---------------------------------------------------------------------
 # Necessary happens-before inference (single address)
 # ---------------------------------------------------------------------
-@dataclass
 class Inference:
-    """Outcome of the happens-before saturation at one address."""
+    """Outcome of the happens-before saturation at one address.
 
-    #: Early verdict: a cycle in the necessary edges (incoherent) or a
-    #: read of a never-written value.  None when undecided.
-    decided: VerificationResult | None = None
-    #: All writes in a forced total order, when the necessary edges
-    #: order them completely (downgrades the task to Section 5.2).
-    write_order: list[Operation] | None = None
-    #: Inferred non-program-order edges as (uid, uid, reason) triples —
-    #: necessary in every coherent schedule, usable as search hints.
-    edges: list[tuple[Uid, Uid, str]] = field(default_factory=list)
-    #: Every edge in derivation order as structured proof steps (see
-    #: :data:`Step`) — the raw material of ``cycle`` certificates.
-    steps: list[Step] = field(default_factory=list)
-    #: Saturation rounds until fixpoint.
-    rounds: int = 0
+    ``edges`` and ``steps`` are *lazy*: the saturation records compact
+    step rows (node ids + rule codes), and the uid/reason form is only
+    materialized when accessed — the downgrade path (forced write
+    order) never pays for a proof log nobody reads.
+    """
+
+    def __init__(self):
+        #: Early verdict: a cycle in the necessary edges (incoherent)
+        #: or a read of a never-written value.  None when undecided.
+        self.decided: VerificationResult | None = None
+        #: All writes in a forced total order, when the necessary edges
+        #: order them completely (downgrades the task to Section 5.2).
+        self.write_order: list[Operation] | None = None
+        #: Saturation rounds until fixpoint.
+        self.rounds: int = 0
+        self._edges: list[tuple[Uid, Uid, str]] | None = []
+        self._steps: list[Step] | None = []
+        self._sat = None
+        self._ops: list[Operation] | None = None
+        self._d_f = None
+
+    def _attach(self, sat, ops: list[Operation], d_f) -> None:
+        """Defer edge/step materialization to the saturation state."""
+        self._sat = sat
+        self._ops = ops
+        self._d_f = d_f
+        self._edges = None
+        self._steps = None
+
+    @property
+    def edge_count(self) -> int:
+        """Number of inferred (non-program-order) edges, without
+        materializing them."""
+        if self._sat is not None:
+            return self._sat.non_po_edges
+        return len(self._edges or ())
+
+    @property
+    def edges(self) -> list[tuple[Uid, Uid, str]]:
+        """Inferred non-program-order edges as (uid, uid, reason)
+        triples — necessary in every coherent schedule, usable as
+        search hints."""
+        if self._edges is None:
+            ops = self._ops
+            self._edges = [
+                (
+                    ops[u].uid,
+                    ops[v].uid,
+                    _why(rule, u, v, aw, ar, ops, self._d_f),
+                )
+                for u, v, rule, aw, ar in self._sat.steps()
+                if rule != RULE_PO
+            ]
+        return self._edges
+
+    @edges.setter
+    def edges(self, value) -> None:
+        self._edges = value
+
+    @property
+    def steps(self) -> list[Step]:
+        """Every edge in derivation order as structured proof steps
+        (see :data:`Step`) — the raw material of ``cycle``
+        certificates."""
+        if self._steps is None:
+            self._steps = _materialize_steps(self._sat, self._ops)
+        return self._steps
+
+    @steps.setter
+    def steps(self, value) -> None:
+        self._steps = value
 
 
-def _closure(g: Digraph) -> list[int]:
-    """Per-node reachability bitsets over an acyclic digraph."""
-    order = g.topological_order()
-    reach = [0] * g.n
-    for u in reversed(order):
-        acc = 0
-        for v in g.successors(u):
-            acc |= (1 << v) | reach[v]
-        reach[u] = acc
-    return reach
+def _materialize_steps(sat, ops: list[Operation]) -> list[Step]:
+    return [
+        (
+            ops[u].uid,
+            ops[v].uid,
+            RULE_NAMES[rule],
+            (ops[aw].uid, ops[ar].uid) if aw >= 0 else None,
+        )
+        for u, v, rule, aw, ar in sat.steps()
+    ]
+
+
+def _why(
+    rule: int, u: int, v: int, aux_w: int, aux_r: int,
+    ops: list[Operation], d_f,
+) -> str:
+    """The human-readable reason for one recorded edge, reproduced
+    exactly as the eager implementation used to phrase it."""
+    if rule == RULE_PO:
+        return "program order"
+    if rule == RULE_RF:
+        return f"{ops[v]} must read from {ops[u]} (unique writer)"
+    if rule == RULE_INIT:
+        return f"{ops[u]} reads the initial value, never re-written"
+    if rule == RULE_FIN:
+        return f"{ops[v]} uniquely writes the final value {d_f!r}"
+    if rule == RULE_FINR:
+        return (
+            f"{ops[u]} reads {ops[u].value_read!r}, stale after the "
+            f"final write {ops[v]}"
+        )
+    if rule == RULE_WR:
+        return (
+            f"{ops[u]} precedes {ops[aux_r]}, which reads from "
+            f"{ops[aux_w]}"
+        )
+    return f"{ops[v]} follows {ops[aux_w]}, the source of {ops[u]}"
 
 
 def infer_order(execution: Execution) -> Inference:
@@ -263,42 +351,32 @@ def infer_order(execution: Execution) -> Inference:
     d_i = execution.initial_value(addr)
     d_f = execution.final_value(addr)
 
-    node = {op.uid: i for i, op in enumerate(ops)}
-    writes = [i for i, op in enumerate(ops) if op.kind.writes]
-    reads = [i for i, op in enumerate(ops) if op.kind.reads]
-    writers_of: dict = {}
+    view = execution.columnar()
+    kinds = view.kinds
+    rvs = view.read_vids
+    wvs = view.write_vids
+    d_i_vid = view.initial_ids[0]
+    d_f_vid = view.final_ids[0]
+
+    writes = [i for i in range(n) if wvs[i] >= 0]
+    reads = [i for i in range(n) if rvs[i] >= 0]
+    writers_of: dict[int, list[int]] = {}
     for w in writes:
-        writers_of.setdefault(ops[w].value_written, []).append(w)
-
-    g = Digraph(n)
-    reasons: dict[tuple[int, int], str] = {}
-
-    def add(
-        u: int, v: int, why: str, rule: str = "po",
-        aux: tuple | None = None,
-    ) -> bool:
-        if u == v:
-            return False
-        if g.add_edge(u, v):
-            reasons[(u, v)] = why
-            inf.steps.append((ops[u].uid, ops[v].uid, rule, aux))
-            return True
-        return False
-
-    for h in execution.histories:
-        for o1, o2 in zip(h.operations, h.operations[1:]):
-            add(node[o1.uid], node[o2.uid], "program order")
+        writers_of.setdefault(wvs[w], []).append(w)
 
     # Infeasible reads / final values decide outright (mirrors encode).
     for r in reads:
-        v = ops[r].value_read
-        if v != d_i and not any(w != r for w in writers_of.get(v, [])):
+        v_id = rvs[r]
+        if v_id != d_i_vid and not any(
+            w != r for w in writers_of.get(v_id, ())
+        ):
             inf.decided = VerificationResult(
                 holds=False,
                 method="prepass",
                 reason=(
-                    f"{ops[r]} reads {v!r}, which is never written to "
-                    f"{addr!r} and is not its initial value {d_i!r}"
+                    f"{ops[r]} reads {ops[r].value_read!r}, which is "
+                    f"never written to {addr!r} and is not its initial "
+                    f"value {d_i!r}"
                 ),
                 address=addr,
                 certificate=Certificate(
@@ -308,7 +386,7 @@ def infer_order(execution: Execution) -> Inference:
             return inf
     if d_f is not None:
         if not writes:
-            if d_f != d_i:
+            if d_f_vid != d_i_vid:
                 inf.decided = VerificationResult(
                     holds=False,
                     method="prepass",
@@ -319,7 +397,7 @@ def infer_order(execution: Execution) -> Inference:
                     ),
                 )
                 return inf
-        elif not writers_of.get(d_f):
+        elif not writers_of.get(d_f_vid):
             inf.decided = VerificationResult(
                 holds=False,
                 method="prepass",
@@ -337,118 +415,74 @@ def infer_order(execution: Execution) -> Inference:
     forced_rf: list[tuple[int, int]] = []  # (write, read)
     init_readers: list[int] = []
     for r in reads:
-        v = ops[r].value_read
-        cands = [w for w in writers_of.get(v, []) if w != r]
-        if v == d_i:
+        v_id = rvs[r]
+        cands = [w for w in writers_of.get(v_id, ()) if w != r]
+        if v_id == d_i_vid:
             if not cands:
                 init_readers.append(r)
         elif len(cands) == 1:
             forced_rf.append((cands[0], r))
 
+    g = kernels.backend().saturation(n)
+    for p in range(view.n_procs):
+        start, stop = view.proc_offsets[p], view.proc_offsets[p + 1]
+        for i in range(start, stop - 1):
+            g.add(i, i + 1, RULE_PO)
+
     for w, r in forced_rf:
-        add(w, r, f"{ops[r]} must read from {ops[w]} (unique writer)", "rf")
+        # force_step: even when program order already supplies the
+        # edge, the rf step must enter the log — wr/fr closure steps
+        # cite the pair, and the certificate checker only accepts
+        # pairs validated by their own rf step.
+        g.add(w, r, RULE_RF, force_step=True)
     for r in init_readers:
         for w in writes:
-            add(
-                r, w, f"{ops[r]} reads the initial value, never re-written",
-                "init",
-            )
-    if d_f is not None and len(writers_of.get(d_f, ())) == 1:
-        wf = writers_of[d_f][0]
+            g.add(r, w, RULE_INIT)
+    if d_f is not None and len(writers_of.get(d_f_vid, ())) == 1:
+        wf = writers_of[d_f_vid][0]
         for w in writes:
-            add(
-                w, wf, f"{ops[wf]} uniquely writes the final value {d_f!r}",
-                "fin",
-            )
+            g.add(w, wf, RULE_FIN)
         for r in reads:
-            if r != wf and ops[r].value_read != d_f:
-                add(
-                    r, wf,
-                    f"{ops[r]} reads {ops[r].value_read!r}, stale after the "
-                    f"final write {ops[wf]}",
-                    "finr",
-                )
+            if r != wf and rvs[r] != d_f_vid:
+                g.add(r, wf, RULE_FINR)
 
-    # Saturate: closure-driven coherence/from-read rules to fixpoint.
-    while True:
-        inf.rounds += 1
-        try:
-            reach = _closure(g)
-        except CycleError as e:
-            cycle = e.cycle
-            steps = []
-            for u, v in zip(cycle, cycle[1:] + cycle[:1]):
-                steps.append(
-                    f"{ops[u]} -> {ops[v]} "
-                    f"[{reasons.get((u, v), 'program order')}]"
-                )
-            inf.decided = VerificationResult(
-                holds=False,
-                method="prepass",
-                reason=(
-                    "necessary happens-before edges form a cycle: "
-                    + "; ".join(steps)
-                ),
-                address=addr,
-                stats={"cycle_length": len(cycle)},
-                certificate=Certificate(
-                    "cycle",
-                    (
-                        tuple(inf.steps),
-                        tuple(ops[u].uid for u in cycle),
-                    ),
-                ),
+    cycle = g.saturate(forced_rf, writes)
+    inf.rounds = g.rounds
+    if cycle is not None:
+        wanted = set(zip(cycle, cycle[1:] + cycle[:1]))
+        rule_of: dict[tuple[int, int], tuple[int, int, int]] = {}
+        for u, v, rule, aw, ar in g.steps():
+            if (u, v) in wanted and (u, v) not in rule_of:
+                rule_of[(u, v)] = (rule, aw, ar)
+        steps = []
+        for u, v in zip(cycle, cycle[1:] + cycle[:1]):
+            rule, aw, ar = rule_of.get((u, v), (RULE_PO, -1, -1))
+            steps.append(
+                f"{ops[u]} -> {ops[v]} [{_why(rule, u, v, aw, ar, ops, d_f)}]"
             )
-            return inf
-        changed = False
-        for w, r in forced_rf:
-            bit_r = 1 << r
-            for w2 in writes:
-                if w2 == w or w2 == r:
-                    continue
-                if reach[w2] & bit_r:
-                    changed |= add(
-                        w2, w,
-                        f"{ops[w2]} precedes {ops[r]}, which reads from "
-                        f"{ops[w]}",
-                        "wr", (ops[w].uid, ops[r].uid),
-                    )
-                if reach[w] & (1 << w2):
-                    changed |= add(
-                        r, w2,
-                        f"{ops[w2]} follows {ops[w]}, the source of {ops[r]}",
-                        "fr", (ops[w].uid, ops[r].uid),
-                    )
-        if not changed:
-            break
+        inf.decided = VerificationResult(
+            holds=False,
+            method="prepass",
+            reason=(
+                "necessary happens-before edges form a cycle: "
+                + "; ".join(steps)
+            ),
+            address=addr,
+            stats={"cycle_length": len(cycle)},
+            certificate=Certificate(
+                "cycle",
+                (
+                    tuple(_materialize_steps(g, ops)),
+                    tuple(ops[u].uid for u in cycle),
+                ),
+            ),
+        )
+        return inf
 
-    # Count the inferred (non-program-order) edges and export them.
-    po = set()
-    for h in execution.histories:
-        for o1, o2 in zip(h.operations, h.operations[1:]):
-            po.add((node[o1.uid], node[o2.uid]))
-    inf.edges = [
-        (ops[u].uid, ops[v].uid, why)
-        for (u, v), why in reasons.items()
-        if (u, v) not in po
-    ]
+    inf._attach(g, ops, d_f)
 
     # Forced total write order?
-    if len(writes) <= 1:
-        inf.write_order = [ops[w] for w in writes]
-        return inf
-    wmask_bits = {w: 1 << w for w in writes}
-    wmask = 0
-    for w in writes:
-        wmask |= wmask_bits[w]
-
-    def successors_among_writes(w: int) -> int:
-        return bin(reach[w] & wmask).count("1")
-
-    ranked = sorted(writes, key=lambda w: -successors_among_writes(w))
-    total = all(
-        reach[a] & wmask_bits[b] for a, b in zip(ranked, ranked[1:])
-    )
-    if total:
-        inf.write_order = [ops[w] for w in ranked]
+    order = g.write_order(writes)
+    if order is not None:
+        inf.write_order = [ops[w] for w in order]
     return inf

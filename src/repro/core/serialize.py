@@ -145,7 +145,13 @@ def save(execution: Execution, path) -> None:
 
 
 def load(path) -> Execution:
-    """Read an execution from a JSON file."""
+    """Read an execution from a file — JSON, or the binary trace
+    format (:mod:`repro.core.serialize_bin`) when the magic matches."""
     from pathlib import Path
 
-    return loads(Path(path).read_text())
+    raw = Path(path).read_bytes()
+    from repro.core import serialize_bin
+
+    if serialize_bin.sniff(raw):
+        return serialize_bin.loads_bin(raw)
+    return loads(raw.decode("utf-8"))

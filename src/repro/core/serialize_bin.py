@@ -1,0 +1,276 @@
+"""Binary trace format: the columnar view serialized as raw blobs.
+
+JSON (:mod:`repro.core.serialize`) stays the interchange format, but a
+million-op corpus spends more time in ``json.loads`` and ``Operation``
+construction than the polynomial verifier spends deciding it.  This
+module stores a :class:`~repro.core.columnar.ColumnarTrace` directly:
+
+.. code-block:: text
+
+    offset  size  field
+    0       8     magic  b"REPROBIN"
+    8       2     version (u16 LE) — currently 1
+    10      2     reserved (must be 0)
+    12      4     n_procs (u32)
+    16      8     n_ops (u64)
+    24      4     n_addrs (u32)
+    28      4     n_values (u32)
+    32      4     n_touched (u32)
+    36      4     n_constrained (u32)
+    40      8     intern_len (u64) — length of the intern-table blob
+    48      -     intern tables: UTF-8 JSON ``{"addrs": [...],
+                  "values": [...]}`` using the JSON format's value
+                  encoding ({"$initial": true}, {"$tuple": [...]}),
+                  zero-padded to an 8-byte boundary
+    ...     -     column blobs, little-endian, in fixed order:
+                  proc_offsets  (n_procs+1) × u64
+                  procs         n_ops × u32
+                  indices       n_ops × u32
+                  addr_ids      n_ops × u32
+                  read_vids     n_ops × i32
+                  write_vids    n_ops × i32
+                  initial_ids   n_addrs × i32
+                  final_ids     n_addrs × i32
+                  kinds         n_ops × u8
+                  implicit_initial  n_addrs × u8
+
+Every blob's offset and length are computable from the header alone,
+wider columns come first so each stays naturally aligned, and the
+payload bytes are exactly the stdlib-``array`` memory of the columns —
+a loader (or the numpy kernels) can map them zero-copy.  Malformed or
+truncated input raises :class:`BinaryFormatError` carrying the byte
+offset of the problem, mirroring the JSON loader's ``json.loads``
+diagnostics.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+from repro.core.columnar import ColumnarTrace, OP_COLUMNS
+from repro.core.serialize import _decode_value, _encode_value
+from repro.core.types import Execution
+from array import array
+import sys
+
+MAGIC = b"REPROBIN"
+VERSION = 1
+
+_HEADER = struct.Struct("<8sHHIQIIIIQ")
+HEADER_SIZE = _HEADER.size  # 48
+
+#: (name, typecode, item size, count source) in on-disk order.
+_BLOBS = (
+    ("proc_offsets", "Q", 8, "procs+1"),
+    ("procs", "I", 4, "ops"),
+    ("indices", "I", 4, "ops"),
+    ("addr_ids", "I", 4, "ops"),
+    ("read_vids", "i", 4, "ops"),
+    ("write_vids", "i", 4, "ops"),
+    ("initial_ids", "i", 4, "addrs"),
+    ("final_ids", "i", 4, "addrs"),
+    ("kinds", "B", 1, "ops"),
+    ("implicit_initial", "B", 1, "addrs"),
+)
+
+
+class BinaryFormatError(ValueError):
+    """Malformed or truncated binary trace; ``offset`` is the byte
+    position of the problem."""
+
+    def __init__(self, message: str, offset: int):
+        super().__init__(f"{message} at byte {offset}")
+        self.offset = offset
+
+
+def _pad8(n: int) -> int:
+    return (8 - n % 8) % 8
+
+
+def dumps_bin(execution: Execution) -> bytes:
+    """Serialize an execution to the binary trace format."""
+    view = execution.columnar()
+    intern = json.dumps(
+        {
+            "addrs": [_encode_value(a) for a in view.addrs],
+            "values": [_encode_value(v) for v in view.values],
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        0,
+        view.n_procs,
+        view.n_ops,
+        len(view.addrs),
+        len(view.values),
+        view.n_touched,
+        view.n_constrained,
+        len(intern),
+    )
+    blobs = view.column_bytes()
+    parts = [header, intern, b"\x00" * _pad8(len(intern))]
+    parts.extend(blobs[name] for name, _tc, _sz, _cnt in _BLOBS)
+    return b"".join(parts)
+
+
+def _counts(n_ops: int, n_procs: int, n_addrs: int) -> dict[str, int]:
+    return {"ops": n_ops, "procs+1": n_procs + 1, "addrs": n_addrs}
+
+
+def loads_bin(data: bytes) -> Execution:
+    """Parse an execution from binary trace bytes.
+
+    The returned execution carries the loaded columns as its cached
+    :meth:`~repro.core.types.Execution.columnar` view, so the engine's
+    hot paths never re-derive them.
+    """
+    view = loads_bin_view(data)
+    ex = view.to_execution()
+    # Share the freshly materialized operations both ways: the columns
+    # become the execution's cached view, and op_at hands back the same
+    # objects the histories hold.
+    view._source_ops = tuple(op for h in ex.histories for op in h)
+    ex._columnar = view
+    return ex
+
+
+def loads_bin_view(data: bytes) -> ColumnarTrace:
+    """Parse binary trace bytes into a bare :class:`ColumnarTrace`."""
+    if len(data) < HEADER_SIZE:
+        raise BinaryFormatError("truncated header", len(data))
+    (
+        magic,
+        version,
+        reserved,
+        n_procs,
+        n_ops,
+        n_addrs,
+        n_values,
+        n_touched,
+        n_constrained,
+        intern_len,
+    ) = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise BinaryFormatError(
+            f"bad magic {magic!r} (expected {MAGIC!r})", 0
+        )
+    if version != VERSION:
+        raise BinaryFormatError(f"unsupported version {version}", 8)
+    if reserved != 0:
+        raise BinaryFormatError("nonzero reserved field", 10)
+    if not (n_touched <= n_constrained <= n_addrs):
+        raise BinaryFormatError(
+            f"inconsistent address counts {n_touched}/{n_constrained}"
+            f"/{n_addrs}",
+            24,
+        )
+
+    pos = HEADER_SIZE
+    if len(data) < pos + intern_len:
+        raise BinaryFormatError("truncated intern tables", len(data))
+    intern_raw = data[pos : pos + intern_len]
+    try:
+        intern = json.loads(intern_raw.decode("utf-8"))
+    except UnicodeDecodeError as e:
+        raise BinaryFormatError(
+            "intern tables are not UTF-8", pos + e.start
+        ) from e
+    except json.JSONDecodeError as e:
+        raise BinaryFormatError(
+            f"malformed intern JSON: {e.msg}", pos + e.pos
+        ) from e
+    if (
+        not isinstance(intern, dict)
+        or not isinstance(intern.get("addrs"), list)
+        or not isinstance(intern.get("values"), list)
+    ):
+        raise BinaryFormatError("intern tables must be lists", pos)
+    try:
+        addrs = tuple(_decode_value(a) for a in intern["addrs"])
+        values = tuple(_decode_value(v) for v in intern["values"])
+    except ValueError as e:
+        raise BinaryFormatError(f"bad interned value: {e}", pos) from e
+    if len(addrs) != n_addrs or len(values) != n_values:
+        raise BinaryFormatError(
+            f"intern tables hold {len(addrs)} addrs/{len(values)} values, "
+            f"header says {n_addrs}/{n_values}",
+            pos,
+        )
+    pos += intern_len + _pad8(intern_len)
+
+    counts = _counts(n_ops, n_procs, n_addrs)
+    columns: dict[str, array] = {}
+    for name, typecode, item, cnt in _BLOBS:
+        length = counts[cnt] * item
+        if len(data) < pos + length:
+            raise BinaryFormatError(
+                f"truncated column {name!r}", len(data)
+            )
+        col = array(typecode)
+        col.frombytes(data[pos : pos + length])
+        if sys.byteorder == "big":  # pragma: no cover
+            col.byteswap()
+        columns[name] = col
+        pos += length
+    if pos != len(data):
+        raise BinaryFormatError("trailing data", pos)
+
+    _validate_columns(columns, n_ops, n_addrs, n_values, pos)
+    return ColumnarTrace(
+        n_touched=n_touched,
+        n_constrained=n_constrained,
+        addrs=addrs,
+        values=values,
+        **{name: columns[name] for name, _t, _s, _c in _BLOBS},
+    )
+
+
+def _validate_columns(columns, n_ops, n_addrs, n_values, end) -> None:
+    """Range checks so a corrupt file fails here, not as an IndexError
+    deep inside a kernel."""
+    off = columns["proc_offsets"]
+    prev = 0
+    for o in off:
+        if o < prev:
+            raise BinaryFormatError("proc_offsets not monotonic", end)
+        prev = o
+    if off[0] != 0 or off[-1] != n_ops:
+        raise BinaryFormatError(
+            f"proc_offsets must span 0..{n_ops}", end
+        )
+    if n_ops:
+        from repro.core.columnar import KINDS_BY_CODE
+
+        if max(columns["kinds"]) >= len(KINDS_BY_CODE):
+            raise BinaryFormatError("unknown kind code", end)
+        if max(columns["addr_ids"]) >= n_addrs:
+            raise BinaryFormatError("addr_id out of range", end)
+        for name in ("read_vids", "write_vids"):
+            col = columns[name]
+            if col and (max(col) >= n_values or min(col) < -1):
+                raise BinaryFormatError(f"{name} out of range", end)
+    for name in ("initial_ids", "final_ids"):
+        col = columns[name]
+        if col and (max(col) >= n_values or min(col) < -1):
+            raise BinaryFormatError(f"{name} out of range", end)
+    if any(v < 0 for v in columns["initial_ids"]):
+        raise BinaryFormatError("initial_ids must be valid", end)
+
+
+def sniff(data: bytes) -> bool:
+    """True when ``data`` starts with the binary trace magic."""
+    return data[: len(MAGIC)] == MAGIC
+
+
+def save_bin(execution: Execution, path) -> None:
+    """Write an execution to ``path`` in the binary trace format."""
+    Path(path).write_bytes(dumps_bin(execution))
+
+
+def load_bin(path) -> Execution:
+    """Read an execution from a binary trace file."""
+    return loads_bin(Path(path).read_bytes())

@@ -221,6 +221,28 @@ class Execution:
             histories.append(ProcessHistory(p, relabelled))
         return Execution(histories, initial=initial, final=final)
 
+    # -- columnar view ----------------------------------------------------
+    def columnar(self):
+        """The cached :class:`~repro.core.columnar.ColumnarTrace` view.
+
+        Built on first use and memoized — executions are immutable
+        after construction, so the view never goes stale.  The cache is
+        dropped from pickles (see ``__getstate__``): process-pool
+        workers rebuild it on demand rather than paying to ship it.
+        """
+        view = getattr(self, "_columnar", None)
+        if view is None:
+            from repro.core.columnar import ColumnarTrace
+
+            view = ColumnarTrace.from_execution(self)
+            self._columnar = view
+        return view
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_columnar", None)
+        return state
+
     # -- queries ----------------------------------------------------------
     @property
     def num_processes(self) -> int:
@@ -236,23 +258,15 @@ class Execution:
 
     def addresses(self) -> list[Address]:
         """Distinct addresses touched, in first-appearance order."""
-        seen: dict[Address, None] = {}
-        for op in self.all_ops():
-            if op.addr not in seen:
-                seen[op.addr] = None
-        return list(seen)
+        view = self.columnar()
+        return list(view.addrs[: view.n_touched])
 
     def constrained_addresses(self) -> list[Address]:
         """Touched addresses plus any address with a final-value
         constraint (an untouched address with ``d_F != d_I`` makes the
         execution trivially incoherent — solvers must see it)."""
-        addrs = self.addresses()
-        seen = set(addrs)
-        for a in self.final:
-            if a not in seen:
-                addrs.append(a)
-                seen.add(a)
-        return addrs
+        view = self.columnar()
+        return list(view.addrs[: view.n_constrained])
 
     def initial_value(self, addr: Address) -> Value:
         return self.initial.get(addr, INITIAL)
@@ -271,20 +285,28 @@ class Execution:
         the per-op ``index`` keeps its original value so operations can
         be matched back to the parent execution, hence the histories are
         rebuilt through ``object.__new__`` rather than the validating
-        constructor.
+        constructor.  The filtering itself runs over the columnar
+        view's per-address slices — one shared index instead of a full
+        re-scan per address.
         """
-        histories = []
-        for h in self.histories:
-            ops = tuple(op for op in h if op.addr == addr)
-            ph = object.__new__(ProcessHistory)
-            object.__setattr__(ph, "proc", h.proc)
-            object.__setattr__(ph, "operations", ops)
-            histories.append(ph)
-        ex = object.__new__(Execution)
-        ex.histories = tuple(histories)
-        ex.initial = {addr: self.initial_value(addr)}
-        ex.final = {addr: self.final[addr]} if addr in self.final else {}
-        return ex
+        view = self.columnar()
+        try:
+            ai = view.addr_index(addr)
+        except KeyError:
+            # An address nowhere in the trace or its constraints: the
+            # sub-execution is empty and wholly unconstrained.
+            histories = []
+            for h in self.histories:
+                ph = object.__new__(ProcessHistory)
+                object.__setattr__(ph, "proc", h.proc)
+                object.__setattr__(ph, "operations", ())
+                histories.append(ph)
+            ex = object.__new__(Execution)
+            ex.histories = tuple(histories)
+            ex.initial = {addr: self.initial_value(addr)}
+            ex.final = {}
+            return ex
+        return view.restrict_to_address_id(ai)
 
     def drop_sync_ops(self) -> "Execution":
         """Copy without ACQUIRE/RELEASE operations (renumbered)."""

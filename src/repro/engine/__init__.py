@@ -25,6 +25,7 @@ registries).  See ``docs/engine.md``.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Mapping, Sequence
 
 from repro.core.result import Certificate, VerificationResult
@@ -182,6 +183,7 @@ def verify_vmc(
             pool=pool if pool != "auto" else "thread",
         )
         return result
+    t_plan = perf_counter()
     tasks = plan_vmc(
         execution,
         method=method,
@@ -190,6 +192,7 @@ def verify_vmc(
         prepass=prepass,
         portfolio=portfolio,
     )
+    t_plan = perf_counter() - t_plan
     results, report = execute_plan(
         tasks,
         jobs=jobs,
@@ -235,6 +238,7 @@ def verify_vmc(
     agg.per_address = per
     if len(addrs) == 1:
         agg.address = addrs[0]
+    report.stage_times["prepass"] = t_plan
     agg.report = report
     return agg
 
@@ -258,16 +262,19 @@ def verify_vmc_at(
     registry = registry or vmc_registry()
     if method != "auto":
         registry.get(method)
+    t_plan = perf_counter()
     sub = execution.restrict_to_address(addr)
     instance = Instance(sub, address=addr, write_order=write_order, problem="vmc")
     task = _prepassed_task(
         0, addr, instance, method, registry, prepass, portfolio
     )
+    t_plan = perf_counter() - t_plan
     results, report = execute_plan(
         [task], jobs=1, cache=_resolve_cache(cache), problem="vmc",
         resilience=resilience, certify=certify,
     )
     result = results[addr]
+    report.stage_times["prepass"] = t_plan
     result.report = report
     return result
 
@@ -285,6 +292,7 @@ def verify_vsc(
     """Decide whether a sequentially consistent schedule exists
     (Definition 6.1).  VSC needs one schedule over all addresses at
     once, so there is a single task — no per-address parallelism."""
+    t_plan = perf_counter()
     tasks = plan_vsc(
         execution,
         method=method,
@@ -292,10 +300,12 @@ def verify_vsc(
         prepass=prepass,
         portfolio=portfolio,
     )
+    t_plan = perf_counter() - t_plan
     results, report = execute_plan(
         tasks, jobs=1, cache=_resolve_cache(cache), problem="vsc",
         resilience=resilience, certify=certify,
     )
     result = results[None]
+    report.stage_times["prepass"] = t_plan
     result.report = report
     return result

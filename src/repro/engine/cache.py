@@ -58,51 +58,80 @@ def canonicalize(
     problem: str = "vmc",
     method: str = "auto",
 ) -> CanonicalInstance:
-    """Compute the canonical form of one verification task."""
-    histories = [h.operations for h in execution.histories if len(h)]
+    """Compute the canonical form of one verification task.
 
-    # Address ids by first appearance; final-only addresses afterwards,
-    # ordered by repr so dict insertion order cannot leak into the key.
-    addr_id: dict[Hashable, int] = {}
-    for ops in histories:
-        for op in ops:
-            if op.addr not in addr_id:
-                addr_id[op.addr] = len(addr_id)
-    for a in sorted(
-        (a for a in execution.final if a not in addr_id), key=repr
-    ):
-        addr_id[a] = len(addr_id)
+    Runs over the columnar view's interned ids — one remap of the
+    already-deduplicated tables instead of re-hashing every operation's
+    objects — and produces keys identical to the original object walk
+    (interning uses the same hash/== semantics).
+    """
+    from repro.core.columnar import KINDS_BY_CODE
 
-    value_id: dict[Hashable, int] = {}
+    view = execution.columnar()
+    col_kinds = view.kinds
+    col_addr = view.addr_ids
+    col_rv = view.read_vids
+    col_wv = view.write_vids
 
-    def vid(v: Hashable) -> int:
-        if v not in value_id:
-            value_id[v] = len(value_id)
-        return value_id[v]
+    # Canonical address order: touched ids by first appearance (the
+    # view's own order), then final-only addresses ordered by repr so
+    # dict insertion order cannot leak into the key.  Initial-only
+    # addresses stay out of the key (they cannot constrain a schedule).
+    addr_order = list(range(view.n_touched))
+    addr_order += sorted(
+        range(view.n_touched, view.n_constrained),
+        key=lambda ai: repr(view.addrs[ai]),
+    )
+    canon_aid = {ai: i for i, ai in enumerate(addr_order)}
 
-    for a in addr_id:
-        vid(execution.initial_value(a))
+    # Canonical value ids: remap view vids by first appearance —
+    # initial values (canonical address order) first, then op values in
+    # flat order, then finals.
+    canon_vid: dict[int, int] = {}
+
+    def cvid(vv: int) -> int:
+        i = canon_vid.get(vv)
+        if i is None:
+            i = canon_vid[vv] = len(canon_vid)
+        return i
+
+    for ai in addr_order:
+        cvid(view.initial_ids[ai])
     encoded: list[tuple] = []
-    for ops in histories:
+    nonempty: list[int] = []
+    for p in range(view.n_procs):
+        s = view.proc_slice(p)
+        if s.start == s.stop:
+            continue  # empty histories cannot constrain a schedule
+        nonempty.append(p)
         row = []
-        for op in ops:
-            rv = vid(op.value_read) if op.kind.reads else -1
-            wv = vid(op.value_written) if op.kind.writes else -1
-            row.append((op.kind.value, addr_id[op.addr], rv, wv))
+        for pos in range(s.start, s.stop):
+            rv = col_rv[pos]
+            wv = col_wv[pos]
+            row.append(
+                (
+                    KINDS_BY_CODE[col_kinds[pos]].value,
+                    canon_aid[col_addr[pos]],
+                    cvid(rv) if rv >= 0 else -1,
+                    cvid(wv) if wv >= 0 else -1,
+                )
+            )
         encoded.append(tuple(row))
     constraints = tuple(
         (
-            value_id[execution.initial_value(a)],
-            vid(execution.final[a]) if a in execution.final else -1,
+            canon_vid[view.initial_ids[ai]],
+            cvid(view.final_ids[ai]) if view.final_ids[ai] >= 0 else -1,
         )
-        for a in addr_id
+        for ai in addr_order
     )
 
-    perm = sorted(range(len(histories)), key=lambda p: encoded[p])
+    perm = sorted(range(len(encoded)), key=lambda p: encoded[p])
     flat: list[Operation] = []
     index_of: dict[tuple[int, int], int] = {}
     for p in perm:
-        for op in histories[p]:
+        s = view.proc_slice(nonempty[p])
+        for pos in range(s.start, s.stop):
+            op = view.op_at(pos)
             index_of[op.uid] = len(flat)
             flat.append(op)
 
@@ -113,12 +142,24 @@ def canonicalize(
         # that are missing from, or disagree with, the execution — the
         # write-order backend decides such instances "not coherent
         # under this order", and the fingerprint must distinguish them.
+        # Foreign values (absent from the trace) extend the canonical
+        # numbering by value equality, like the old object walk did.
+        value_key: dict[Hashable, int] = {
+            view.values[vv]: cid for vv, cid in canon_vid.items()
+        }
+
+        def vkey(v: Hashable) -> int:
+            cid = value_key.get(v)
+            if cid is None:
+                cid = value_key[v] = len(value_key)
+            return cid
+
         wo_key = tuple(
             (
                 index_of.get(op.uid, -1),
                 op.kind.value,
-                vid(op.value_read) if op.kind.reads else -1,
-                vid(op.value_written) if op.kind.writes else -1,
+                vkey(op.value_read) if op.kind.reads else -1,
+                vkey(op.value_written) if op.kind.writes else -1,
             )
             for op in write_order
         )
@@ -234,7 +275,11 @@ class ResultCache:
             method=result.method,
             reason=result.reason,
             schedule_idx=schedule_idx,
-            stats={k: v for k, v in result.stats.items() if k != "cache_hit"},
+            stats={
+                k: v
+                for k, v in result.stats.items()
+                if k not in ("cache_hit", "t_certify")
+            },
             certificate=result.certificate,
         )
         with self._lock:

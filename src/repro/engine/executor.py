@@ -220,6 +220,7 @@ def _decide_task(
             # residual ops are original ops and writes are never
             # eliminated — so only RUP proofs pay this.)
             result.certificate = None
+        t_cert = perf_counter()
         try:
             result = ensure_certificate(
                 task.instance.execution, result, task.instance.problem, stop
@@ -232,6 +233,9 @@ def _decide_task(
                 address=task.address,
             )
             return result, perf_counter() - t0
+        result.stats["t_certify"] = (
+            result.stats.get("t_certify", 0.0) + perf_counter() - t_cert
+        )
     if chaos is not None and not result.unknown:
         result = tamper_result(chaos, _task_key(task), attempt, result)
     return result, perf_counter() - t0
@@ -310,8 +314,12 @@ def _finalize(
     # run must not quietly pick a side); ``strict`` degrades to a sound
     # UNKNOWN(uncertified) so sweeps survive an uncertifiable verdict.
     if certify != "off" and not result.unknown:
+        t_cert = perf_counter()
         check = validate_result(
             task.instance.execution, result, task.instance.problem
+        )
+        result.stats["t_certify"] = (
+            result.stats.get("t_certify", 0.0) + perf_counter() - t_cert
         )
         result.stats["certified"] = bool(check)
         if not check:
@@ -519,6 +527,8 @@ def execute_plan(
 
     results: dict = {}
     violated = False
+    certify_s = 0.0
+    decide_s = 0.0
     for task in tasks:
         got = outcomes.get(task.order)
         if got is None:
@@ -535,6 +545,8 @@ def execute_plan(
         result = got.result
         violated = violated or result.violated
         results[task.address] = result
+        certify_s += result.stats.pop("t_certify", 0.0)
+        decide_s += got.seconds
         report.crashes += got.crashes
         if result.unknown and result.unknown_reason in ("timeout", "budget"):
             report.deadline_expired += 1
@@ -579,6 +591,12 @@ def execute_plan(
         }
     if cache is not None:
         report.cache_evictions = cache.stats.evictions - evictions_before
+    report.stage_times["search"] = max(0.0, decide_s - certify_s)
+    if certify != "off":
+        report.stage_times["certify"] = certify_s
+    from repro.core import kernels
+
+    report.kernel = kernels.backend().name
     report.wall_time = perf_counter() - start
     return results, report
 

@@ -127,7 +127,7 @@ def prepass_vmc(instance: Instance) -> PrepassInfo | None:
         return _decide(info, _trivial_verdict(residual_ex, instance))
 
     inf = infer_order(residual_ex)
-    info.edges_inferred = len(inf.edges)
+    info.edges_inferred = inf.edge_count
     if inf.decided is not None:
         return _decide(info, inf.decided)
 
@@ -225,7 +225,7 @@ def prepass_vsc(instance: Instance) -> PrepassInfo | None:
             verdict.address = None
             return _decide(info, verdict)
         per_addr[addr] = inf
-        info.edges_inferred += len(inf.edges)
+        info.edges_inferred += inf.edge_count
 
     # Cross-address cycle check: global program order plus every
     # necessary per-address edge must embed into a single total order.

@@ -92,6 +92,15 @@ class EngineReport:
     #: Portfolio race aggregate (empty when no task raced): races /
     #: wins (per leg name) / cancelled_legs / budget_exceeded.
     portfolio: dict[str, Any] = field(default_factory=dict)
+    #: Per-stage time breakdown in seconds.  ``load`` (trace parse,
+    #: filled by the CLI), ``prepass`` (planning incl. the polynomial
+    #: pre-pass), ``search`` (decision procedures), ``certify``
+    #: (certificate derivation + trusted-checker validation).  The
+    #: stage entries are summed across tasks, so with ``jobs > 1``
+    #: they can exceed ``wall_time``.
+    stage_times: dict[str, float] = field(default_factory=dict)
+    #: Active data-plane kernel backend (``REPRO_KERNEL``).
+    kernel: str = ""
     tasks: list[TaskStats] = field(default_factory=list)
 
     def record(self, task: TaskStats) -> None:
@@ -157,6 +166,15 @@ class EngineReport:
                 f"ops_eliminated={pp.get('ops_eliminated', 0)} "
                 f"kernel={after}/{before}{ratio}"
             )
+        if self.stage_times or self.kernel:
+            parts = [
+                f"{name}={self.stage_times[name] * 1e3:.2f}ms"
+                for name in ("load", "prepass", "search", "certify")
+                if name in self.stage_times
+            ]
+            if self.kernel:
+                parts.append(f"kernel={self.kernel}")
+            lines.append("stages: " + " ".join(parts))
         if self.portfolio.get("races"):
             pf = self.portfolio
             wins = ", ".join(

@@ -71,6 +71,58 @@ def make_coherent_execution(
     return execution, witness
 
 
+def make_arbitrary_execution(
+    seed: int,
+    max_procs: int = 4,
+    max_ops_per_proc: int = 6,
+    addresses: tuple = ("x", "y"),
+    values: tuple = (0, 1, 2),
+    sync_locks: tuple = (),
+    final_fraction: float = 0.5,
+) -> Execution:
+    """A seeded *arbitrary* execution: random values, random RMWs,
+    optional sync ops and final constraints.  Unlike
+    :func:`make_coherent_execution` there is no ground truth — both
+    verdicts occur, which is what round-trip and differential tests
+    want (they compare representations/backends, not verdicts)."""
+    rng = random.Random(seed)
+    histories: list[list[Operation]] = []
+    for p in range(rng.randint(1, max_procs)):
+        ops: list[Operation] = []
+        for i in range(rng.randint(0, max_ops_per_proc)):
+            if sync_locks and rng.random() < 0.15:
+                kind = rng.choice([OpKind.ACQUIRE, OpKind.RELEASE])
+                ops.append(Operation(kind, rng.choice(sync_locks), p, i))
+                continue
+            addr = rng.choice(addresses)
+            roll = rng.random()
+            if roll < 0.40:
+                ops.append(
+                    Operation(OpKind.WRITE, addr, p, i,
+                              value_written=rng.choice(values))
+                )
+            elif roll < 0.85:
+                ops.append(
+                    Operation(OpKind.READ, addr, p, i,
+                              value_read=rng.choice(values))
+                )
+            else:
+                non_none = [v for v in values if v is not None] or [0]
+                ops.append(
+                    Operation(OpKind.RMW, addr, p, i,
+                              value_read=rng.choice(non_none),
+                              value_written=rng.choice(non_none))
+                )
+        histories.append(ops)
+    initial = {a: rng.choice(values) for a in addresses if rng.random() < 0.8}
+    final = None
+    if rng.random() < final_fraction:
+        final = {
+            a: rng.choice(values) for a in addresses if rng.random() < 0.5
+        }
+    return Execution.from_ops(histories, initial=initial, final=final)
+
+
 # ---------------------------------------------------------------------
 # Hypothesis strategies
 # ---------------------------------------------------------------------
