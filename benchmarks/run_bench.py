@@ -30,6 +30,17 @@ Two comparison matrices:
   kernel; the numpy kernel must be >= 3x faster than the fallback at
   the largest size.
 
+* **Streaming ladder**: a commit-ordered stream from 1.6k to 1M ops
+  fed to the incremental monitor (:class:`repro.engine.StreamingVerifier`,
+  windowed eviction on) versus a from-scratch arm that re-verifies the
+  growing prefix with the batch engine at ten checkpoints per rung
+  (capped at the re-verify rung limit — the arm is quadratic in
+  stream length, which is the point).  Records steady-state ops/s and
+  peak retained window per rung.  Guards: the incremental arm must
+  beat from-scratch by >= 10x at the top shared rung, throughput
+  across eviction-active rungs may not regress past 1.25x, and the
+  peak window may not grow with stream length (no superlinear memory).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--jobs N]
@@ -371,6 +382,180 @@ def run_scaling(quick: bool) -> tuple[dict, bool]:
     return payload, guard_ok
 
 
+# The streaming scenario: a commit-ordered multi-address stream where
+# every process keeps touching every address, so the monitor's
+# eviction horizon (the minimum per-process cursor) advances and the
+# retained window stays bounded.  The from-scratch arm re-verifies the
+# whole growing prefix at STREAMING_CHECKPOINTS evenly spaced points —
+# what a monitor without incremental state would have to do — and is
+# quadratic in stream length, so it is capped at
+# STREAMING_RESCAN_CAP ops; rungs above it time the incremental arm
+# only.
+STREAMING_SIZES_FULL = [1_600, 12_800, 102_400, 1_024_000]
+STREAMING_SIZES_QUICK = [1_600, 12_800]
+STREAMING_WINDOW = 1_024
+STREAMING_NPROC = 4
+STREAMING_NADDR = 8
+STREAMING_CHECKPOINTS = 10
+STREAMING_RESCAN_CAP = 102_400
+#: Incremental must beat from-scratch by this factor at the top rung
+#: both arms run (the ISSUE acceptance bound).
+STREAMING_GUARD_SPEEDUP = 10.0
+#: Steady-state throughput (rungs where eviction is active) may not
+#: spread past this factor across the ladder.
+STREAMING_GUARD_RATIO = 1.25
+#: The retained window may not grow with stream length: the top rung's
+#: peak must stay within this factor of the first eviction-active rung.
+STREAMING_GUARD_WINDOW = 2.0
+
+
+def streaming_schedule(total_ops: int) -> list:
+    """A coherent commit-ordered stream of ``total_ops`` operations.
+
+    Round ``r`` writes a fresh value to address ``r % NADDR`` and has
+    the next process read it back; the writing process rotates
+    *independently* of the address (``r // NADDR + r``), so every
+    process keeps touching every address — otherwise a never-seen
+    process would soundly pin each monitor's eviction horizon at gap 0
+    and the window would grow without bound.
+    """
+    ops: list[Operation] = []
+    val = [0] * STREAMING_NADDR
+    nxt = [0] * STREAMING_NPROC
+    r = 0
+    while len(ops) < total_ops:
+        a = r % STREAMING_NADDR
+        addr = f"m{a}"
+        p = (r // STREAMING_NADDR + r) % STREAMING_NPROC
+        val[a] += 1
+        ops.append(
+            Operation(OpKind.WRITE, addr, p, nxt[p], value_written=val[a])
+        )
+        nxt[p] += 1
+        if len(ops) >= total_ops:
+            break
+        q = (p + 1) % STREAMING_NPROC
+        ops.append(
+            Operation(OpKind.READ, addr, q, nxt[q], value_read=val[a])
+        )
+        nxt[q] += 1
+        r += 1
+    return ops
+
+
+def _streaming_initial() -> dict:
+    return {f"m{a}": 0 for a in range(STREAMING_NADDR)}
+
+
+def _prefix_execution(schedule: list, k: int) -> Execution:
+    hist: list[list[Operation]] = [[] for _ in range(STREAMING_NPROC)]
+    for op in schedule[:k]:
+        hist[op.proc].append(op)
+    return Execution.from_ops(hist, initial=_streaming_initial())
+
+
+def run_streaming(quick: bool) -> tuple[dict, bool]:
+    """Time the incremental monitor against from-scratch re-verification
+    across the stream-length ladder."""
+    from repro.engine import StreamingVerifier
+
+    sizes = STREAMING_SIZES_QUICK if quick else STREAMING_SIZES_FULL
+    rungs: list[dict] = []
+    for size in sizes:
+        schedule = streaming_schedule(size)
+
+        sv = StreamingVerifier(
+            STREAMING_NPROC,
+            initial=_streaming_initial(),
+            window=STREAMING_WINDOW,
+        )
+        t0 = time.perf_counter()
+        for op in schedule:
+            sv.feed_op(op)
+        verdict = sv.finalize()
+        inc_s = time.perf_counter() - t0
+        snap = sv.snapshot()
+        if verdict.kind != "final" or not verdict.result.holds:
+            print(
+                f"error: streaming monitor flagged the coherent "
+                f"{size}-op stream ({verdict.kind})", file=sys.stderr,
+            )
+            raise SystemExit(1)
+
+        rescan_s = None
+        if size <= STREAMING_RESCAN_CAP:
+            step = max(1, size // STREAMING_CHECKPOINTS)
+            t0 = time.perf_counter()
+            for k in range(step, size + 1, step):
+                r = verify_vmc(_prefix_execution(schedule, k), cache=False)
+                if not r:
+                    print(
+                        f"error: from-scratch arm flagged a coherent "
+                        f"{k}-op prefix", file=sys.stderr,
+                    )
+                    raise SystemExit(1)
+            rescan_s = round(time.perf_counter() - t0, 4)
+
+        rung = {
+            "ops": size,
+            "incremental_s": round(inc_s, 4),
+            "ops_per_s": round(size / inc_s) if inc_s else None,
+            "peak_window": snap["peak_window"],
+            "evicted": snap["evicted"],
+            "rescan_s": rescan_s,
+            "rescan_speedup": (
+                round(rescan_s / inc_s, 1) if rescan_s and inc_s else None
+            ),
+        }
+        rungs.append(rung)
+        rs = f"{rescan_s:>9.3f}s" if rescan_s is not None else "   (skip)"
+        print(
+            f"streaming {size:>9} ops  incremental {inc_s:>8.3f}s "
+            f"({rung['ops_per_s']:>9,} ops/s)  from-scratch {rs}  "
+            f"peak window {snap['peak_window']}  evicted {snap['evicted']}"
+        )
+        del schedule
+
+    shared = [r for r in rungs if r["rescan_speedup"] is not None]
+    speedup = shared[-1]["rescan_speedup"] if shared else None
+    speedup_ok = speedup is not None and speedup >= STREAMING_GUARD_SPEEDUP
+
+    steady = [r for r in rungs if r["evicted"]]
+    if len(steady) >= 2:
+        rates = [r["ops_per_s"] for r in steady]
+        throughput_ok = max(rates) <= STREAMING_GUARD_RATIO * rates[-1]
+        window_ok = (
+            steady[-1]["peak_window"]
+            <= STREAMING_GUARD_WINDOW * steady[0]["peak_window"]
+        )
+    else:
+        throughput_ok = window_ok = True
+
+    guard_ok = speedup_ok and throughput_ok and window_ok
+    print(
+        f"streaming speedup at top shared rung: {speedup}x "
+        f"({'ok' if speedup_ok else 'REGRESSION'}; guard "
+        f">={STREAMING_GUARD_SPEEDUP}x), steady-state throughput "
+        f"{'ok' if throughput_ok else 'REGRESSION'} (guard "
+        f"{STREAMING_GUARD_RATIO}x), window "
+        f"{'bounded' if window_ok else 'GROWING'}"
+    )
+    payload = {
+        "window": STREAMING_WINDOW,
+        "nproc": STREAMING_NPROC,
+        "addresses": STREAMING_NADDR,
+        "checkpoints": STREAMING_CHECKPOINTS,
+        "rescan_cap_ops": STREAMING_RESCAN_CAP,
+        "rungs": rungs,
+        "speedup_at_top_shared_rung": speedup,
+        "steady_state_ops_per_s": (
+            steady[-1]["ops_per_s"] if steady else rungs[-1]["ops_per_s"]
+        ),
+        "guard_ok": guard_ok,
+    }
+    return payload, guard_ok
+
+
 def run_config(
     corpus: list[Execution], cfg: dict, jobs: int, repeats: int
 ) -> dict:
@@ -651,6 +836,10 @@ def main(argv: list[str] | None = None) -> int:
     # kernel, with the numpy-vs-python speedup guard at the top size.
     scaling_payload, scaling_ok = run_scaling(args.quick)
 
+    # Streaming ladder: the incremental monitor vs from-scratch
+    # re-verification, with throughput/window/speedup guards.
+    streaming_payload, streaming_ok = run_streaming(args.quick)
+
     payload = {
         "benchmark": "engine-prepass-pools-portfolio",
         "recorded_utc": datetime.now(timezone.utc).isoformat(
@@ -701,6 +890,7 @@ def main(argv: list[str] | None = None) -> int:
             "guard_ok": certify_ok,
         },
         "scaling": scaling_payload,
+        "streaming": streaming_payload,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -740,6 +930,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{scaling_payload['numpy_speedup_at_max']}x at "
             f"{scaling_payload['ops'][-1]} ops is below the "
             f"{SCALING_GUARD_SPEEDUP}x guard",
+            file=sys.stderr,
+        )
+        return 1
+    if not streaming_ok:
+        print(
+            f"error: streaming guard failed — speedup "
+            f"{streaming_payload['speedup_at_top_shared_rung']}x (need "
+            f">={STREAMING_GUARD_SPEEDUP}x), steady-state "
+            f"{streaming_payload['steady_state_ops_per_s']} ops/s; see "
+            f"the streaming section of the report",
             file=sys.stderr,
         )
         return 1

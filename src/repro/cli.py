@@ -21,12 +21,27 @@ Commands:
   (:mod:`repro.engine.certify`): ``on`` exits 3 loudly when a verdict
   cannot be certified; ``strict`` downgrades it to
   UNKNOWN(uncertified) and continues.
+* ``monitor <stream>``     — tail a growing commit-order stream (the
+  framed REPROSTM format of :mod:`repro.core.serialize_bin`; ``-``
+  reads stdin) and verify it *incrementally*: certified verdict on the
+  first violation, periodic HOLDS-so-far heartbeats on clean prefixes
+  (``--heartbeat N``), bounded memory via windowed eviction
+  (``--window``).  ``--follow`` keeps tailing at EOF until the END
+  frame arrives; ``--timeout S`` bounds the wait.  A non-stream trace
+  (REPROBIN/JSON/text) is accepted too: it carries no commit order, so
+  the monitor attempts a greedy merge and escalates to the offline
+  engine when the interleaving choice bites.
 * ``simulate``             — run the multiprocessor simulator on a
   workload, verify the result, optionally dump the trace.
 * ``solve <file.cnf>``     — decide a DIMACS formula with the built-in
   CDCL solver (``--via-vmc`` routes it through the Figure 4.1
   reduction instead, as a demonstration).
 * ``litmus``               — print the litmus-test model table.
+
+``verify`` and ``monitor`` accept ``-`` for the trace argument and
+read stdin; the format is sniffed from the magic bytes exactly as for
+a file (REPROSTM stream, then REPROBIN, then JSON-shaped text, then
+the line-oriented text format).
 
 Exit status: 0 = property holds / SAT, 1 = violated / UNSAT,
 2 = usage or input error, 3 = UNKNOWN (deadline, budget, or crash
@@ -49,6 +64,7 @@ from repro.core.vsc import verify_sequential_consistency
 from repro.engine import (
     CERTIFY_MODES,
     CHAOS_ENV,
+    DEFAULT_WINDOW,
     POOL_KINDS,
     CertificationError,
     ChaosSpec,
@@ -59,17 +75,25 @@ from repro.engine import (
 EXIT_UNKNOWN = 3
 
 
-def _positive_int(text: str) -> int:
-    """argparse type for ``--jobs``: an integer >= 1."""
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
-    if value < 1:
-        raise argparse.ArgumentTypeError(
-            f"jobs must be >= 1, got {value}"
-        )
-    return value
+def _at_least_one(what: str):
+    """argparse type factory for integer arguments that must be >= 1."""
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be >= 1, got {value}"
+            )
+        return value
+
+    return parse
+
+
+_positive_int = _at_least_one("jobs")
+_window_int = _at_least_one("window")
 
 
 def _nonneg_float(text: str) -> float:
@@ -94,30 +118,37 @@ def _nonneg_int(text: str) -> int:
     return value
 
 
-def _load_trace(path_str: str) -> Execution:
-    path = Path(path_str)
-    if not path.exists():
-        raise FileNotFoundError(f"trace file {path} does not exist")
-    raw = path.read_bytes()
-    # Content sniffing, not extension trust: the binary magic wins,
-    # then JSON-shaped text, then the line-oriented text format.
+def _parse_trace_bytes(raw: bytes, source: str, suffix: str = "") -> Execution:
+    """Decode trace bytes from any supported format.
+
+    Content sniffing, not extension trust: the framed-stream magic
+    wins, then the binary trace magic, then JSON-shaped text, then the
+    line-oriented text format.  ``source`` labels error messages (a
+    path, or ``<stdin>``).
+    """
     from repro.core import serialize_bin
 
+    if serialize_bin.sniff_stream(raw):
+        try:
+            execution, _ = serialize_bin.loads_stream(raw)
+            return execution
+        except serialize_bin.BinaryFormatError as e:
+            raise ValueError(f"{source}: malformed stream: {e}") from e
     if serialize_bin.sniff(raw):
         try:
             return serialize_bin.loads_bin(raw)
         except serialize_bin.BinaryFormatError as e:
-            raise ValueError(f"{path}: malformed binary trace: {e}") from e
+            raise ValueError(f"{source}: malformed binary trace: {e}") from e
     try:
         text = raw.decode("utf-8")
     except UnicodeDecodeError as e:
         raise ValueError(
-            f"{path}: not a binary trace, and not UTF-8 text "
+            f"{source}: not a binary trace, and not UTF-8 text "
             f"(bad byte at {e.start})"
         ) from e
     # A .json suffix means the serialize format, but so does JSON-shaped
     # content under any name — sniff the first significant character.
-    if path.suffix == ".json" or text.lstrip()[:1] in ("{", "["):
+    if suffix == ".json" or text.lstrip()[:1] in ("{", "["):
         from repro.core.serialize import loads
 
         try:
@@ -126,10 +157,21 @@ def _load_trace(path_str: str) -> Execution:
             # One line, naming the file and the byte offset, so a
             # truncated or corrupted trace in a big sweep is findable.
             raise ValueError(
-                f"{path}: malformed JSON at byte {e.pos} "
+                f"{source}: malformed JSON at byte {e.pos} "
                 f"(line {e.lineno}, column {e.colno}): {e.msg}"
             ) from e
     return parse_trace(text)
+
+
+def _load_trace(path_str: str) -> Execution:
+    if path_str == "-":
+        # stdin: buffer everything, then sniff the magic bytes exactly
+        # as for a file.
+        return _parse_trace_bytes(sys.stdin.buffer.read(), "<stdin>")
+    path = Path(path_str)
+    if not path.exists():
+        raise FileNotFoundError(f"trace file {path} does not exist")
+    return _parse_trace_bytes(path.read_bytes(), str(path), path.suffix)
 
 
 def _resilience_from_args(args: argparse.Namespace) -> ResiliencePolicy | None:
@@ -241,6 +283,147 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return _print_result(result, label, args.witness, args.stats)
 
 
+def _print_heartbeat(verdict) -> None:
+    s = verdict.stats
+    print(
+        f"holds so far: {s['ops']} ops, {s['addresses']} addresses, "
+        f"window {s['window']} (peak {s['peak_window']}), "
+        f"evicted {s['evicted']}, {s['ops_per_s']:,.0f} ops/s"
+    )
+
+
+def _finish_monitor(verdict, want_stats: bool) -> int:
+    """Print a closing stream verdict and map it to an exit status."""
+    result = verdict.result
+    if verdict.kind == "violation":
+        where = f" at op {verdict.op_index}" if verdict.op_index >= 0 else ""
+        print(f"coherence: VIOLATED{where}  (method: {result.method})")
+        print(f"reason: {result.reason}")
+        cert = result.certificate
+        if cert is not None:
+            print(f"certificate: {getattr(cert, 'kind', 'present')}")
+        code = 1
+    elif verdict.kind == "unknown":
+        print(f"coherence: UNKNOWN  (method: {result.method})")
+        print(f"reason: {result.reason or result.unknown_reason}")
+        code = EXIT_UNKNOWN
+    else:
+        print(f"coherence: holds  (method: {result.method})")
+        code = 0
+    s = verdict.stats
+    if want_stats and s:
+        escalated = s.get("escalated")
+        if escalated:
+            print(f"escalated to the offline engine: {escalated}")
+        print(
+            f"stats: {s['ops']} ops ({s['syncs']} sync), "
+            f"{s['addresses']} addresses, "
+            f"peak window {s['peak_window']} ops, "
+            f"evicted {s['evicted']}, {s['heartbeats']} heartbeats, "
+            f"{s['elapsed_s']:.3f}s, {s['ops_per_s']:,.0f} ops/s"
+        )
+    return code
+
+
+def _monitor_stream(fh, head: bytes, source: str, args, deadline) -> int:
+    """Tail a framed REPROSTM stream through a StreamingVerifier."""
+    from time import monotonic, sleep
+
+    from repro.core import serialize_bin
+    from repro.engine.streaming import StreamingVerifier
+
+    reader = serialize_bin.FrameReader()
+    reader.feed(head)
+    verifier = None
+    while True:
+        events = list(reader.events())
+        if verifier is None and reader.n_procs is not None:
+            verifier = StreamingVerifier(
+                reader.n_procs,
+                window=args.window,
+                certify=args.certify,
+                heartbeat=args.heartbeat,
+            )
+        if events:
+            for verdict in verifier.feed(events):
+                if verdict.kind == "heartbeat":
+                    _print_heartbeat(verdict)
+                else:
+                    return _finish_monitor(verdict, args.stats)
+        if deadline is not None and monotonic() >= deadline:
+            ops = verifier.stats.ops if verifier is not None else 0
+            print(
+                f"coherence: UNKNOWN  (deadline expired after {ops} ops; "
+                f"the consumed prefix held)"
+            )
+            return EXIT_UNKNOWN
+        data = fh.read(1 << 16)
+        if data:
+            reader.feed(data)
+            continue
+        if args.follow and not reader.ended:
+            sleep(0.05)
+            continue
+        break
+    # EOF without an END frame: the consumed prefix is still a sound
+    # thing to decide — finalize on what arrived.
+    if verifier is None:
+        print(f"error: {source}: stream ends inside the header", file=sys.stderr)
+        return 2
+    if reader.pending_bytes:
+        print(
+            f"note: {source}: stream ends mid-frame "
+            f"({reader.pending_bytes} bytes buffered); deciding the "
+            f"consumed prefix"
+        )
+    return _finish_monitor(verifier.finalize(), args.stats)
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    from time import monotonic
+
+    from repro.core import serialize_bin
+    from repro.engine.streaming import monitor_execution
+
+    deadline = monotonic() + args.timeout if args.timeout else None
+    if args.stream == "-":
+        fh, source, close = sys.stdin.buffer, "<stdin>", False
+    else:
+        path = Path(args.stream)
+        if not path.exists():
+            print(f"error: stream file {path} does not exist", file=sys.stderr)
+            return 2
+        fh, source, close = open(path, "rb"), str(path), True
+    try:
+        head = fh.read(len(serialize_bin.STREAM_MAGIC))
+        if serialize_bin.sniff_stream(head):
+            return _monitor_stream(fh, head, source, args, deadline)
+        # Not a framed stream: buffer the rest and monitor the complete
+        # trace (it carries no commit order, so the monitor chooses one
+        # greedily and escalates to the offline engine when stuck).
+        raw = head + fh.read()
+        suffix = "" if source == "<stdin>" else Path(source).suffix
+        execution = _parse_trace_bytes(raw, source, suffix)
+        verdict = monitor_execution(
+            execution,
+            window=args.window,
+            certify=args.certify,
+            heartbeat=args.heartbeat,
+            on_heartbeat=_print_heartbeat,
+        )
+        return _finish_monitor(verdict, args.stats)
+    except CertificationError as e:
+        print(f"certification failed: {e}", file=sys.stderr)
+        return EXIT_UNKNOWN
+    except ValueError as e:
+        # Malformed frames, out-of-program-order streams, bad traces.
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    finally:
+        if close:
+            fh.close()
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.memsys import (
         FaultConfig,
@@ -338,7 +521,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("verify", help="verify a trace file")
-    p.add_argument("trace", help=".json (serialize format) or text trace")
+    p.add_argument(
+        "trace",
+        help="trace file in any supported format (REPROBIN, REPROSTM "
+        "stream, JSON, or text); '-' reads stdin",
+    )
     p.add_argument("--sc", action="store_true", help="check sequential consistency")
     p.add_argument("--model", help="check a consistency model (TSO/PSO/RMO)")
     p.add_argument("--witness", action="store_true", help="print the witness schedule")
@@ -424,6 +611,65 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_CHAOS environment variable to be set",
     )
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "monitor",
+        help="tail a commit-order stream and verify it incrementally",
+    )
+    p.add_argument(
+        "stream",
+        help="framed REPROSTM stream file ('-' reads stdin); a plain "
+        "trace in any verify format is accepted too and monitored "
+        "via a greedy merge with offline escalation",
+    )
+    p.add_argument(
+        "--window",
+        type=_window_int,
+        default=DEFAULT_WINDOW,
+        metavar="N",
+        help=f"certificate-window size per address (default "
+        f"{DEFAULT_WINDOW}): decided prefixes beyond it are evicted "
+        f"and summarized into the frontier",
+    )
+    p.add_argument(
+        "--heartbeat",
+        type=_nonneg_int,
+        default=0,
+        metavar="N",
+        help="print a HOLDS-so-far heartbeat with throughput/memory "
+        "stats every N operations (0 = off)",
+    )
+    p.add_argument(
+        "--certify",
+        choices=CERTIFY_MODES,
+        default="off",
+        help="certify every verdict with the independent trusted "
+        "checker: violations carry a checked certificate over the "
+        "retained window, heartbeats a replayed witness; 'on' exits 3 "
+        "loudly on an uncertifiable verdict, 'strict' downgrades it to "
+        "UNKNOWN(uncertified)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print steady-state ops/s, peak window size and eviction "
+        "counters with the closing verdict",
+    )
+    p.add_argument(
+        "--timeout",
+        type=_nonneg_float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget; on expiry the monitor reports UNKNOWN "
+        "(exit 3) for the unconsumed suffix (checked between chunks)",
+    )
+    p.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing the file at EOF until the END frame arrives "
+        "(or --timeout expires)",
+    )
+    p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser("simulate", help="run the multiprocessor simulator")
     p.add_argument("--processors", type=int, default=4)

@@ -376,6 +376,251 @@ class ColumnarTrace:
         )
 
 
+class ColumnarBuilder:
+    """Append-friendly accumulator producing a :class:`ColumnarTrace`.
+
+    :meth:`ColumnarTrace.from_execution` needs the whole object model up
+    front; a *stream* — the framed binary format, the online monitor's
+    retained window, a simulator feeding commits live — only ever sees
+    one operation at a time, usually in **commit order** (interleaved
+    across processes).  The builder interns addresses and values as they
+    appear, appends one row per operation, and :meth:`build` reorders
+    the rows process-major and re-interns the tables in the canonical
+    first-appearance order, so the result is indistinguishable from
+    ``ColumnarTrace.from_execution`` of the same trace (including the
+    binary round-trip bytes).
+
+    Appends are O(1); ``build()`` is one O(n) pass.  Program-order
+    indices may be supplied explicitly (gappy sub-traces) or left to the
+    per-process counters (``index=None``); within each process they must
+    be strictly increasing — arrival order *is* program order.
+    """
+
+    __slots__ = (
+        "_addr_id", "_value_id", "_addrs", "_values",
+        "_kinds", "_procs", "_indices", "_addr_ids",
+        "_read_vids", "_write_vids",
+        "_next_index", "_initial", "_final",
+    )
+
+    def __init__(self) -> None:
+        self._addr_id: dict[Hashable, int] = {}
+        self._value_id: dict[Hashable, int] = {}
+        self._addrs: list[Address] = []
+        self._values: list[Value] = []
+        self._kinds = array(COLUMN_TYPECODES["kinds"])
+        self._procs = array(COLUMN_TYPECODES["procs"])
+        self._indices = array(COLUMN_TYPECODES["indices"])
+        self._addr_ids = array(COLUMN_TYPECODES["addr_ids"])
+        self._read_vids = array(COLUMN_TYPECODES["read_vids"])
+        self._write_vids = array(COLUMN_TYPECODES["write_vids"])
+        self._next_index: dict[int, int] = {}
+        self._initial: dict[int, int] = {}  # addr id -> value id
+        self._final: dict[int, int] = {}
+
+    # -- interning --------------------------------------------------------
+    def intern_addr(self, a: Address) -> int:
+        i = self._addr_id.get(a)
+        if i is None:
+            i = self._addr_id[a] = len(self._addrs)
+            self._addrs.append(a)
+        return i
+
+    def intern_value(self, v: Value) -> int:
+        i = self._value_id.get(v)
+        if i is None:
+            i = self._value_id[v] = len(self._values)
+            self._values.append(v)
+        return i
+
+    @property
+    def addrs(self) -> tuple[Address, ...]:
+        return tuple(self._addrs)
+
+    @property
+    def values(self) -> tuple[Value, ...]:
+        return tuple(self._values)
+
+    @property
+    def n_ops(self) -> int:
+        return len(self._kinds)
+
+    @property
+    def n_procs(self) -> int:
+        return max(self._next_index, default=-1) + 1
+
+    # -- appends ----------------------------------------------------------
+    def append(
+        self,
+        kind: OpKind,
+        proc: int,
+        addr: Address,
+        value_read: Value = None,
+        value_written: Value = None,
+        index: int | None = None,
+    ) -> int:
+        """Append one operation in arrival order; returns its arrival
+        position.  ``index=None`` assigns the next program-order index
+        of ``proc``."""
+        return self.append_codes(
+            KIND_CODES[kind],
+            proc,
+            self.intern_addr(addr),
+            self.intern_value(value_read) if kind.reads else -1,
+            self.intern_value(value_written) if kind.writes else -1,
+            index,
+        )
+
+    def append_op(self, op: Operation) -> int:
+        """Append an existing :class:`Operation` (keeps its index)."""
+        return self.append(
+            op.kind, op.proc, op.addr,
+            value_read=op.value_read,
+            value_written=op.value_written,
+            index=op.index,
+        )
+
+    def append_codes(
+        self,
+        kind_code: int,
+        proc: int,
+        addr_id: int,
+        read_vid: int,
+        write_vid: int,
+        index: int | None = None,
+    ) -> int:
+        """Append one pre-interned row (the frame decoder's fast path)."""
+        nxt = self._next_index.get(proc, 0)
+        if index is None:
+            index = nxt
+        elif index < nxt:
+            raise ValueError(
+                f"program-order index {index} of P{proc} is not "
+                f"increasing (next expected >= {nxt})"
+            )
+        self._next_index[proc] = index + 1
+        pos = len(self._kinds)
+        self._kinds.append(kind_code)
+        self._procs.append(proc)
+        self._indices.append(index)
+        self._addr_ids.append(addr_id)
+        self._read_vids.append(read_vid)
+        self._write_vids.append(write_vid)
+        return pos
+
+    def set_initial(self, addr: Address, value: Value) -> None:
+        self._initial[self.intern_addr(addr)] = self.intern_value(value)
+
+    def set_final(self, addr: Address, value: Value) -> None:
+        self._final[self.intern_addr(addr)] = self.intern_value(value)
+
+    # -- finishing --------------------------------------------------------
+    def build(self, n_procs: int | None = None) -> ColumnarTrace:
+        """One O(n) pass: bucket rows process-major (stable, so arrival
+        order within a process is preserved as program order), re-intern
+        addresses and values in the canonical first-appearance order,
+        and assemble the immutable view."""
+        from repro.core.types import INITIAL
+
+        if n_procs is None:
+            n_procs = self.n_procs
+        by_proc: list[list[int]] = [[] for _ in range(n_procs)]
+        for pos, p in enumerate(self._procs):
+            by_proc[p].append(pos)
+
+        # Canonical tables: touched addresses in process-major
+        # first-appearance order, then final-only, then initial-only —
+        # matching ColumnarTrace.from_execution exactly.
+        addr_map: dict[int, int] = {}
+        value_map: dict[int, int] = {}
+        addrs: list[Address] = []
+        values: list[Value] = []
+
+        def remap_addr(old: int) -> int:
+            new = addr_map.get(old)
+            if new is None:
+                new = addr_map[old] = len(addrs)
+                addrs.append(self._addrs[old])
+            return new
+
+        def remap_vid(old: int) -> int:
+            if old < 0:
+                return -1
+            new = value_map.get(old)
+            if new is None:
+                new = value_map[old] = len(values)
+                values.append(self._values[old])
+            return new
+
+        kinds = array(COLUMN_TYPECODES["kinds"])
+        procs = array(COLUMN_TYPECODES["procs"])
+        indices = array(COLUMN_TYPECODES["indices"])
+        addr_ids = array(COLUMN_TYPECODES["addr_ids"])
+        read_vids = array(COLUMN_TYPECODES["read_vids"])
+        write_vids = array(COLUMN_TYPECODES["write_vids"])
+        proc_offsets = array("Q", [0])
+        for p in range(n_procs):
+            for pos in by_proc[p]:
+                kinds.append(self._kinds[pos])
+                procs.append(p)
+                indices.append(self._indices[pos])
+                addr_ids.append(remap_addr(self._addr_ids[pos]))
+                read_vids.append(remap_vid(self._read_vids[pos]))
+                write_vids.append(remap_vid(self._write_vids[pos]))
+            proc_offsets.append(len(kinds))
+        n_touched = len(addrs)
+        for old in self._final:
+            remap_addr(old)
+        n_constrained = len(addrs)
+        for old in self._initial:
+            remap_addr(old)
+
+        initial_ids = array("i")
+        implicit_initial = array("B")
+        final_ids = array("i")
+        inv_addr = {new: old for old, new in addr_map.items()}
+        default_vid: int | None = None
+        for new in range(len(addrs)):
+            old = inv_addr[new]
+            vi = self._initial.get(old)
+            if vi is not None:
+                initial_ids.append(remap_vid(vi))
+                implicit_initial.append(0)
+            else:
+                if default_vid is None:
+                    default_vid = remap_vid(self.intern_value(INITIAL))
+                initial_ids.append(default_vid)
+                implicit_initial.append(1)
+            fi = self._final.get(old)
+            final_ids.append(remap_vid(fi) if fi is not None else -1)
+
+        return ColumnarTrace(
+            kinds=kinds,
+            procs=procs,
+            indices=indices,
+            addr_ids=addr_ids,
+            read_vids=read_vids,
+            write_vids=write_vids,
+            proc_offsets=proc_offsets,
+            addrs=tuple(addrs),
+            values=tuple(values),
+            n_touched=n_touched,
+            n_constrained=n_constrained,
+            initial_ids=initial_ids,
+            implicit_initial=implicit_initial,
+            final_ids=final_ids,
+        )
+
+    def to_execution(self, n_procs: int | None = None) -> Execution:
+        """Materialize the accumulated trace as an :class:`Execution`
+        carrying its columns as the cached view."""
+        view = self.build(n_procs)
+        ex = view.to_execution()
+        view._source_ops = tuple(op for h in ex.histories for op in h)
+        ex._columnar = view
+        return ex
+
+
 def columnar(execution: Execution) -> ColumnarTrace:
     """The cached columnar view of ``execution`` (module-level alias of
     :meth:`Execution.columnar` for call sites that prefer a function)."""

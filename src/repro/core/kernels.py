@@ -197,6 +197,21 @@ class PythonSaturation:
             self.non_po_edges += 1
         return True
 
+    def grow(self, m: int) -> None:
+        """Add ``m`` fresh isolated nodes (ids ``n .. n+m-1``).
+
+        The incremental streaming path appends operations to a live
+        saturation instead of rebuilding it; existing edges, step logs
+        and ids are untouched.  Invalidates ``reach`` — re-run
+        :meth:`saturate` before querying the closure.
+        """
+        if m <= 0:
+            return
+        self.succ.extend([0] * m)
+        self.pred.extend([0] * m)
+        self.n += m
+        self.reach = None
+
     @property
     def edge_count(self) -> int:
         return len(self.step_u)
@@ -466,6 +481,25 @@ class NumpySaturation:
         if rule != RULE_PO:
             self.non_po_edges += 1
         return True
+
+    def grow(self, m: int) -> None:
+        """Add ``m`` fresh isolated nodes — same contract as the python
+        kernel: pads the packed matrices (both rows and, when the new
+        size crosses a 64-bit word boundary, columns) and invalidates
+        ``reach``."""
+        if m <= 0:
+            return
+        np = self.np
+        n2 = self.n + m
+        W2 = max(1, (n2 + 63) >> 6)
+        for attr in ("succ", "pred"):
+            old = getattr(self, attr)
+            new = np.zeros((n2, W2), dtype=np.uint64)
+            new[: self.n, : self.W] = old
+            setattr(self, attr, new)
+        self.n = n2
+        self.W = W2
+        self.reach = None
 
     @property
     def edge_count(self) -> int:

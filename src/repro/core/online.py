@@ -6,15 +6,21 @@ the first violation immediately.  In general that is hopeless (VMC is
 NP-complete and reads may be served by many writes), but with the
 memory system announcing its write serialization — the Section 5.2
 augmentation, which the bus of :mod:`repro.memsys` provides naturally —
-an incremental check runs in amortized O(1) per operation:
+an incremental check runs in amortized O(log g) per operation (``g`` =
+live write-order gaps; the binary search over a value's gap list is
+the only super-constant step).
 
-* the monitor tracks the global write-order position ("now");
-* per process it remembers the position window its next read may use
-  (after its last same-address write / at or after its previous read's
-  slot);
-* a read of value ``v`` is legal iff some write-order gap in the window
-  ``[lo, now]`` holds ``v`` — maintained with per-value gap lists and
-  monotone cursors.
+The real engine now lives in :mod:`repro.engine.streaming`: a
+windowed, evicting, certificate-producing :class:`AddressMonitor`
+driven by :class:`~repro.engine.streaming.StreamingVerifier` (the
+``repro monitor`` CLI fast path).  This module keeps the original
+value-level surface as thin compatibility shims:
+
+* :class:`CoherenceMonitor` — a lossless (non-evicting, windowless)
+  :class:`~repro.engine.streaming.AddressMonitor`;
+* :class:`SystemMonitor` — a lazy per-address bank of them;
+* :func:`monitor_run` — replays a recorded
+  :class:`repro.memsys.recorder.RunResult` through a bank.
 
 The monitor is *eager-greedy*: it places each read at the earliest
 legal gap, which is complete for the same exchange-argument reason the
@@ -27,153 +33,49 @@ anyway (values written later in the serialization cannot have been the
 source of an earlier-committed read **if reads commit after their
 source**; the monitor assumes the memory system commits a read after
 the write that sourced it, true of real hardware and of the simulator).
-
-Use :class:`CoherenceMonitor` per address.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from collections import defaultdict
-from dataclasses import dataclass, field
-
 from repro.core.types import Address, Value
+from repro.engine.streaming import (
+    AddressMonitor,
+    CoherenceViolation,
+    MonitorStats,
+)
+
+__all__ = [
+    "CoherenceMonitor",
+    "CoherenceViolation",
+    "MonitorStats",
+    "SystemMonitor",
+    "monitor_run",
+]
 
 
-class CoherenceViolation(Exception):
-    """Raised by strict-mode monitors on the first detected violation."""
-
-    def __init__(self, message: str, op_index: int):
-        super().__init__(message)
-        self.op_index = op_index
-
-
-@dataclass
-class _ProcState:
-    cursor: int = 0  # earliest write-order gap this proc's next read may use
-
-
-@dataclass
-class MonitorStats:
-    writes: int = 0
-    reads: int = 0
-    rmws: int = 0
-    violations: int = 0
-
-
-class CoherenceMonitor:
-    """Incremental per-address coherence checker fed by commit events.
+class CoherenceMonitor(AddressMonitor):
+    """Back-compat per-address monitor: a lossless (windowless)
+    :class:`repro.engine.streaming.AddressMonitor`.
 
     Feed :meth:`commit_write`, :meth:`commit_read`, :meth:`commit_rmw`
     in the memory system's serialization order.  Each returns ``None``
     on success or a violation message; with ``strict=True`` a violation
-    raises :class:`CoherenceViolation` instead.
-
-    ``final(expected)`` checks the end-of-run value.
+    raises :class:`CoherenceViolation` instead.  ``final(expected)``
+    checks the end-of-run value.
     """
 
-    def __init__(
-        self,
-        addr: Address,
-        initial: Value,
-        strict: bool = False,
-    ):
-        self.addr = addr
-        self.strict = strict
-        self.stats = MonitorStats()
-        # Gap g holds the value after the g-th write; gap 0 = initial.
-        self._gap_values: list[Value] = [initial]
-        self._gaps_of_value: dict[Value, list[int]] = defaultdict(list)
-        self._gaps_of_value[initial].append(0)
-        self._procs: dict[int, _ProcState] = defaultdict(_ProcState)
-        self._events = 0
-
-    # -- helpers -----------------------------------------------------------
-    @property
-    def now(self) -> int:
-        """Current gap index (number of writes committed so far)."""
-        return len(self._gap_values) - 1
-
-    def _fail(self, message: str) -> str:
-        self.stats.violations += 1
-        if self.strict:
-            raise CoherenceViolation(message, self._events)
-        return message
-
-    # -- event interface -----------------------------------------------
-    def commit_write(self, proc: int, value: Value) -> str | None:
-        """A write by ``proc`` of ``value`` was serialized now."""
-        self._events += 1
-        self.stats.writes += 1
-        self._gap_values.append(value)
-        self._gaps_of_value[value].append(self.now)
-        # Program order: the writer's later reads come after this write.
-        st = self._procs[proc]
-        st.cursor = max(st.cursor, self.now)
-        return None
-
-    def commit_read(self, proc: int, value: Value) -> str | None:
-        """A read by ``proc`` returning ``value`` committed now."""
-        self._events += 1
-        self.stats.reads += 1
-        st = self._procs[proc]
-        gaps = self._gaps_of_value.get(value)
-        if not gaps:
-            return self._fail(
-                f"P{proc} read {value!r} from {self.addr!r}, which no "
-                f"committed write produced (and it is not the initial value)"
-            )
-        i = bisect_left(gaps, st.cursor)
-        if i == len(gaps):
-            return self._fail(
-                f"P{proc} read stale value {value!r} from {self.addr!r}: "
-                f"its most recent source was overwritten before the "
-                f"process's own program-order position (gap {st.cursor})"
-            )
-        st.cursor = gaps[i]
-        return None
-
-    def commit_rmw(
-        self, proc: int, value_read: Value, value_written: Value
-    ) -> str | None:
-        """An atomic RMW serialized now: its read component must see the
-        value at the current end of the write-order."""
-        self._events += 1
-        self.stats.rmws += 1
-        current = self._gap_values[-1]
-        result: str | None = None
-        if value_read != current:
-            result = self._fail(
-                f"P{proc}'s atomic RMW on {self.addr!r} read "
-                f"{value_read!r} but the serialized value is {current!r}"
-            )
-        # Commit the write component either way so monitoring continues.
-        self.stats.writes += 1
-        self._gap_values.append(value_written)
-        self._gaps_of_value[value_written].append(self.now)
-        st = self._procs[proc]
-        st.cursor = max(st.cursor, self.now)
-        return result
-
-    def final(self, expected: Value) -> str | None:
-        """End-of-run check: the last serialized value must be ``expected``."""
-        got = self._gap_values[-1]
-        if got != expected:
-            return self._fail(
-                f"final value of {self.addr!r} is {got!r}, expected "
-                f"{expected!r}"
-            )
-        return None
-
-    @property
-    def ok(self) -> bool:
-        return self.stats.violations == 0
+    def __init__(self, addr: Address, initial: Value, strict: bool = False):
+        super().__init__(addr, initial, strict=strict)
 
 
 class SystemMonitor:
     """A bank of per-address monitors with a single event interface."""
 
-    def __init__(self, initial: dict[Address, Value] | None = None, strict: bool = False):
+    def __init__(
+        self,
+        initial: dict[Address, Value] | None = None,
+        strict: bool = False,
+    ):
         self._initial = dict(initial or {})
         self._strict = strict
         self.monitors: dict[Address, CoherenceMonitor] = {}
@@ -213,56 +115,75 @@ class SystemMonitor:
         return not self.violations
 
 
-def monitor_run(run_result, strict: bool = False) -> SystemMonitor:
+def monitor_run(
+    run_result, strict: bool = False, use_commit_log: bool = False
+) -> SystemMonitor:
     """Replay a :class:`repro.memsys.recorder.RunResult` through monitors.
 
-    Events are replayed in the bus serialization order for writes and
-    program order for reads, approximated by interleaving each
-    process's history against the write-order (reads commit right
-    after their program-order predecessor).  For simulator runs the
-    recorder's per-process histories are already in commit order
-    per-process, and writes carry their global order, so the replay is
-    faithful.
+    By default events are reconstructed per address: writes in the
+    announced write-order, each process's reads flushed before its next
+    write — the most permissive placement consistent with program
+    order, which is what the offline write-order verifier also allows
+    (so the two arms agree even when ``write_orders`` were corrupted
+    post-run by a fault).  With ``use_commit_log=True`` the replay is
+    the recorder's actual global commit stream instead — strictly
+    faithful to *when* each read committed, hence possibly stricter
+    than the offline check (a read served by a write serialized after
+    it is flagged).
     """
     execution = run_result.execution
     monitors = SystemMonitor(initial=execution.initial, strict=strict)
-    # Global replay: walk the write orders as the clock; between write
-    # commits, flush each process's pending reads that precede its next
-    # write.  Simplest faithful replay: per address, writes in bus
-    # order; reads interleaved per process cursor.
-    for addr, order in sorted(
-        run_result.write_orders.items(), key=lambda kv: str(kv[0])
-    ):
-        sub = execution.restrict_to_address(addr)
-        pending = {h.proc: list(h.operations) for h in sub.histories}
-
-        def flush_reads_before(proc: int, stop_uid) -> None:
-            ops = pending[proc]
-            while ops and ops[0].kind.reads and not ops[0].kind.writes:
-                if stop_uid is not None and ops[0].index >= stop_uid[1]:
-                    break
-                op = ops.pop(0)
-                monitors.read(proc, addr, op.value_read)
-
-        for w in order:
-            flush_reads_before(w.proc, w.uid)
-            ops = pending[w.proc]
-            assert ops and ops[0].uid == w.uid, "write order out of sync"
-            ops.pop(0)
-            if w.kind.writes and w.kind.reads:
-                monitors.rmw(w.proc, addr, w.value_read, w.value_written)
-            else:
-                monitors.write(w.proc, addr, w.value_written)
-        for proc in pending:
-            flush_reads_before(proc, None)
-    # Addresses with reads but no writes at all:
-    for addr in execution.addresses():
-        if addr in run_result.write_orders:
-            continue
-        for h in execution.restrict_to_address(addr).histories:
-            for op in h:
+    commit_log = getattr(run_result, "commit_log", None)
+    if use_commit_log and commit_log:
+        for op in commit_log:
+            if op.kind.is_sync:
+                continue
+            if op.kind.writes:
                 if op.kind.reads:
-                    monitors.read(op.proc, addr, op.value_read)
+                    monitors.rmw(
+                        op.proc, op.addr, op.value_read, op.value_written
+                    )
+                else:
+                    monitors.write(op.proc, op.addr, op.value_written)
+            else:
+                monitors.read(op.proc, op.addr, op.value_read)
+    else:
+        # Reconstructed replay: walk each address's write order as the
+        # clock; between write commits, flush each process's pending
+        # reads that precede its next write in program order.
+        for addr, order in sorted(
+            run_result.write_orders.items(), key=lambda kv: str(kv[0])
+        ):
+            sub = execution.restrict_to_address(addr)
+            pending = {h.proc: list(h.operations) for h in sub.histories}
+
+            def flush_reads_before(proc: int, stop_uid) -> None:
+                ops = pending[proc]
+                while ops and ops[0].kind.reads and not ops[0].kind.writes:
+                    if stop_uid is not None and ops[0].index >= stop_uid[1]:
+                        break
+                    op = ops.pop(0)
+                    monitors.read(proc, addr, op.value_read)
+
+            for w in order:
+                flush_reads_before(w.proc, w.uid)
+                ops = pending[w.proc]
+                assert ops and ops[0].uid == w.uid, "write order out of sync"
+                ops.pop(0)
+                if w.kind.writes and w.kind.reads:
+                    monitors.rmw(w.proc, addr, w.value_read, w.value_written)
+                else:
+                    monitors.write(w.proc, addr, w.value_written)
+            for proc in pending:
+                flush_reads_before(proc, None)
+        # Addresses with reads but no writes at all:
+        for addr in execution.addresses():
+            if addr in run_result.write_orders:
+                continue
+            for h in execution.restrict_to_address(addr).histories:
+                for op in h:
+                    if op.kind.reads:
+                        monitors.read(op.proc, addr, op.value_read)
     # End-of-run check against the machine's reported final values —
     # this is what catches silently dropped writes online.
     for addr, expected in execution.final.items():

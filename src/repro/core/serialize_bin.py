@@ -266,6 +266,473 @@ def sniff(data: bytes) -> bool:
     return data[: len(MAGIC)] == MAGIC
 
 
+# ---------------------------------------------------------------------
+# Framed commit-order stream (the online monitor's wire format)
+# ---------------------------------------------------------------------
+# The REPROBIN format above is a snapshot: every blob's offset is
+# computed from the header, so nothing can be decoded until the trace
+# is complete.  A *monitor* needs the opposite: a growing file (or
+# pipe) decodable frame by frame, in commit order, without re-parsing
+# what it already consumed.  The stream format is:
+#
+# .. code-block:: text
+#
+#     offset  size  field
+#     0       8     magic  b"REPROSTM"
+#     8       2     version (u16 LE) — currently 1
+#     10      2     reserved (must be 0)
+#     12      4     n_procs (u32)
+#     16      -     frames
+#
+# Each frame is a 5-byte header ``<type u8, payload_len u32>`` followed
+# by the payload:
+#
+# ``INTERN``   UTF-8 JSON ``{"addrs": [...], "values": [...]}`` —
+#              entries *appended* to the reader's intern tables (the
+#              JSON format's value encoding).
+# ``OPS``      ``count u32``, then columns back-to-back, each ``count``
+#              long, in commit order: kinds (u8), procs (u32), addr_ids
+#              (u32), read_vids (i32), write_vids (i32).  Program-order
+#              indices are implicit: arrival order per process.
+# ``INITIAL``  ``count u32`` + count × (addr_id u32, value_id i32).
+# ``FINAL``    same layout; usually the second-to-last frame.
+# ``END``      empty payload; the stream is complete.
+#
+# A reader can always make progress on any prefix: a trailing partial
+# frame simply stays buffered until more bytes arrive — that is what
+# lets ``repro monitor`` tail a growing file.
+
+STREAM_MAGIC = b"REPROSTM"
+STREAM_VERSION = 1
+
+_STREAM_HEADER = struct.Struct("<8sHHI")
+STREAM_HEADER_SIZE = _STREAM_HEADER.size  # 16
+_FRAME_HEADER = struct.Struct("<BI")
+
+FRAME_INTERN = 1
+FRAME_OPS = 2
+FRAME_INITIAL = 3
+FRAME_FINAL = 4
+FRAME_END = 5
+
+#: Sanity cap on a single frame's payload (a corrupt length field must
+#: not make a tailing monitor buffer gigabytes before erroring).
+MAX_FRAME_PAYLOAD = 1 << 28
+
+
+def sniff_stream(data: bytes) -> bool:
+    """True when ``data`` starts with the framed-stream magic."""
+    return data[: len(STREAM_MAGIC)] == STREAM_MAGIC
+
+
+def _le(a: "array") -> bytes:
+    if sys.byteorder == "big":  # pragma: no cover
+        a = array(a.typecode, a)
+        a.byteswap()
+    return a.tobytes()
+
+
+class StreamWriter:
+    """Encode a commit-ordered operation stream as framed chunks.
+
+    ``out`` is any binary file-like object with ``write``.  Appended
+    operations are buffered and flushed as one OPS frame per ``chunk``
+    operations (plus an INTERN delta frame for any addresses/values
+    first seen since the previous flush).  :meth:`finish` flushes,
+    writes the FINAL constraints (if any) and the END frame.
+    """
+
+    def __init__(self, out, n_procs: int, chunk: int = 1024):
+        if n_procs < 1:
+            raise ValueError(f"n_procs must be >= 1, got {n_procs}")
+        self._out = out
+        self.n_procs = n_procs
+        self.chunk = max(1, chunk)
+        self._addr_id: dict = {}
+        self._value_id: dict = {}
+        self._sent_addrs = 0
+        self._sent_values = 0
+        self._new_addrs: list = []
+        self._new_values: list = []
+        self._kinds = array("B")
+        self._procs = array("I")
+        self._addr_ids = array("I")
+        self._read_vids = array("i")
+        self._write_vids = array("i")
+        self._finished = False
+        out.write(
+            _STREAM_HEADER.pack(STREAM_MAGIC, STREAM_VERSION, 0, n_procs)
+        )
+
+    # -- interning --------------------------------------------------------
+    def _aid(self, a) -> int:
+        i = self._addr_id.get(a)
+        if i is None:
+            i = self._addr_id[a] = self._sent_addrs + len(self._new_addrs)
+            self._new_addrs.append(a)
+        return i
+
+    def _vid(self, v) -> int:
+        i = self._value_id.get(v)
+        if i is None:
+            i = self._value_id[v] = self._sent_values + len(self._new_values)
+            self._new_values.append(v)
+        return i
+
+    def _frame(self, ftype: int, payload: bytes) -> None:
+        self._out.write(_FRAME_HEADER.pack(ftype, len(payload)))
+        self._out.write(payload)
+
+    def _flush_intern(self) -> None:
+        if not self._new_addrs and not self._new_values:
+            return
+        payload = json.dumps(
+            {
+                "addrs": [_encode_value(a) for a in self._new_addrs],
+                "values": [_encode_value(v) for v in self._new_values],
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        self._frame(FRAME_INTERN, payload)
+        self._sent_addrs += len(self._new_addrs)
+        self._sent_values += len(self._new_values)
+        self._new_addrs = []
+        self._new_values = []
+
+    def _constraints(self, ftype: int, mapping) -> None:
+        if not mapping:
+            return
+        pairs = [(self._aid(a), self._vid(v)) for a, v in mapping.items()]
+        self._flush_intern()
+        payload = struct.pack("<I", len(pairs)) + b"".join(
+            struct.pack("<Ii", ai, vi) for ai, vi in pairs
+        )
+        self._frame(ftype, payload)
+
+    # -- public API -------------------------------------------------------
+    def set_initial(self, initial) -> None:
+        """Emit the INITIAL constraints (call before any appends)."""
+        self._constraints(FRAME_INITIAL, initial)
+
+    def append(
+        self, kind, proc: int, addr, value_read=None, value_written=None
+    ) -> None:
+        """Buffer one committed operation (kind is an
+        :class:`~repro.core.types.OpKind`)."""
+        from repro.core.columnar import KIND_CODES
+
+        if self._finished:
+            raise ValueError("stream already finished")
+        if not (0 <= proc < self.n_procs):
+            raise ValueError(
+                f"proc {proc} outside the declared 0..{self.n_procs - 1}"
+            )
+        self._kinds.append(KIND_CODES[kind])
+        self._procs.append(proc)
+        self._addr_ids.append(self._aid(addr))
+        self._read_vids.append(self._vid(value_read) if kind.reads else -1)
+        self._write_vids.append(
+            self._vid(value_written) if kind.writes else -1
+        )
+        if len(self._kinds) >= self.chunk:
+            self.flush()
+
+    def append_op(self, op) -> None:
+        self.append(
+            op.kind, op.proc, op.addr,
+            value_read=op.value_read, value_written=op.value_written,
+        )
+
+    def flush(self) -> None:
+        """Emit buffered operations as an OPS frame (preceded by the
+        INTERN delta naming anything they reference)."""
+        if not self._kinds:
+            return
+        self._flush_intern()
+        n = len(self._kinds)
+        payload = b"".join(
+            (
+                struct.pack("<I", n),
+                _le(self._kinds),
+                _le(self._procs),
+                _le(self._addr_ids),
+                _le(self._read_vids),
+                _le(self._write_vids),
+            )
+        )
+        self._frame(FRAME_OPS, payload)
+        self._kinds = array("B")
+        self._procs = array("I")
+        self._addr_ids = array("I")
+        self._read_vids = array("i")
+        self._write_vids = array("i")
+
+    def finish(self, final=None) -> None:
+        """Flush, write FINAL constraints (if given) and the END frame."""
+        if self._finished:
+            return
+        self.flush()
+        self._constraints(FRAME_FINAL, final or {})
+        self._frame(FRAME_END, b"")
+        self._finished = True
+
+
+def dump_stream(out, schedule, n_procs: int, initial=None, final=None,
+                chunk: int = 1024) -> None:
+    """Write a complete commit-ordered stream in one call.
+
+    ``schedule`` is the commit order — any iterable of operations
+    interleaved across processes (each process's subsequence in program
+    order)."""
+    w = StreamWriter(out, n_procs, chunk=chunk)
+    w.set_initial(initial or {})
+    for op in schedule:
+        w.append_op(op)
+    w.finish(final or {})
+
+
+class FrameReader:
+    """Incremental decoder for the framed stream format.
+
+    Feed raw bytes as they arrive (:meth:`feed`), then drain decoded
+    events (:meth:`events`).  A trailing partial frame stays buffered —
+    feeding more bytes later resumes exactly where decoding stopped, so
+    a monitor can tail a growing file without re-parsing.  Events:
+
+    * ``("initial", {addr: value})``
+    * ``("op", Operation)`` — program-order index assigned per process
+      in arrival order
+    * ``("final", {addr: value})``
+    * ``("end", None)``
+
+    Malformed input raises :class:`BinaryFormatError` with the absolute
+    byte offset of the problem.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+        self._consumed = 0  # absolute offset of _buf[0] in the stream
+        self._header_done = False
+        self.n_procs: int | None = None
+        self.addrs: list = []
+        self.values: list = []
+        self._next_index: list[int] = []
+        self.ended = False
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet decodable (partial frame)."""
+        return len(self._buf)
+
+    def _error(self, message: str, rel: int = 0) -> BinaryFormatError:
+        return BinaryFormatError(message, self._consumed + rel)
+
+    def _parse_header(self) -> bool:
+        if len(self._buf) < STREAM_HEADER_SIZE:
+            return False
+        magic, version, reserved, n_procs = _STREAM_HEADER.unpack_from(
+            self._buf, 0
+        )
+        if magic != STREAM_MAGIC:
+            raise self._error(
+                f"bad stream magic {bytes(magic)!r} "
+                f"(expected {STREAM_MAGIC!r})"
+            )
+        if version != STREAM_VERSION:
+            raise self._error(f"unsupported stream version {version}", 8)
+        if reserved != 0:
+            raise self._error("nonzero reserved field", 10)
+        if n_procs < 1:
+            raise self._error("n_procs must be >= 1", 12)
+        self.n_procs = n_procs
+        self._next_index = [0] * n_procs
+        del self._buf[:STREAM_HEADER_SIZE]
+        self._consumed += STREAM_HEADER_SIZE
+        self._header_done = True
+        return True
+
+    def events(self):
+        """Yield every event decodable from the buffered bytes."""
+        if not self._header_done and not self._parse_header():
+            return
+        hdr = _FRAME_HEADER
+        while True:
+            if len(self._buf) < hdr.size:
+                return
+            ftype, length = hdr.unpack_from(self._buf, 0)
+            if length > MAX_FRAME_PAYLOAD:
+                raise self._error(
+                    f"frame payload length {length} exceeds the "
+                    f"{MAX_FRAME_PAYLOAD}-byte cap", 1
+                )
+            if self.ended:
+                raise self._error("data after the END frame")
+            total = hdr.size + length
+            if len(self._buf) < total:
+                return
+            payload = bytes(self._buf[hdr.size:total])
+            del self._buf[:total]
+            start = self._consumed + hdr.size
+            self._consumed += total
+            yield from self._decode(ftype, payload, start)
+
+    def _decode(self, ftype: int, payload: bytes, start: int):
+        if ftype == FRAME_INTERN:
+            self._decode_intern(payload, start)
+            return
+        if ftype == FRAME_OPS:
+            yield from self._decode_ops(payload, start)
+            return
+        if ftype in (FRAME_INITIAL, FRAME_FINAL):
+            tag = "initial" if ftype == FRAME_INITIAL else "final"
+            yield (tag, self._decode_constraints(payload, start))
+            return
+        if ftype == FRAME_END:
+            if payload:
+                raise BinaryFormatError("END frame carries a payload", start)
+            self.ended = True
+            yield ("end", None)
+            return
+        raise BinaryFormatError(f"unknown frame type {ftype}", start - 5)
+
+    def _decode_intern(self, payload: bytes, start: int) -> None:
+        try:
+            intern = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as e:
+            raise BinaryFormatError(
+                f"malformed intern frame: {e}", start
+            ) from e
+        if (
+            not isinstance(intern, dict)
+            or not isinstance(intern.get("addrs"), list)
+            or not isinstance(intern.get("values"), list)
+        ):
+            raise BinaryFormatError("intern tables must be lists", start)
+        try:
+            self.addrs.extend(_decode_value(a) for a in intern["addrs"])
+            self.values.extend(_decode_value(v) for v in intern["values"])
+        except ValueError as e:
+            raise BinaryFormatError(
+                f"bad interned value: {e}", start
+            ) from e
+
+    def _decode_ops(self, payload: bytes, start: int):
+        from repro.core.columnar import KINDS_BY_CODE
+        from repro.core.types import Operation
+
+        if len(payload) < 4:
+            raise BinaryFormatError("truncated OPS frame", start)
+        (n,) = struct.unpack_from("<I", payload, 0)
+        expect = 4 + n * (1 + 4 + 4 + 4 + 4)
+        if len(payload) != expect:
+            raise BinaryFormatError(
+                f"OPS frame declares {n} ops but carries "
+                f"{len(payload)} payload bytes (expected {expect})",
+                start,
+            )
+        cols = []
+        pos = 4
+        for typecode, size in (("B", 1), ("I", 4), ("I", 4), ("i", 4), ("i", 4)):
+            col = array(typecode)
+            col.frombytes(payload[pos:pos + n * size])
+            if sys.byteorder == "big":  # pragma: no cover
+                col.byteswap()
+            cols.append(col)
+            pos += n * size
+        kinds, procs, addr_ids, read_vids, write_vids = cols
+        n_addrs, n_values = len(self.addrs), len(self.values)
+        for i in range(n):
+            kc = kinds[i]
+            if kc >= len(KINDS_BY_CODE):
+                raise BinaryFormatError(f"unknown kind code {kc}", start)
+            p = procs[i]
+            if p >= self.n_procs:
+                raise BinaryFormatError(
+                    f"proc {p} outside the declared 0..{self.n_procs - 1}",
+                    start,
+                )
+            ai, rv, wv = addr_ids[i], read_vids[i], write_vids[i]
+            if ai >= n_addrs or rv >= n_values or wv >= n_values:
+                raise BinaryFormatError(
+                    "op references an unseen intern id", start
+                )
+            kind = KINDS_BY_CODE[kc]
+            if (rv >= 0) != kind.reads or (wv >= 0) != kind.writes:
+                raise BinaryFormatError(
+                    f"value ids disagree with kind {kind.value!r}", start
+                )
+            index = self._next_index[p]
+            self._next_index[p] = index + 1
+            yield (
+                "op",
+                Operation(
+                    kind,
+                    self.addrs[ai],
+                    p,
+                    index,
+                    value_read=self.values[rv] if rv >= 0 else None,
+                    value_written=self.values[wv] if wv >= 0 else None,
+                ),
+            )
+
+    def _decode_constraints(self, payload: bytes, start: int) -> dict:
+        if len(payload) < 4:
+            raise BinaryFormatError("truncated constraints frame", start)
+        (n,) = struct.unpack_from("<I", payload, 0)
+        if len(payload) != 4 + n * 8:
+            raise BinaryFormatError(
+                f"constraints frame declares {n} pairs but carries "
+                f"{len(payload)} payload bytes", start
+            )
+        out = {}
+        for i in range(n):
+            ai, vi = struct.unpack_from("<Ii", payload, 4 + i * 8)
+            if ai >= len(self.addrs) or not (0 <= vi < len(self.values)):
+                raise BinaryFormatError(
+                    "constraint references an unseen intern id", start
+                )
+            out[self.addrs[ai]] = self.values[vi]
+        return out
+
+
+def loads_stream(data: bytes):
+    """Decode one *complete* REPROSTM stream into ``(execution,
+    commit_order)`` — the batch counterpart of :class:`FrameReader`,
+    used when a finished stream file is handed to an offline command
+    (``repro verify``)."""
+    reader = FrameReader()
+    reader.feed(data)
+    initial: dict = {}
+    final: dict = {}
+    commit_order = []
+    for tag, payload in reader.events():
+        if tag == "op":
+            commit_order.append(payload)
+        elif tag == "initial":
+            initial.update(payload)
+        elif tag == "final":
+            final.update(payload)
+    if not reader.ended:
+        raise BinaryFormatError(
+            "stream is incomplete (no END frame; "
+            f"{reader.pending_bytes} bytes still buffered)",
+            reader._consumed,
+        )
+    if reader.pending_bytes:
+        raise BinaryFormatError(
+            f"{reader.pending_bytes} trailing bytes after the END frame",
+            reader._consumed,
+        )
+    histories = [[] for _ in range(reader.n_procs)]
+    for op in commit_order:
+        histories[op.proc].append(op)
+    execution = Execution.from_ops(histories, initial=initial, final=final)
+    return execution, commit_order
+
+
 def save_bin(execution: Execution, path) -> None:
     """Write an execution to ``path`` in the binary trace format."""
     Path(path).write_bytes(dumps_bin(execution))

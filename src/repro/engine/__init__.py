@@ -73,15 +73,25 @@ from repro.engine.registry import (
     vsc_registry,
 )
 from repro.engine.report import EngineReport, TaskStats
+from repro.engine.streaming import (
+    DEFAULT_WINDOW,
+    AddressMonitor,
+    StreamingVerifier,
+    StreamStats,
+    StreamVerdict,
+    monitor_execution,
+)
 
 __all__ = [
     "CERTIFY_MODES",
     "CHAOS_ENV",
+    "DEFAULT_WINDOW",
     "EXACT_STATE_BUDGET",
     "EXPONENTIAL_TIER",
     "POOL_KINDS",
     "PORTFOLIO_MIN_STATES",
     "RACE_STATE_BUDGET",
+    "AddressMonitor",
     "Backend",
     "BackendInapplicableError",
     "BackendRegistry",
@@ -98,6 +108,9 @@ __all__ = [
     "PrepassInfo",
     "ResiliencePolicy",
     "ResultCache",
+    "StreamStats",
+    "StreamVerdict",
+    "StreamingVerifier",
     "TaskStats",
     "build_vmc_registry",
     "build_vsc_registry",
@@ -106,6 +119,7 @@ __all__ = [
     "estimated_states",
     "execute_plan",
     "fingerprint",
+    "monitor_execution",
     "plan_vmc",
     "plan_vsc",
     "prepass_vmc",

@@ -26,14 +26,26 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class Recorder:
-    """Accumulates operations during a run."""
+    """Accumulates operations during a run.
 
-    def __init__(self, num_processors: int):
+    Operations are recorded at commit time in global bus order, so
+    ``commit_log`` *is* the machine's commit stream — the input the
+    streaming verifier (:mod:`repro.engine.streaming`) consumes.  An
+    optional ``observer`` callable sees each operation as it commits
+    (live monitoring); it must not mutate the operation.
+    """
+
+    def __init__(self, num_processors: int, observer=None):
         self.histories: list[list[Operation]] = [[] for _ in range(num_processors)]
         self.write_orders: dict[int, list[Operation]] = {}
+        self.commit_log: list[Operation] = []
+        self.observer = observer
 
     def _append(self, op: Operation) -> Operation:
         self.histories[op.proc].append(op)
+        self.commit_log.append(op)
+        if self.observer is not None:
+            self.observer(op)
         return op
 
     def record_load(self, proc: int, addr: int, value: object) -> Operation:
@@ -88,6 +100,8 @@ class RunResult:
     bus_traffic: dict[str, int]
     fault_events: list["FaultEvent"] = field(default_factory=list)
     cache_stats: list[dict] = field(default_factory=list)
+    #: Every architectural operation in global commit (bus) order.
+    commit_log: list[Operation] = field(default_factory=list)
 
     @property
     def num_ops(self) -> int:

@@ -45,6 +45,7 @@ class MultiprocessorSystem:
         scripts: list[list[ScriptOp]],
         initial_memory: dict[int, object] | None = None,
         faults: FaultConfig | None = None,
+        monitor=None,
     ):
         if len(scripts) != config.num_processors:
             raise ValueError(
@@ -60,7 +61,20 @@ class MultiprocessorSystem:
         ]
         self.processors = [Processor(i, s) for i, s in enumerate(scripts)]
         self.injector = FaultInjector(faults or FaultConfig.none())
-        self.recorder = Recorder(config.num_processors)
+        #: Optional live monitor (a
+        #: :class:`repro.engine.streaming.StreamingVerifier`): every
+        #: architectural operation is fed to it at commit time, so
+        #: value corruptions are flagged *during* the run instead of by
+        #: a post-hoc verification pass.  Check ``monitor.tripped``
+        #: (or the returned verdicts via ``monitor.heartbeat``) after
+        #: :meth:`run`.
+        self.monitor = monitor
+        self.recorder = Recorder(
+            config.num_processors,
+            observer=monitor.feed_op if monitor is not None else None,
+        )
+        if monitor is not None and initial_memory:
+            monitor.set_initial(dict(initial_memory))
         self.rng = make_rng(config.seed)
         self.steps = 0
         self._initial_snapshot = dict(initial_memory or {})
@@ -120,6 +134,7 @@ class MultiprocessorSystem:
             bus_traffic=self.bus.traffic_summary(),
             fault_events=list(self.injector.events),
             cache_stats=[vars(c.stats) for c in self.caches],
+            commit_log=list(self.recorder.commit_log),
         )
 
     # ------------------------------------------------------------------

@@ -202,3 +202,67 @@ class TestExecutionIntegration:
         assert view.proc_slice(0) == slice(0, 0)
         assert view.proc_slice(2) == slice(5, 5)
         assert_same_execution(ex, view.to_execution())
+
+
+class TestColumnarBuilder:
+    """The append-friendly builder: commit-order appends must build a
+    trace indistinguishable from ``from_execution`` of the same
+    history."""
+
+    @staticmethod
+    def _round_robin(execution: Execution):
+        queues = [list(h.operations) for h in execution.histories]
+        while any(queues):
+            for q in queues:
+                if q:
+                    yield q.pop(0)
+
+    def test_commit_order_build_matches_from_execution(self):
+        from repro.core.columnar import ColumnarBuilder
+
+        for seed in range(10):
+            ex = make_arbitrary_execution(seed)
+            direct = ColumnarTrace.from_execution(ex)
+            b = ColumnarBuilder()
+            for a, v in (ex.initial or {}).items():
+                b.set_initial(a, v)
+            for op in self._round_robin(ex):
+                b.append_op(op)
+            for a, v in (ex.final or {}).items():
+                b.set_final(a, v)
+            built = b.build(n_procs=len(ex.histories))
+            assert_same_execution(built.to_execution(), ex)
+            assert tuple(built.kinds) == tuple(direct.kinds)
+            assert tuple(built.procs) == tuple(direct.procs)
+            assert tuple(built.indices) == tuple(direct.indices)
+            assert tuple(built.addr_ids) == tuple(direct.addr_ids)
+            assert tuple(built.read_vids) == tuple(direct.read_vids)
+            assert tuple(built.write_vids) == tuple(direct.write_vids)
+            assert built.addrs == direct.addrs
+            assert built.values == direct.values
+
+    def test_non_increasing_index_rejected(self):
+        from repro.core.columnar import ColumnarBuilder
+
+        b = ColumnarBuilder()
+        b.append(OpKind.WRITE, 0, "x", value_written=1, index=4)
+        with pytest.raises(ValueError, match="not\\s+increasing"):
+            b.append(OpKind.WRITE, 0, "x", value_written=2, index=4)
+
+    def test_gappy_indices_accepted(self):
+        from repro.core.columnar import ColumnarBuilder
+
+        b = ColumnarBuilder()
+        b.append(OpKind.WRITE, 0, "x", value_written=1, index=2)
+        b.append(OpKind.READ, 0, "x", value_read=1, index=9)
+        ex = b.build().to_execution()
+        assert [op.index for op in ex.histories[0].operations] == [2, 9]
+
+    def test_silent_trailing_process(self):
+        from repro.core.columnar import ColumnarBuilder
+
+        b = ColumnarBuilder()
+        b.append(OpKind.WRITE, 0, "x", value_written=1)
+        ex = b.build(n_procs=3).to_execution()
+        assert len(ex.histories) == 3
+        assert not ex.histories[2].operations

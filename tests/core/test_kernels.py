@@ -229,3 +229,85 @@ class TestPythonFallback:
         assert "kernel=python" in res.report.format()
         assert "stages: " in res.report.format()
         assert "prepass=" in res.report.format()
+
+
+class TestGrow:
+    """``Saturation.grow``: the incremental streaming path appends
+    nodes to a live closure; the result must match a from-scratch
+    saturation over the union of edges and forced pairs."""
+
+    KERNELS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+    @staticmethod
+    def _grid(sat, n):
+        return [
+            [sat.has_edge(u, v) for v in range(n)] for u in range(n)
+        ]
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_grow_then_saturate_matches_scratch(self, name):
+        # Nodes: 0=Wx1, 1=Wx2 (same proc), 2=Rx1 (other proc); phase 2
+        # adds 3=Wx3 (po after 1), 4=Rx3, 5=Rx2.  fr derives 2->1 in
+        # phase 1 and 5->3 after the grow.
+        k = kernels.backend(name)
+        inc = k.saturation(3)
+        inc.add(0, 1, kernels.RULE_PO)
+        assert inc.saturate([(0, 2)], [0, 1]) is None
+        assert inc.has_edge(2, 1)
+
+        inc.grow(3)
+        assert inc.n == 6
+        inc.add(1, 3, kernels.RULE_PO)
+        forced = [(0, 2), (3, 4), (1, 5)]
+        assert inc.saturate(forced, [0, 1, 3]) is None
+        assert inc.has_edge(5, 3)
+
+        scratch = k.saturation(6)
+        scratch.add(0, 1, kernels.RULE_PO)
+        scratch.add(1, 3, kernels.RULE_PO)
+        assert scratch.saturate(forced, [0, 1, 3]) is None
+        assert self._grid(inc, 6) == self._grid(scratch, 6)
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_grow_across_word_boundary(self, name):
+        # 60 -> 70 nodes crosses the 64-bit packing boundary of the
+        # vectorized kernel's bitset rows.
+        import random
+
+        rng = random.Random(17)
+        k = kernels.backend(name)
+        n1, n2 = 60, 70
+        first = [
+            (u, rng.randrange(u + 1, n1))
+            for u in range(n1 - 1) if rng.random() < 0.3
+        ]
+        inc = k.saturation(n1)
+        for u, v in first:
+            inc.add(u, v, kernels.RULE_PO)
+        assert inc.saturate([], []) is None
+        inc.grow(n2 - n1)
+        second = [
+            (u, rng.randrange(max(u + 1, n1), n2))
+            for u in range(n2 - 1) if rng.random() < 0.3
+        ]
+        for u, v in second:
+            inc.add(u, v, kernels.RULE_PO)
+        assert inc.saturate([], []) is None
+
+        scratch = k.saturation(n2)
+        for u, v in first + second:
+            scratch.add(u, v, kernels.RULE_PO)
+        assert scratch.saturate([], []) is None
+        assert self._grid(inc, n2) == self._grid(scratch, n2)
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_grow_preserves_step_log(self, name):
+        k = kernels.backend(name)
+        sat = k.saturation(2)
+        sat.add(0, 1, kernels.RULE_PO)
+        before = list(sat.steps())
+        sat.grow(4)
+        assert list(sat.steps()) == before
+        assert sat.n == 6
+        sat.grow(0)
+        assert sat.n == 6

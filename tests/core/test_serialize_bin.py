@@ -191,3 +191,159 @@ class TestCli:
         path.write_bytes(b"\xff\xfe\x00\x01 not a trace")
         assert main(["verify", str(path)]) == 2
         assert "not UTF-8" in capsys.readouterr().err
+
+
+# -- the framed stream format (REPROSTM) --------------------------------------
+
+
+class TestStream:
+    """The append-only framed stream: lossless, incrementally
+    decodable from arbitrary byte chunks, and loud about truncation."""
+
+    def _coherent(self, seed=7, n_ops=120, nproc=3):
+        from tests.conftest import make_coherent_execution
+
+        return make_coherent_execution(n_ops, nproc, seed, num_values=5)
+
+    def test_round_trip_preserves_ops_and_order(self):
+        import io
+
+        from repro.core.serialize_bin import dump_stream, loads_stream
+
+        ex, schedule = self._coherent()
+        buf = io.BytesIO()
+        dump_stream(
+            buf, schedule, len(ex.histories), initial=ex.initial,
+            final=ex.final, chunk=17,
+        )
+        decoded, order = loads_stream(buf.getvalue())
+        assert_same_execution(decoded, ex)
+        assert [
+            (o.kind, o.proc, o.addr, o.value_read, o.value_written)
+            for o in order
+        ] == [
+            (o.kind, o.proc, o.addr, o.value_read, o.value_written)
+            for o in schedule
+        ]
+
+    def test_chunked_feed_equals_one_shot(self):
+        import io
+        import random
+
+        from repro.core.serialize_bin import FrameReader, dump_stream
+
+        ex, schedule = self._coherent(seed=11)
+        buf = io.BytesIO()
+        dump_stream(buf, schedule, len(ex.histories), initial=ex.initial, chunk=8)
+        blob = buf.getvalue()
+
+        whole = FrameReader()
+        whole.feed(blob)
+        expect = list(whole.events())
+
+        rng = random.Random(99)
+        piecewise = FrameReader()
+        got = []
+        i = 0
+        while i < len(blob):
+            j = min(len(blob), i + rng.randint(1, 23))
+            piecewise.feed(blob[i:j])
+            got.extend(piecewise.events())
+            i = j
+        assert piecewise.ended
+        assert [t for t, _ in got] == [t for t, _ in expect]
+        for (tag, a), (_, b) in zip(got, expect):
+            if tag == "op":
+                assert (a.kind, a.proc, a.addr) == (b.kind, b.proc, b.addr)
+            else:
+                assert a == b
+
+    def test_partial_frame_stays_buffered(self):
+        import io
+
+        from repro.core.serialize_bin import FrameReader, dump_stream
+
+        ex, schedule = self._coherent(seed=3, n_ops=40)
+        buf = io.BytesIO()
+        dump_stream(buf, schedule, len(ex.histories), chunk=10)
+        blob = buf.getvalue()
+
+        reader = FrameReader()
+        reader.feed(blob[:-3])
+        list(reader.events())
+        assert not reader.ended
+        assert reader.pending_bytes > 0
+        reader.feed(blob[-3:])
+        list(reader.events())
+        assert reader.ended
+        assert reader.pending_bytes == 0
+
+    def test_loads_stream_rejects_missing_end(self):
+        import io
+
+        from repro.core.serialize_bin import dump_stream, loads_stream
+
+        ex, schedule = self._coherent(seed=5, n_ops=30)
+        buf = io.BytesIO()
+        dump_stream(buf, schedule, len(ex.histories))
+        with pytest.raises(BinaryFormatError, match="incomplete"):
+            loads_stream(buf.getvalue()[:-1])
+
+    def test_loads_stream_rejects_trailing_bytes(self):
+        import io
+
+        from repro.core.serialize_bin import dump_stream, loads_stream
+
+        ex, schedule = self._coherent(seed=5, n_ops=30)
+        buf = io.BytesIO()
+        dump_stream(buf, schedule, len(ex.histories))
+        with pytest.raises(BinaryFormatError, match="trailing"):
+            loads_stream(buf.getvalue() + b"junk")
+
+    def test_sniff_stream(self):
+        import io
+
+        from repro.core.serialize_bin import (
+            dump_stream,
+            sniff_stream,
+        )
+
+        ex, schedule = self._coherent(seed=5, n_ops=10)
+        buf = io.BytesIO()
+        dump_stream(buf, schedule, len(ex.histories))
+        assert sniff_stream(buf.getvalue())
+        assert not sniff_stream(dumps_bin(ex))
+        assert not sniff_stream(b"{}")
+
+    def test_bad_magic_and_version_rejected(self):
+        from repro.core.serialize_bin import (
+            _STREAM_HEADER,
+            STREAM_MAGIC,
+            STREAM_VERSION,
+            FrameReader,
+        )
+
+        reader = FrameReader()
+        with pytest.raises(BinaryFormatError, match="magic"):
+            reader.feed(b"NOTMAGIC" + b"\0" * 8)
+            list(reader.events())
+        reader = FrameReader()
+        with pytest.raises(BinaryFormatError, match="version"):
+            reader.feed(
+                _STREAM_HEADER.pack(STREAM_MAGIC, STREAM_VERSION + 9, 0, 1)
+            )
+            list(reader.events())
+
+    def test_writer_guards(self):
+        import io
+
+        from repro.core.serialize_bin import StreamWriter
+
+        with pytest.raises(ValueError, match="n_procs"):
+            StreamWriter(io.BytesIO(), 0)
+        w = StreamWriter(io.BytesIO(), 2)
+        with pytest.raises(ValueError, match="outside the declared"):
+            w.append(OpKind.WRITE, 5, "x", value_written=1)
+        w.finish()
+        with pytest.raises(ValueError, match="finished"):
+            w.append(OpKind.WRITE, 0, "x", value_written=1)

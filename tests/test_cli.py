@@ -273,3 +273,114 @@ def test_litmus_command(capsys):
     assert main(["litmus"]) == 0
     out = capsys.readouterr().out
     assert "IRIW" in out and "SC" in out
+
+
+# -- the streaming monitor and stdin input ------------------------------------
+
+
+def _stream_bytes(violated=False, final=None):
+    import io
+
+    from repro.core.serialize_bin import dump_stream
+    from repro.core.types import OpKind, Operation
+
+    schedule = [
+        Operation(OpKind.WRITE, "x", 0, 0, value_written=1),
+        Operation(OpKind.READ, "x", 1, 0, value_read=7 if violated else 1),
+        Operation(OpKind.READ, "x", 0, 1, value_read=1),
+    ]
+    buf = io.BytesIO()
+    dump_stream(buf, schedule, 2, initial={"x": 0}, final=final)
+    return buf.getvalue()
+
+
+def _patch_stdin(monkeypatch, data: bytes):
+    import io
+    import sys
+    import types
+
+    monkeypatch.setattr(
+        sys, "stdin", types.SimpleNamespace(buffer=io.BytesIO(data))
+    )
+
+
+class TestMonitor:
+    def test_stream_holds(self, tmp_path, capsys):
+        path = tmp_path / "ok.stm"
+        path.write_bytes(_stream_bytes())
+        assert main(["monitor", str(path)]) == 0
+        assert "holds" in capsys.readouterr().out
+
+    def test_stream_violation_certified(self, tmp_path, capsys):
+        path = tmp_path / "bad.stm"
+        path.write_bytes(_stream_bytes(violated=True))
+        assert main(["monitor", str(path), "--certify", "on"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED at op 1" in out
+        assert "certificate:" in out
+
+    def test_stats_and_heartbeat(self, tmp_path, capsys):
+        path = tmp_path / "ok.stm"
+        path.write_bytes(_stream_bytes())
+        assert main(
+            ["monitor", str(path), "--stats", "--heartbeat", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "holds so far" in out
+        assert "ops" in out and "peak window" in out
+
+    def test_plain_trace_goes_through_greedy_merge(
+        self, coherent_trace_file, violation_trace_file, capsys
+    ):
+        assert main(["monitor", coherent_trace_file]) == 0
+        assert main(["monitor", violation_trace_file]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_stream_from_stdin(self, monkeypatch, capsys):
+        _patch_stdin(monkeypatch, _stream_bytes())
+        assert main(["monitor", "-"]) == 0
+        assert "holds" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["monitor", "/does/not/exist.stm"]) == 2
+
+    def test_truncated_header_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "cut.stm"
+        path.write_bytes(_stream_bytes()[:10])
+        assert main(["monitor", str(path)]) == 2
+
+    def test_mid_frame_truncation_decides_prefix(self, tmp_path, capsys):
+        blob = _stream_bytes()
+        path = tmp_path / "cut.stm"
+        path.write_bytes(blob[:-4])
+        assert main(["monitor", str(path)]) == 0
+        assert "mid-frame" in capsys.readouterr().out
+
+
+class TestStdinVerify:
+    def test_json_from_stdin(self, violation_trace_file, monkeypatch, capsys):
+        data = open(violation_trace_file, "rb").read()
+        _patch_stdin(monkeypatch, data)
+        assert main(["verify", "-"]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_text_from_stdin(self, monkeypatch, capsys):
+        _patch_stdin(monkeypatch, b"P0: W(x,1) R(x,1)\nP1: R(x,1)\n")
+        assert main(["verify", "-"]) == 0
+        assert "holds" in capsys.readouterr().out
+
+    def test_binary_from_stdin(self, coherent_trace_file, monkeypatch, capsys):
+        from repro.core.builder import parse_trace
+        from repro.core.serialize_bin import dumps_bin
+
+        ex = parse_trace(open(coherent_trace_file).read())
+        _patch_stdin(monkeypatch, dumps_bin(ex))
+        assert main(["verify", "-"]) == 0
+
+    def test_stream_from_stdin(self, monkeypatch, capsys):
+        _patch_stdin(monkeypatch, _stream_bytes())
+        assert main(["verify", "-"]) == 0
+
+    def test_garbage_from_stdin_exits_2(self, monkeypatch, capsys):
+        _patch_stdin(monkeypatch, b"\xff\xfe garbage")
+        assert main(["verify", "-"]) == 2
