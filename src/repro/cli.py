@@ -21,6 +21,16 @@ Commands:
   (:mod:`repro.engine.certify`): ``on`` exits 3 loudly when a verdict
   cannot be certified; ``strict`` downgrades it to
   UNKNOWN(uncertified) and continues.
+* ``batch <paths...>``     — verify a directory / manifest of trace
+  files as one campaign: every (file, address) task is canonicalized
+  and deduplicated batch-wide *before* any solving, unique instances
+  are sharded across a process pool by content fingerprint
+  (``--jobs``), and verdicts are served from / written to a persistent
+  content-addressed result store (``--store DIR``,
+  ``--store-max-mb``).  ``--dry-run`` prints the dedup plan and
+  predicted store hits without solving; ``--json FILE`` writes the
+  machine-readable report (per-file verdicts, hit provenance,
+  certified counts).
 * ``monitor <stream>``     — tail a growing commit-order stream (the
   framed REPROSTM format of :mod:`repro.core.serialize_bin`; ``-``
   reads stdin) and verify it *incrementally*: certified verdict on the
@@ -56,7 +66,6 @@ import os
 import sys
 from pathlib import Path
 
-from repro.core.builder import parse_trace
 from repro.core.serialize import save as save_json
 from repro.core.types import Execution, schedule_str
 from repro.core.vmc import verify_coherence
@@ -119,48 +128,12 @@ def _nonneg_int(text: str) -> int:
 
 
 def _parse_trace_bytes(raw: bytes, source: str, suffix: str = "") -> Execution:
-    """Decode trace bytes from any supported format.
+    """Decode trace bytes from any supported format (the shared
+    sniffing decoder lives in :func:`repro.core.serialize.parse_trace_bytes`
+    so the batch engine can use it without importing the CLI)."""
+    from repro.core.serialize import parse_trace_bytes
 
-    Content sniffing, not extension trust: the framed-stream magic
-    wins, then the binary trace magic, then JSON-shaped text, then the
-    line-oriented text format.  ``source`` labels error messages (a
-    path, or ``<stdin>``).
-    """
-    from repro.core import serialize_bin
-
-    if serialize_bin.sniff_stream(raw):
-        try:
-            execution, _ = serialize_bin.loads_stream(raw)
-            return execution
-        except serialize_bin.BinaryFormatError as e:
-            raise ValueError(f"{source}: malformed stream: {e}") from e
-    if serialize_bin.sniff(raw):
-        try:
-            return serialize_bin.loads_bin(raw)
-        except serialize_bin.BinaryFormatError as e:
-            raise ValueError(f"{source}: malformed binary trace: {e}") from e
-    try:
-        text = raw.decode("utf-8")
-    except UnicodeDecodeError as e:
-        raise ValueError(
-            f"{source}: not a binary trace, and not UTF-8 text "
-            f"(bad byte at {e.start})"
-        ) from e
-    # A .json suffix means the serialize format, but so does JSON-shaped
-    # content under any name — sniff the first significant character.
-    if suffix == ".json" or text.lstrip()[:1] in ("{", "["):
-        from repro.core.serialize import loads
-
-        try:
-            return loads(text)
-        except json.JSONDecodeError as e:
-            # One line, naming the file and the byte offset, so a
-            # truncated or corrupted trace in a big sweep is findable.
-            raise ValueError(
-                f"{source}: malformed JSON at byte {e.pos} "
-                f"(line {e.lineno}, column {e.colno}): {e.msg}"
-            ) from e
-    return parse_trace(text)
+    return parse_trace_bytes(raw, source, suffix)
 
 
 def _load_trace(path_str: str) -> Execution:
@@ -220,6 +193,19 @@ def _print_result(result, label: str, want_witness: bool, want_stats: bool) -> i
     return 0 if result else 1
 
 
+def _store_from_args(args: argparse.Namespace, resilience):
+    """Open the persistent result store named by ``--store`` (None when
+    the flag is absent); chaos store faults ride the resilience policy."""
+    if not getattr(args, "store", None):
+        return None
+    from repro.engine.store import ResultStore
+
+    chaos = resilience.chaos if resilience is not None else None
+    return ResultStore(
+        args.store, max_mb=args.store_max_mb, chaos=chaos
+    )
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     from time import perf_counter
 
@@ -232,6 +218,19 @@ def cmd_verify(args: argparse.Namespace) -> int:
     t_load = perf_counter() - t_load
     try:
         resilience = _resilience_from_args(args)
+        store = _store_from_args(args, resilience)
+        if store is not None and (args.sc or args.model):
+            print(
+                "error: --store applies to coherence verification "
+                "(not --sc / --model)",
+                file=sys.stderr,
+            )
+            return 2
+        cache = None
+        if store is not None:
+            from repro.engine import ResultCache
+
+            cache = ResultCache(store=store)
         if args.model:
             from repro.consistency.restrict import verifier_for
 
@@ -259,6 +258,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 execution,
                 method=args.method,
                 jobs=args.jobs,
+                cache=cache,
                 pool=args.pool,
                 prepass=not args.no_prepass,
                 portfolio=args.portfolio,
@@ -281,6 +281,101 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if result.report is not None:
         result.report.stage_times["load"] = t_load
     return _print_result(result, label, args.witness, args.stats)
+
+
+def _expand_batch_paths(paths: list[str], manifest: str | None) -> list[str]:
+    """Resolve the batch's inputs: explicit paths, directories (their
+    non-hidden files, sorted), and/or a manifest file (one path per
+    line, ``#`` comments)."""
+    out: list[str] = []
+    if manifest:
+        text = Path(manifest).read_text(encoding="utf-8")
+        for line in text.splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                out.append(line)
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            out.extend(
+                str(q)
+                for q in sorted(path.iterdir())
+                if q.is_file() and not q.name.startswith(".")
+            )
+        else:
+            out.append(p)
+    return out
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.engine.batch import batch_exit_code, run_batch
+
+    try:
+        resilience = _resilience_from_args(args)
+        store = _store_from_args(args, resilience)
+        paths = _expand_batch_paths(args.paths, args.manifest)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if not paths:
+        print("error: no trace files to verify", file=sys.stderr)
+        return 2
+    report = run_batch(
+        paths,
+        jobs=args.jobs,
+        store=store,
+        resilience=resilience,
+        certify=args.certify,
+        prepass=not args.no_prepass,
+        portfolio=args.portfolio,
+        dry_run=args.dry_run,
+    )
+    if args.json:
+        text = json.dumps(report, indent=2, default=str)
+        if args.json == "-":
+            # Machine consumers pipe stdout: the report is the whole
+            # output, no human-readable lines mixed in.
+            print(text)
+            return batch_exit_code(report)
+        Path(args.json).write_text(text + "\n", encoding="utf-8")
+    if args.dry_run:
+        print(report["plan"]["text"])
+        return batch_exit_code(report)
+    if args.stats:
+        print(report["plan"]["text"])
+    for entry in report["files"]:
+        prov = entry["provenance"]
+        served = " ".join(
+            f"{kind}={prov[kind]}"
+            for kind in ("solved", "memory", "store", "dedup")
+            if prov.get(kind)
+        )
+        line = f"{entry['path']}: {entry['verdict']}"
+        if served:
+            line += f"  ({served})"
+        print(line)
+        if entry["verdict"] in ("VIOLATED", "UNKNOWN", "error"):
+            print(f"  reason: {entry['reason']}")
+    totals = report["totals"]
+    print(
+        f"batch: {totals['files']} files  holds={totals['holds']} "
+        f"violated={totals['violated']} unknown={totals['unknown']} "
+        f"errors={totals['errors']}  wall={totals['wall_s']:.3f}s"
+    )
+    print(
+        f"dedup: {totals['tasks']} tasks -> {totals['unique']} unique; "
+        f"solved={totals['solved']} memory={totals['memory_hits']} "
+        f"store={totals['store_hits']} dedup={totals['dedup_served']} "
+        f"certified={totals['certified']}"
+    )
+    if args.stats and report.get("store") is not None and "store" in totals:
+        s = totals["store"]
+        print(
+            f"store: hits={s['hits']} misses={s['misses']} "
+            f"stores={s['stores']} evictions={s['evictions']} "
+            f"tombstones={s['tombstones']} torn={s['torn_records']}"
+        )
+    return batch_exit_code(report)
 
 
 def _print_heartbeat(verdict) -> None:
@@ -512,6 +607,26 @@ def cmd_litmus(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_store_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent content-addressed result store directory: "
+        "verdicts are read through (and re-validated on load under "
+        "--certify) and written through, so isomorphic instances are "
+        "never solved twice across runs",
+    )
+    p.add_argument(
+        "--store-max-mb",
+        type=_nonneg_float,
+        default=None,
+        metavar="MB",
+        help="cap the store's on-disk footprint; overweight shards are "
+        "compacted LRU-style (least recently hit entries evicted)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -610,7 +725,104 @@ def build_parser() -> argparse.ArgumentParser:
         "'crash=0.2,stall=0.1,seed=7'; test-only, requires the "
         "REPRO_CHAOS environment variable to be set",
     )
+    _add_store_args(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "batch",
+        help="verify a directory/manifest of trace files as one "
+        "deduplicated, sharded campaign",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="trace files and/or directories (a directory contributes "
+        "its non-hidden files, sorted)",
+    )
+    p.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="file listing trace paths, one per line ('#' comments)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="shard unique instances over N worker processes; workers "
+        "are partitioned by store shard, so they never contend on a "
+        "shard lock",
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the dedup plan (N files -> M unique instances, "
+        "predicted store hits, admission windows) without solving",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable batch report to FILE "
+        "('-' prints it to stdout)",
+    )
+    p.add_argument(
+        "--no-prepass",
+        action="store_true",
+        help="skip the polynomial pre-pass before the exponential "
+        "backends",
+    )
+    p.add_argument(
+        "--portfolio",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="race exact search vs SAT on exponential-tier tasks",
+    )
+    p.add_argument(
+        "--certify",
+        choices=CERTIFY_MODES,
+        default="off",
+        help="certify every verdict (including store hits, which are "
+        "re-validated on load) with the independent trusted checker",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the dedup plan and persistent-store counters with "
+        "the per-file verdicts",
+    )
+    p.add_argument(
+        "--timeout",
+        type=_nonneg_float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget for the whole batch; instances not "
+        "admitted before expiry report UNKNOWN(budget)",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=_nonneg_float,
+        default=None,
+        metavar="S",
+        help="soft deadline per unique instance in seconds",
+    )
+    p.add_argument(
+        "--retries",
+        type=_nonneg_int,
+        default=None,
+        metavar="N",
+        help="pool-breakage retries per chunk before it is quarantined "
+        "to in-process execution (default 2)",
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults (includes slow-store / "
+        "corrupt-store); test-only, requires REPRO_CHAOS",
+    )
+    _add_store_args(p)
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
         "monitor",

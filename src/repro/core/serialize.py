@@ -155,3 +155,61 @@ def load(path) -> Execution:
     if serialize_bin.sniff(raw):
         return serialize_bin.loads_bin(raw)
     return loads(raw.decode("utf-8"))
+
+
+def parse_trace_bytes(raw: bytes, source: str = "<bytes>", suffix: str = "") -> Execution:
+    """Decode trace bytes from *any* supported on-disk format.
+
+    Content sniffing, not extension trust: the framed-stream magic
+    (REPROSTM) wins, then the binary trace magic (REPROBIN), then
+    JSON-shaped text, then the line-oriented text format.  ``source``
+    labels error messages (a path, or ``<stdin>``); every failure is a
+    ``ValueError`` naming it.  This is the single decoding path shared
+    by the CLI (``verify``/``monitor``/``batch``) and the batch engine.
+    """
+    from repro.core import serialize_bin
+
+    if serialize_bin.sniff_stream(raw):
+        try:
+            execution, _ = serialize_bin.loads_stream(raw)
+            return execution
+        except serialize_bin.BinaryFormatError as e:
+            raise ValueError(f"{source}: malformed stream: {e}") from e
+    if serialize_bin.sniff(raw):
+        try:
+            return serialize_bin.loads_bin(raw)
+        except serialize_bin.BinaryFormatError as e:
+            raise ValueError(f"{source}: malformed binary trace: {e}") from e
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as e:
+        raise ValueError(
+            f"{source}: not a binary trace, and not UTF-8 text "
+            f"(bad byte at {e.start})"
+        ) from e
+    # A .json suffix means the serialize format, but so does JSON-shaped
+    # content under any name — sniff the first significant character.
+    if suffix == ".json" or text.lstrip()[:1] in ("{", "["):
+        try:
+            return loads(text)
+        except json.JSONDecodeError as e:
+            # One line, naming the file and the byte offset, so a
+            # truncated or corrupted trace in a big sweep is findable.
+            raise ValueError(
+                f"{source}: malformed JSON at byte {e.pos} "
+                f"(line {e.lineno}, column {e.colno}): {e.msg}"
+            ) from e
+    from repro.core.builder import parse_trace
+
+    return parse_trace(text)
+
+
+def load_any(path) -> Execution:
+    """Read an execution from a file in any supported format
+    (see :func:`parse_trace_bytes`)."""
+    from pathlib import Path
+
+    p = Path(path)
+    if not p.exists():
+        raise FileNotFoundError(f"trace file {p} does not exist")
+    return parse_trace_bytes(p.read_bytes(), str(p), p.suffix)

@@ -72,7 +72,16 @@ from repro.engine.registry import (
     vmc_registry,
     vsc_registry,
 )
+from repro.engine.batch import (
+    BatchPlan,
+    SourceOutcome,
+    batch_exit_code,
+    plan_batch,
+    run_batch,
+    verify_many,
+)
 from repro.engine.report import EngineReport, TaskStats
+from repro.engine.store import ResultStore, StoreStats, fingerprint_key
 from repro.engine.streaming import (
     DEFAULT_WINDOW,
     AddressMonitor,
@@ -95,6 +104,7 @@ __all__ = [
     "Backend",
     "BackendInapplicableError",
     "BackendRegistry",
+    "BatchPlan",
     "CacheStats",
     "CertCheck",
     "Certificate",
@@ -108,10 +118,14 @@ __all__ = [
     "PrepassInfo",
     "ResiliencePolicy",
     "ResultCache",
+    "ResultStore",
+    "SourceOutcome",
+    "StoreStats",
     "StreamStats",
     "StreamVerdict",
     "StreamingVerifier",
     "TaskStats",
+    "batch_exit_code",
     "build_vmc_registry",
     "build_vsc_registry",
     "canonicalize",
@@ -119,9 +133,13 @@ __all__ = [
     "estimated_states",
     "execute_plan",
     "fingerprint",
+    "fingerprint_key",
     "monitor_execution",
+    "plan_batch",
     "plan_vmc",
     "plan_vsc",
+    "run_batch",
+    "verify_many",
     "prepass_vmc",
     "prepass_vsc",
     "resolve_pool",

@@ -34,10 +34,13 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Sequence
+from typing import TYPE_CHECKING, Any, Hashable, Sequence
 
 from repro.core.result import Certificate, VerificationResult
 from repro.core.types import Execution, Operation
+
+if TYPE_CHECKING:
+    from repro.engine.store import ResultStore
 
 
 @dataclass
@@ -188,11 +191,17 @@ class _Entry:
     #: on-hit re-validation — which costs a recompute, never a wrong
     #: answer.
     certificate: Certificate | None = None
+    #: Whether the entry was loaded from the persistent store tier (so
+    #: a later validation failure is charged to the store, not to the
+    #: in-memory cache).
+    from_store: bool = False
 
 
 @dataclass
 class CacheStats:
+    #: Served from the in-memory tier.
     hits: int = 0
+    #: Missed both the in-memory tier and the store (if attached).
     misses: int = 0
     stores: int = 0
     evictions: int = 0
@@ -200,19 +209,31 @@ class CacheStats:
     #: witness that no longer replays, or a certificate the trusted
     #: checker rejects): the entry is dropped and the task recomputed.
     validation_failures: int = 0
+    #: Served from the persistent store tier (memory miss, disk hit).
+    store_hits: int = 0
+    #: Store-loaded entries that failed the on-hit check — corrupt,
+    #: stale, or tampered records evicted (tombstoned) and recomputed.
+    store_revalidation_failures: int = 0
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        total = self.hits + self.store_hits + self.misses
+        return (self.hits + self.store_hits) / total if total else 0.0
 
     def summary(self) -> str:
-        return (
-            f"{self.hits} hit / {self.misses} miss "
+        text = (
+            f"{self.hits} memory hit / {self.store_hits} store hit / "
+            f"{self.misses} miss "
             f"({self.hit_rate:.0%}), {self.stores} stored, "
             f"{self.evictions} evicted, "
             f"{self.validation_failures} failed validation"
         )
+        if self.store_revalidation_failures:
+            text += (
+                f", {self.store_revalidation_failures} store records "
+                f"failed revalidation"
+            )
+        return text
 
 
 class ResultCache:
@@ -222,29 +243,76 @@ class ResultCache:
     re-materialized with the *current* execution's operations, so the
     returned schedule passes :mod:`repro.core.checker` for the new
     instance even though it was computed for an isomorphic one.
+
+    With a :class:`~repro.engine.store.ResultStore` attached the cache
+    becomes two-tiered: lookups fall through to the store on a memory
+    miss (read-through, the loaded entry is promoted into memory) and
+    every store writes through to disk — so the executor, pre-pass,
+    portfolio, streaming, and batch paths all gain cross-run
+    persistence without any call-site change.  Store-loaded verdicts
+    pass through the same on-hit validation seam as memory hits
+    (:func:`repro.engine.executor._cache_lookup`); a failure evicts the
+    record from *both* tiers and recomputes.
     """
 
-    def __init__(self, max_entries: int | None = None):
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        store: "ResultStore | None" = None,
+    ):
         self._data: dict[Hashable, _Entry] = {}
         self._lock = threading.Lock()
         self.max_entries = max_entries
+        self.store_tier = store
         self.stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._data)
 
+    def _install(self, key: Hashable, entry: _Entry) -> None:
+        """Insert under the lock, honouring ``max_entries`` (FIFO)."""
+        if (
+            self.max_entries is not None
+            and key not in self._data
+            and len(self._data) >= self.max_entries
+        ):
+            self._data.pop(next(iter(self._data)))
+            self.stats.evictions += 1
+        self._data[key] = entry
+
     def lookup(self, canon: CanonicalInstance) -> VerificationResult | None:
         with self._lock:
             entry = self._data.get(canon.key)
-            if entry is None:
+            if entry is not None:
+                self.stats.hits += 1
+        from_store = False
+        if entry is None and self.store_tier is not None:
+            rec = self.store_tier.lookup(canon)
+            if rec is not None:
+                entry = _Entry(
+                    holds=rec["holds"],
+                    method=rec["method"],
+                    reason=rec["reason"],
+                    schedule_idx=rec["schedule_idx"],
+                    stats=rec["stats"],
+                    certificate=rec["certificate"],
+                    from_store=True,
+                )
+                from_store = True
+                with self._lock:
+                    self._install(canon.key, entry)
+                    self.stats.store_hits += 1
+        if entry is None:
+            with self._lock:
                 self.stats.misses += 1
-                return None
-            self.stats.hits += 1
+            return None
         schedule = None
         if entry.schedule_idx is not None:
             schedule = [canon.ops[i] for i in entry.schedule_idx]
         stats = dict(entry.stats)
         stats["cache_hit"] = True
+        if from_store:
+            stats["store_hit"] = True
         return VerificationResult(
             holds=entry.holds,
             method=entry.method,
@@ -256,10 +324,16 @@ class ResultCache:
 
     def invalidate(self, canon: CanonicalInstance) -> None:
         """Drop an entry whose re-materialized result failed the on-hit
-        check; the caller recomputes the task as if it had missed."""
+        check; the caller recomputes the task as if it had missed.  A
+        store-loaded entry is tombstoned on disk too — a corrupt or
+        stale record must never be trusted by a later run either."""
         with self._lock:
-            self._data.pop(canon.key, None)
+            entry = self._data.pop(canon.key, None)
             self.stats.validation_failures += 1
+            if entry is not None and entry.from_store:
+                self.stats.store_revalidation_failures += 1
+        if self.store_tier is not None:
+            self.store_tier.invalidate(canon)
 
     def store(self, canon: CanonicalInstance, result: VerificationResult) -> None:
         schedule_idx = None
@@ -278,23 +352,33 @@ class ResultCache:
             stats={
                 k: v
                 for k, v in result.stats.items()
-                if k not in ("cache_hit", "t_certify")
+                if k not in ("cache_hit", "store_hit", "t_certify")
             },
             certificate=result.certificate,
         )
         with self._lock:
-            if (
-                self.max_entries is not None
-                and canon.key not in self._data
-                and len(self._data) >= self.max_entries
-            ):
-                self._data.pop(next(iter(self._data)))
-                self.stats.evictions += 1
             if canon.key not in self._data:
                 self.stats.stores += 1
-            self._data[canon.key] = entry
+            self._install(canon.key, entry)
+        if self.store_tier is not None and not result.unknown:
+            self.store_tier.put(
+                canon,
+                holds=entry.holds,
+                method=entry.method,
+                reason=entry.reason,
+                schedule_idx=entry.schedule_idx,
+                stats=entry.stats,
+                certificate=entry.certificate,
+            )
+
+    def flush_store(self) -> None:
+        """Persist buffered write-through entries (one fsync batch per
+        dirty shard); a no-op without a store tier."""
+        if self.store_tier is not None:
+            self.store_tier.flush()
 
     def clear(self) -> None:
+        """Reset the in-memory tier and counters (the store survives)."""
         with self._lock:
             self._data.clear()
             self.stats = CacheStats()

@@ -18,6 +18,11 @@ leg-stall    portfolio leg start    one race leg scheduled late / slowly
 bad-verdict  worker, after decide   a buggy solver reporting the
                                     opposite verdict
 bad-cert     worker, after decide   a corrupted / tampered certificate
+slow-store   store lookup/flush     a persistent store on slow or
+                                    contended disk
+corrupt-store  store, on load       on-disk bit rot / a tampered store
+                                    record (flipped verdict, stripped
+                                    proof material)
 ===========  =====================  =====================================
 
 The last two are *semantic* faults: unlike crashes and stalls they
@@ -46,7 +51,7 @@ faults into a production run)::
     field   := KIND "=" RATE | "seed" "=" INT
              | "stall-s" "=" SECONDS | "slow-s" "=" SECONDS
     KIND    := "crash" | "stall" | "lost" | "slow-cache" | "leg-stall"
-             | "bad-verdict" | "bad-cert"
+             | "bad-verdict" | "bad-cert" | "slow-store" | "corrupt-store"
     RATE    := float in [0, 1]
 
 Example: ``--chaos crash=0.2,stall=0.1,lost=0.1,seed=7``.
@@ -99,13 +104,15 @@ class ChaosSpec:
     leg_stall: float = 0.0
     bad_verdict: float = 0.0
     bad_cert: float = 0.0
+    slow_store: float = 0.0
+    corrupt_store: float = 0.0
     stall_s: float = 0.05
     slow_s: float = 0.02
     seed: int = 0
 
     _RATES = (
         "crash", "stall", "lost", "slow_cache", "leg_stall",
-        "bad_verdict", "bad_cert",
+        "bad_verdict", "bad_cert", "slow_store", "corrupt_store",
     )
 
     def __post_init__(self) -> None:
@@ -203,6 +210,22 @@ class ChaosSpec:
     def corrupts_certificate(self, key: str, attempt: int) -> bool:
         """Should this (task, attempt) tamper with its certificate?"""
         return self._roll("bad-cert", key, attempt) < self.bad_cert
+
+    def store_delay(self, key: str, io: str) -> float:
+        """Seconds of injected latency on a persistent-store lookup or
+        flush (0 = no)."""
+        if self._roll(f"slow-store-{io}", key, 0) < self.slow_store:
+            return self.slow_s
+        return 0.0
+
+    def corrupts_store_record(self, key: str) -> bool:
+        """Should this store record come back corrupted on load?
+
+        Keyed by the record's fingerprint only (no attempt): bit rot is
+        a property of the record, not of who reads it — every load of a
+        rotten record sees the corruption, so a store that keeps serving
+        it would keep being caught."""
+        return self._roll("corrupt-store", key, 0) < self.corrupt_store
 
     # ------------------------------------------------------------------
     # Injection helpers for the seams

@@ -503,6 +503,9 @@ def execute_plan(
         problem=problem, jobs=jobs, pool=pool, planned=len(tasks)
     )
     evictions_before = cache.stats.evictions if cache is not None else 0
+    store_reval_before = (
+        cache.stats.store_revalidation_failures if cache is not None else 0
+    )
     outcomes: dict[int, _Outcome] = {}
 
     if jobs <= 1 or len(tasks) <= 1:
@@ -567,12 +570,15 @@ def execute_plan(
                 estimate=task.estimate,
                 wall_time=got.seconds,
                 cache_hit=got.cache_hit,
+                store_hit=bool(result.stats.get("store_hit")),
                 holds=None if result.unknown else result.holds,
                 unknown=result.unknown,
                 attempts=got.attempts,
                 quarantined=got.quarantined,
                 detail={
-                    k: v for k, v in result.stats.items() if k != "cache_hit"
+                    k: v
+                    for k, v in result.stats.items()
+                    if k not in ("cache_hit", "store_hit")
                 },
             )
         )
@@ -591,6 +597,12 @@ def execute_plan(
         }
     if cache is not None:
         report.cache_evictions = cache.stats.evictions - evictions_before
+        report.store_revalidation_failures = (
+            cache.stats.store_revalidation_failures - store_reval_before
+        )
+        # fsync-on-batch: one durability point per engine run, not per
+        # entry (a no-op without a store tier).
+        cache.flush_store()
     report.stage_times["search"] = max(0.0, decide_s - certify_s)
     if certify != "off":
         report.stage_times["certify"] = certify_s

@@ -23,6 +23,9 @@ class TaskStats:
     estimate: float         # planner's cost estimate
     wall_time: float = 0.0  # seconds spent deciding (0.0 for cache hits)
     cache_hit: bool = False
+    #: The hit was served by the persistent store tier (a memory miss
+    #: that the disk satisfied); implies ``cache_hit``.
+    store_hit: bool = False
     holds: bool | None = None   # None = task skipped (early exit)
     skipped: bool = False
     unknown: bool = False       # abandoned without a verdict (see reason)
@@ -37,7 +40,12 @@ class TaskStats:
             else "holds" if self.holds
             else "VIOLATED"
         )
-        src = "cache" if self.cache_hit else "-" if self.skipped else "run"
+        src = (
+            "store" if self.store_hit
+            else "cache" if self.cache_hit
+            else "-" if self.skipped
+            else "run"
+        )
         if self.quarantined:
             src = "quar"
         extra = ", ".join(
@@ -63,6 +71,12 @@ class EngineReport:
     cache_misses: int = 0
     #: Eviction count in the (possibly shared) cache during this run.
     cache_evictions: int = 0
+    #: Hits served by the persistent store tier (subset of the memory
+    #: misses, disjoint from ``cache_hits`` which counts memory only).
+    store_hits: int = 0
+    #: Store-loaded records that failed on-hit revalidation during this
+    #: run (evicted from both tiers and recomputed, never served).
+    store_revalidation_failures: int = 0
     #: Tasks prevented from running after the early exit fired: pool
     #: futures successfully cancelled plus tasks never submitted.
     cancelled: int = 0
@@ -113,7 +127,9 @@ class EngineReport:
         self.retries += max(0, task.attempts - 1)
         if task.quarantined:
             self.quarantined += 1
-        if task.cache_hit:
+        if task.store_hit:
+            self.store_hits += 1
+        elif task.cache_hit:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
@@ -138,6 +154,11 @@ class EngineReport:
             f"early_exit={'yes' if self.early_exit else 'no'} "
             f"wall={self.wall_time * 1e3:.2f}ms",
         ]
+        if self.store_hits or self.store_revalidation_failures:
+            lines.append(
+                f"store: hits={self.store_hits} "
+                f"revalidation_failures={self.store_revalidation_failures}"
+            )
         if (
             self.unknown or self.retries or self.crashes
             or self.quarantined or self.deadline_expired

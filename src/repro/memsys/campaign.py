@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.vmc import verify_coherence
-from repro.engine import ResultCache
+from repro.engine import ResultCache, verify_many
+from repro.engine.store import ResultStore
 from repro.memsys.directory import DirectorySystem
 from repro.memsys.faults import FaultConfig, FaultKind
 from repro.memsys.system import MultiprocessorSystem, SystemConfig
@@ -79,6 +79,7 @@ def run_campaign(
     base_seed: int = 0,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    store: ResultStore | None = None,
     resilience=None,
 ) -> list[CampaignResult]:
     """Sweep seeds over every (fault kind, substrate) cell.
@@ -88,26 +89,32 @@ def run_campaign(
     verified per cell and any false alarm is counted (and should never
     occur — tests assert it).
 
-    Verification routes through the unified engine: ``jobs`` fans
-    per-address tasks out over a thread pool, and one
+    Verification routes through the batch engine
+    (:func:`repro.engine.verify_many`): each cell's runs are simulated
+    first, then canonicalized and deduplicated *across the cell* before
+    any solving, so fingerprint-identical per-address histories —
+    which campaigns repeat constantly — are decided once.  ``jobs``
+    shards the deduplicated instances over a process pool, and one
     :class:`~repro.engine.ResultCache` (created here unless supplied)
-    is shared across the whole sweep — campaigns repeat many
-    fingerprint-identical per-address histories, so later runs are
-    largely served from the cache.
+    carries hits across cells; attach a ``store``
+    (:class:`~repro.engine.ResultStore`) and repeated campaigns warm-
+    start from disk.
 
     The sweep degrades gracefully: a run whose verification is
-    abandoned (under a ``resilience`` policy's deadlines) or raises is
-    counted in the cell's ``unknown`` / ``errors`` and the sweep moves
-    on — one bad cell costs its own coverage, never the campaign.
+    abandoned (under a ``resilience`` policy's deadlines) lands in the
+    cell's ``unknown``, a run whose verification errored lands in
+    ``errors``, and the sweep moves on — one bad cell costs its own
+    coverage, never the campaign.
     """
     kinds = kinds or list(FaultKind)
     substrates = substrates or list(SUBSTRATES)
-    cache = cache if cache is not None else ResultCache()
+    cache = cache if cache is not None else ResultCache(store=store)
     results: list[CampaignResult] = []
     for substrate in substrates:
         system_cls = SUBSTRATES[substrate]
         for kind in kinds:
             cell = CampaignResult(kind=kind, substrate=substrate)
+            runs = []
             for i in range(runs_per_cell):
                 seed = base_seed + i
                 scripts, init = random_shared_workload(
@@ -118,25 +125,31 @@ def run_campaign(
                     seed=seed,
                 )
                 cfg = SystemConfig(num_processors=num_processors, seed=seed)
-                run = system_cls(
+                runs.append(system_cls(
                     cfg,
                     scripts,
                     initial_memory=init,
                     faults=FaultConfig.single(kind, seed=seed, rate=fault_rate),
-                ).run()
-                cell.runs += 1
-                try:
-                    verdict = verify_coherence(
-                        run.execution,
-                        write_orders=run.write_orders,
-                        jobs=jobs,
-                        cache=cache,
-                        resilience=resilience,
-                    )
-                except Exception:
+                ).run())
+            cell.runs += len(runs)
+            outcomes = verify_many(
+                [run.execution for run in runs],
+                write_orders=[run.write_orders for run in runs],
+                labels=[
+                    f"{substrate}/{kind.value}/seed={base_seed + i}"
+                    for i in range(len(runs))
+                ],
+                jobs=jobs,
+                cache=cache,
+                store=store,
+                resilience=resilience,
+            )
+            for run, outcome in zip(runs, outcomes):
+                if outcome.error is not None:
                     cell.errors += 1
                     continue
-                if verdict.unknown:
+                verdict = outcome.result
+                if verdict is None or verdict.unknown:
                     cell.unknown += 1
                     continue
                 if run.faults_injected:

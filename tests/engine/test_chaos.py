@@ -34,10 +34,12 @@ from repro.engine import (
     ResultCache,
     execute_plan,
     plan_vmc,
+    verify_many,
     verify_vmc,
 )
 from repro.engine.backend import Backend, ExactBackend, Instance, SatBackend
 from repro.engine.planner import PlannedTask
+from repro.engine.store import ResultStore
 from repro.util.control import Cancelled
 from tests.conftest import make_coherent_execution
 
@@ -708,3 +710,138 @@ class TestKeyboardInterrupt:
                             prepass=False)
         assert not result.unknown
         _assert_no_orphans()
+
+
+# ---------------------------------------------------------------------
+# The persistent-store faults (slow-store / corrupt-store)
+# ---------------------------------------------------------------------
+class TestStoreChaos:
+    """``corrupt-store`` models on-disk bit rot / a tampered record:
+    the loaded entry's verdict is flipped and its proof material
+    (witness indices, certificate) stripped.  The guarantee under test:
+    under ``certify on|strict`` every corrupt record is evicted from
+    both tiers (tombstoned on disk) and recomputed — the tampered
+    verdict is *never served*, and the re-run agrees exactly with a
+    clean store."""
+
+    def test_spec_grammar_covers_store_faults(self):
+        spec = ChaosSpec.parse("slow-store=0.5,corrupt-store=0.25,seed=2")
+        assert spec.slow_store == 0.5
+        assert spec.corrupt_store == 0.25
+        assert spec.any_enabled()
+        assert ChaosSpec.parse(spec.describe()) == spec
+
+    def test_corruption_is_a_record_property(self):
+        # No attempt in the roll: every load of a rotten record is
+        # corrupted, so "retry the read" can never launder it.
+        spec = ChaosSpec(corrupt_store=0.5, seed=4)
+        keys = [f"fp{i}" for i in range(100)]
+        first = [spec.corrupts_store_record(k) for k in keys]
+        assert first == [spec.corrupts_store_record(k) for k in keys]
+        assert any(first) and not all(first)
+
+    def _populate(self, path, corpus):
+        cache = ResultCache(store=ResultStore(path))
+        clean = verify_many(corpus, cache=cache, certify="on")
+        cache.flush_store()
+        assert not any(o.error for o in clean)
+        assert {o.verdict for o in clean} == {"holds", "VIOLATED"}
+        return clean
+
+    @pytest.mark.parametrize("certify", ["on", "strict"])
+    def test_corrupt_records_evicted_and_recomputed(self, tmp_path, certify):
+        corpus = _corpus(8)
+        clean = self._populate(tmp_path / "store", corpus)
+
+        chaos_store = ResultStore(
+            tmp_path / "store",
+            chaos=ChaosSpec(corrupt_store=1.0, seed=0),
+        )
+        cache = ResultCache(store=chaos_store)
+        tainted = verify_many(corpus, cache=cache, certify=certify)
+
+        for c, t in zip(clean, tainted):
+            assert t.error is None
+            assert t.verdict == c.verdict
+            assert "[chaos corrupt-store]" not in (t.result.reason or "")
+            for res in t.result.per_address.values():
+                assert "[chaos corrupt-store]" not in (res.reason or "")
+        # Every loaded record was rejected, tombstoned, and recomputed —
+        # none was served.
+        assert cache.stats.store_hits > 0
+        assert (
+            cache.stats.store_revalidation_failures
+            == cache.stats.store_hits
+        )
+        assert chaos_store.stats.tombstones > 0
+
+    def test_partial_corruption_rate_survivors_serve(self, tmp_path):
+        corpus = _corpus(8)
+        clean = self._populate(tmp_path / "store", corpus)
+        chaos_store = ResultStore(
+            tmp_path / "store",
+            chaos=ChaosSpec(corrupt_store=0.4, seed=6),
+        )
+        cache = ResultCache(store=chaos_store)
+        tainted = verify_many(corpus, cache=cache, certify="on")
+        for c, t in zip(clean, tainted):
+            assert t.verdict == c.verdict
+        assert cache.stats.store_revalidation_failures > 0  # rots caught
+        assert cache.stats.store_hits > 0  # clean records still serve
+
+    def test_executor_seam_counts_revalidation_failures(self, tmp_path):
+        ex, _ = make_coherent_execution(
+            12, 3, 31, addresses=("x", "y"), num_values=3
+        )
+        cold = ResultCache(store=ResultStore(tmp_path / "store"))
+        baseline = verify_vmc(ex, cache=cold, certify="on")
+        cold.flush_store()
+
+        cache = ResultCache(store=ResultStore(
+            tmp_path / "store",
+            chaos=ChaosSpec(corrupt_store=1.0, seed=0),
+        ))
+        result = verify_vmc(ex, cache=cache, certify="strict")
+        assert bool(result) == bool(baseline)
+        assert result.report.store_revalidation_failures >= 1
+        assert result.report.store_hits == 0
+        assert "store:" in result.report.format()
+
+    def test_flipped_violation_served_only_without_certification(
+        self, tmp_path
+    ):
+        """The documented trust gap, from both sides.  A record flipped
+        HOLDS->VIOLATED carries no proof a checker would demand, so
+        ``certify off`` serves the lie verbatim — and any certify mode
+        catches it.  (The converse flip, VIOLATED->HOLDS, is caught
+        even with certification off: witness replay always runs on
+        positive hits.)"""
+        ex, _ = make_coherent_execution(10, 2, 33)
+        cold = ResultCache(store=ResultStore(tmp_path / "store"))
+        assert verify_vmc(ex, cache=cold).holds
+        cold.flush_store()
+
+        def tainted_cache():
+            return ResultCache(store=ResultStore(
+                tmp_path / "store",
+                chaos=ChaosSpec(corrupt_store=1.0, seed=0),
+            ))
+
+        served_lie = verify_vmc(ex, cache=tainted_cache())
+        assert served_lie.violated
+        assert "[chaos corrupt-store]" in served_lie.reason
+
+        caught = verify_vmc(ex, cache=tainted_cache(), certify="strict")
+        assert caught.holds
+        assert "[chaos corrupt-store]" not in caught.reason
+
+    def test_slow_store_is_only_slow(self, tmp_path):
+        corpus = _corpus(3)
+        clean = self._populate(tmp_path / "store", corpus)
+        cache = ResultCache(store=ResultStore(
+            tmp_path / "store",
+            chaos=ChaosSpec(slow_store=1.0, slow_s=0.001, seed=0),
+        ))
+        slowed = verify_many(corpus, cache=cache, certify="on")
+        assert [o.verdict for o in slowed] == [o.verdict for o in clean]
+        assert cache.stats.store_hits > 0  # served, just late
