@@ -43,6 +43,16 @@ Two comparison matrices:
   cold arm by >= 2x (single-core containers skip that guard — a pool
   cannot outrun serial there).
 
+* **Service arms**: the same solve-heavy chain shape sent as
+  one-request-per-execution campaigns through a live ``repro serve``
+  daemon (Unix socket, store-backed tenant tier) — a cold pass where
+  every request pays a solve, then a warm re-run that must be answered
+  entirely off the memory/store tier, then the drain handshake.
+  Guards: all three arms (direct loop, cold, warm) agree on every
+  verdict, the warm pass solves nothing, warm beats cold by >= 2x
+  (skipped when cold is under the measurement floor), and the idle
+  drain completes cleanly within its latency bound.
+
 * **Streaming ladder**: a commit-ordered stream from 1.6k to 1M ops
   fed to the incremental monitor (:class:`repro.engine.StreamingVerifier`,
   windowed eviction on) versus a from-scratch arm that re-verifies the
@@ -764,6 +774,149 @@ def run_store(quick: bool, jobs: int) -> tuple[dict, bool]:
     return payload, guard_ok
 
 
+#: Warm daemon requests (served from the tenant's memory/store tier)
+#: must beat the cold solve pass by this factor; the ratio guard is
+#: skipped when the cold pass is too fast for it to mean anything.
+SERVICE_GUARD_WARM_SPEEDUP = 2.0
+SERVICE_COLD_FLOOR_S = 0.5
+#: An idle daemon must finish its drain handshake within this bound.
+SERVICE_GUARD_DRAIN_S = 10.0
+
+
+def build_service_corpus(quick: bool) -> list[Execution]:
+    """Solve-heavy chains, one request each — cold requests pay a SAT
+    solve, warm re-runs must be answered off the tenant tier."""
+    n = 6 if quick else 10
+    return [corpus_execution(1, 8, 23 + 2 * s, seed=s) for s in range(n)]
+
+
+def run_service(quick: bool) -> tuple[dict, bool]:
+    """Daemon round-trip throughput: a cold pass over a fresh tenant vs
+    a warm re-run of the same corpus through one ``repro serve``
+    instance, plus the latency of the final drain handshake."""
+    import os
+    import tempfile
+
+    from repro.service import (
+        ServiceClient,
+        ServiceConfig,
+        VerificationServer,
+    )
+
+    corpus = build_service_corpus(quick)
+    print(f"service corpus: {len(corpus)} executions (one request each)")
+
+    direct_holds = sum(
+        bool(
+            verify_vmc(
+                ex, prepass=False, jobs=1, cache=False, portfolio=False
+            )
+        )
+        for ex in corpus
+    )
+
+    def campaign(sock: str, tag: str):
+        t0 = time.perf_counter()
+        resps = []
+        with ServiceClient(sock, timeout=120) as client:
+            for i, ex in enumerate(corpus):
+                resps.append(
+                    client.verify(
+                        ex, req_id=f"{tag}-{i}", retries=200,
+                        retry_wait_s=0.02,
+                    )
+                )
+        return round(time.perf_counter() - t0, 4), resps
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        sock = os.path.join(tmp, "bench.sock")
+        srv = VerificationServer(
+            ServiceConfig(
+                socket_path=sock,
+                workers=2,
+                store_root=os.path.join(tmp, "stores"),
+                prepass=False,
+                portfolio=False,
+            )
+        )
+        srv.start()
+        deadline = time.monotonic() + 10
+        while not os.path.exists(sock):
+            if time.monotonic() > deadline:
+                print("error: service socket never appeared",
+                      file=sys.stderr)
+                return {"guard_ok": False}, False
+            time.sleep(0.01)
+
+        cold_s, cold = campaign(sock, "cold")
+        warm_s, warm = campaign(sock, "warm")
+        t0 = time.perf_counter()
+        srv.request_drain("bench complete")
+        drained = srv.wait(timeout=30)
+        drain_s = round(time.perf_counter() - t0, 4)
+
+    cold_holds = sum(r["verdict"] == "holds" for r in cold)
+    warm_holds = sum(r["verdict"] == "holds" for r in warm)
+    warm_solved = sum(r["provenance"].get("solved", 0) for r in warm)
+    warm_served = sum(
+        r["provenance"].get("memory", 0) + r["provenance"].get("store", 0)
+        for r in warm
+    )
+    cold_rps = round(len(corpus) / cold_s, 2) if cold_s else None
+    warm_rps = round(len(corpus) / warm_s, 2) if warm_s else None
+    warm_speedup = round(cold_s / warm_s, 2) if warm_s else None
+    print(f"service cold          {cold_s * 1e3:>9.1f}ms  ({cold_rps} req/s)")
+    print(f"service warm          {warm_s * 1e3:>9.1f}ms  ({warm_rps} req/s)")
+    print(f"service drain         {drain_s * 1e3:>9.1f}ms")
+
+    verdict_ok = (
+        direct_holds == cold_holds == warm_holds == len(corpus)
+    )
+    if not verdict_ok:
+        print(
+            f"error: service arms disagree on verdicts (direct "
+            f"{direct_holds}, cold {cold_holds}, warm {warm_holds} of "
+            f"{len(corpus)})", file=sys.stderr,
+        )
+    served_ok = warm_solved == 0 and warm_served >= len(corpus)
+    if not served_ok:
+        print(
+            f"error: warm requests were not tier-served (solved "
+            f"{warm_solved}, memory/store {warm_served})", file=sys.stderr,
+        )
+    warm_ok = (
+        cold_s < SERVICE_COLD_FLOOR_S
+        or (
+            warm_speedup is not None
+            and warm_speedup >= SERVICE_GUARD_WARM_SPEEDUP
+        )
+    )
+    drain_ok = drained and drain_s <= SERVICE_GUARD_DRAIN_S
+    guard_ok = verdict_ok and served_ok and warm_ok and drain_ok
+    print(
+        f"service warm speedup {warm_speedup}x "
+        f"({'ok' if warm_ok else 'REGRESSION'}; guard "
+        f">={SERVICE_GUARD_WARM_SPEEDUP}x past the "
+        f"{SERVICE_COLD_FLOOR_S}s cold floor), drain "
+        f"{'ok' if drain_ok else 'REGRESSION'} (guard "
+        f"<={SERVICE_GUARD_DRAIN_S}s)"
+    )
+    payload = {
+        "requests": len(corpus),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_requests_per_s": cold_rps,
+        "warm_requests_per_s": warm_rps,
+        "warm_speedup": warm_speedup,
+        "warm_solved": warm_solved,
+        "warm_tier_served": warm_served,
+        "drain_s": drain_s,
+        "drain_clean": bool(drained),
+        "guard_ok": guard_ok,
+    }
+    return payload, guard_ok
+
+
 def run_config(
     corpus: list[Execution], cfg: dict, jobs: int, repeats: int
 ) -> dict:
@@ -1052,6 +1205,10 @@ def main(argv: list[str] | None = None) -> int:
     # guarded on warm amortization and disabled overhead.
     store_payload, store_ok = run_store(args.quick, args.jobs)
 
+    # Service arms: the ``repro serve`` daemon round-trip — warm vs
+    # cold request throughput and drain latency, guarded.
+    service_payload, service_ok = run_service(args.quick)
+
     payload = {
         "benchmark": "engine-prepass-pools-portfolio",
         "recorded_utc": datetime.now(timezone.utc).isoformat(
@@ -1104,6 +1261,7 @@ def main(argv: list[str] | None = None) -> int:
         "scaling": scaling_payload,
         "streaming": streaming_payload,
         "store": store_payload,
+        "service": service_payload,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -1165,6 +1323,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{STORE_GUARD_DISABLED_RATIO}x); see the store section "
             f"of the report",
             file=sys.stderr,
+        )
+        return 1
+    if not service_ok:
+        print(
+            f"error: service guard failed — warm speedup "
+            f"{service_payload.get('warm_speedup')}x (need "
+            f">={SERVICE_GUARD_WARM_SPEEDUP}x), drain "
+            f"{service_payload.get('drain_s')}s (cap "
+            f"{SERVICE_GUARD_DRAIN_S}s); see the service section of "
+            f"the report", file=sys.stderr,
         )
         return 1
     return 0

@@ -320,6 +320,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if not paths:
         print("error: no trace files to verify", file=sys.stderr)
         return 2
+    if args.store_quota_report and store is None:
+        print(
+            "error: --store-quota-report needs a --store to report on",
+            file=sys.stderr,
+        )
+        return 2
     report = run_batch(
         paths,
         jobs=args.jobs,
@@ -330,6 +336,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         portfolio=args.portfolio,
         dry_run=args.dry_run,
     )
+    if args.store_quota_report and store is not None:
+        report["store_quota"] = store.quota_report()
     if args.json:
         text = json.dumps(report, indent=2, default=str)
         if args.json == "-":
@@ -375,7 +383,43 @@ def cmd_batch(args: argparse.Namespace) -> int:
             f"stores={s['stores']} evictions={s['evictions']} "
             f"tombstones={s['tombstones']} torn={s['torn_records']}"
         )
+    if args.store_quota_report and "store_quota" in report:
+        _print_quota_report(report["store_quota"])
     return batch_exit_code(report)
+
+
+def _format_age(age_s) -> str:
+    if age_s is None:
+        return "-"
+    if age_s >= 3600:
+        return f"{age_s / 3600:.1f}h"
+    if age_s >= 60:
+        return f"{age_s / 60:.1f}m"
+    return f"{age_s:.1f}s"
+
+
+def _print_quota_report(quota: dict) -> None:
+    """Render per-shard occupancy + LRU ages (``--store-quota-report``)."""
+    totals = quota["totals"]
+    cap = (
+        f", cap {totals['max_bytes'] / (1024 * 1024):.1f} MB"
+        if totals.get("max_bytes") is not None
+        else ", no cap"
+    )
+    print(
+        f"store quota: {totals['entries']} entries, "
+        f"{totals['bytes']} bytes{cap}"
+    )
+    print("  shard  entries      bytes    pct   lru-age   mru-age")
+    for row in quota["shards"]:
+        if not row["entries"] and not row["bytes"]:
+            continue
+        pct = f"{row['pct']:.1f}%" if row["pct"] is not None else "-"
+        print(
+            f"  {row['shard']:>5}  {row['entries']:>7}  {row['bytes']:>9}"
+            f"  {pct:>5}  {_format_age(row['lru_age_s']):>8}"
+            f"  {_format_age(row['mru_age_s']):>8}"
+        )
 
 
 def _print_heartbeat(verdict) -> None:
@@ -457,8 +501,24 @@ def _monitor_stream(fh, head: bytes, source: str, args, deadline) -> int:
             reader.feed(data)
             continue
         if args.follow and not reader.ended:
-            sleep(0.05)
-            continue
+            if fh.seekable():
+                # A regular file can still grow — keep tailing.
+                sleep(0.05)
+                continue
+            # A pipe at EOF is final: the writer is gone.  A clean
+            # trailing frame boundary without END is the writer
+            # choosing to stop mid-stream — fall through and decide
+            # the consumed prefix like non-follow mode.  Dying *inside*
+            # a frame is damage: report it with the byte offset and
+            # exit 2, exactly like `verify` on the same bytes.
+            if reader.pending_bytes:
+                print(
+                    f"error: {source}: stream is incomplete (writer "
+                    f"exited mid-frame; {reader.pending_bytes} bytes "
+                    f"still buffered) at byte {reader.bytes_consumed}",
+                    file=sys.stderr,
+                )
+                return 2
         break
     # EOF without an END frame: the consumed prefix is still a sound
     # thing to decide — finalize on what arrived.
@@ -517,6 +577,77 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     finally:
         if close:
             fh.close()
+
+
+def _serve_heartbeat_line(status: dict) -> str:
+    q = status["queue"]
+    w = status["workers"]
+    r = status["requests"]
+    return (
+        f"serve: {'ready' if status['ready'] else 'draining'} "
+        f"uptime={status['uptime_s']:.0f}s "
+        f"queue={q['depth']}/{q['limit']} "
+        f"workers={w['alive']}/{w['configured']} "
+        f"ok={r['ok']} retry_after={r['retry_after']} "
+        f"errors={r['errors']} shutdown={r['shutdown']}"
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, VerificationServer
+
+    try:
+        resilience = _resilience_from_args(args)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if bool(args.socket) == bool(args.stdio):
+        print(
+            "error: pass exactly one of --socket PATH or --stdio",
+            file=sys.stderr,
+        )
+        return 2
+
+    def on_heartbeat(status: dict) -> None:
+        print(_serve_heartbeat_line(status), file=sys.stderr, flush=True)
+
+    config = ServiceConfig(
+        socket_path=args.socket,
+        stdio=args.stdio,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_request_bytes=int(args.max_request_mb * 1024 * 1024),
+        store_root=args.store,
+        store_quota_mb=args.store_max_mb,
+        max_tenants=args.max_tenants,
+        certify=args.certify,
+        prepass=not args.no_prepass,
+        portfolio=args.portfolio,
+        resilience=resilience,
+        drain_grace_s=args.drain_grace,
+        heartbeat_s=args.heartbeat,
+        on_heartbeat=on_heartbeat if args.heartbeat else None,
+    )
+    server = VerificationServer(config)
+    try:
+        server.start()
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if args.socket:
+        print(
+            f"serving on {args.socket} ({args.workers} workers, "
+            f"queue depth {args.queue_depth})",
+            file=sys.stderr,
+            flush=True,
+        )
+    code = server.serve_forever()
+    print(
+        f"drained ({server.drain_reason or 'done'}): "
+        + _serve_heartbeat_line(server.status()),
+        file=sys.stderr,
+    )
+    return code
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -822,6 +953,13 @@ def build_parser() -> argparse.ArgumentParser:
         "corrupt-store); test-only, requires REPRO_CHAOS",
     )
     _add_store_args(p)
+    p.add_argument(
+        "--store-quota-report",
+        action="store_true",
+        help="after the campaign, print per-shard store occupancy and "
+        "LRU/MRU entry ages (the observability basis for tenant quota "
+        "tuning; also lands in the --json report as 'store_quota')",
+    )
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
@@ -882,6 +1020,125 @@ def build_parser() -> argparse.ArgumentParser:
         "(or --timeout expires)",
     )
     p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the verification daemon: line-framed requests over a "
+        "Unix socket (or stdin/stdout), certified verdicts back, "
+        "bounded-queue backpressure, per-tenant store quotas, "
+        "graceful SIGTERM drain",
+    )
+    p.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="listen on a Unix socket at PATH (NDJSON requests, or raw "
+        "REPROSTM/REPROBIN — one trace per connection)",
+    )
+    p.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve a single client over stdin/stdout instead of a "
+        "socket (drains on EOF)",
+    )
+    p.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="worker threads draining the request queue in "
+        "same-tenant batches through the dedup engine (default 2)",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="bounded request queue depth; overload answers "
+        "RETRY_AFTER immediately instead of buffering (default 64)",
+    )
+    p.add_argument(
+        "--max-request-mb",
+        type=_nonneg_float,
+        default=8.0,
+        metavar="MB",
+        help="per-request size cap; oversized requests are rejected "
+        "with a byte-offset diagnostic (default 8)",
+    )
+    p.add_argument(
+        "--max-tenants",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="cap on distinct tenant namespaces (default 64)",
+    )
+    p.add_argument(
+        "--certify",
+        choices=CERTIFY_MODES,
+        default="off",
+        help="default certification mode for requests that do not "
+        "choose their own",
+    )
+    p.add_argument(
+        "--no-prepass",
+        action="store_true",
+        help="skip the polynomial pre-pass before the exponential "
+        "backends",
+    )
+    p.add_argument(
+        "--portfolio",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="race exact search vs SAT on exponential-tier tasks",
+    )
+    p.add_argument(
+        "--timeout",
+        type=_nonneg_float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget per worker batch; expiry answers "
+        "UNKNOWN(timeout)/UNKNOWN(budget), never a guess",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=_nonneg_float,
+        default=None,
+        metavar="S",
+        help="soft deadline per unique instance in seconds",
+    )
+    p.add_argument(
+        "--retries",
+        type=_nonneg_int,
+        default=None,
+        metavar="N",
+        help="crash retries per task before quarantine (default 2)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=_nonneg_float,
+        default=5.0,
+        metavar="S",
+        help="seconds in-flight requests get to finish on "
+        "SIGTERM/drain before being answered UNKNOWN(shutdown) "
+        "(default 5)",
+    )
+    p.add_argument(
+        "--heartbeat",
+        type=_nonneg_float,
+        default=0.0,
+        metavar="S",
+        help="print a liveness/readiness heartbeat line to stderr "
+        "every S seconds (0 = off); the same payload answers the "
+        "'ping' op",
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults (adds conn-drop to the "
+        "engine sites); test-only, requires REPRO_CHAOS",
+    )
+    _add_store_args(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("simulate", help="run the multiprocessor simulator")
     p.add_argument("--processors", type=int, default=4)

@@ -15,8 +15,11 @@ from repro.core.types import Address, Operation, schedule_str
 #: raising) through every retry and the task was quarantined;
 #: ``uncertified`` — certification ran in strict mode and the verdict
 #: either carried no certificate or carried one the trusted checker
-#: rejected, so the verdict is withheld rather than trusted.
-UNKNOWN_REASONS = ("timeout", "budget", "crashed", "uncertified")
+#: rejected, so the verdict is withheld rather than trusted;
+#: ``shutdown`` — a draining service abandoned the request (queued or
+#: in flight past the drain grace) rather than answer after its
+#: workers were told to stop — a sound refusal, never a guess.
+UNKNOWN_REASONS = ("timeout", "budget", "crashed", "uncertified", "shutdown")
 
 
 #: The certificate kinds a result may carry (see :class:`Certificate`).

@@ -527,6 +527,14 @@ class FrameReader:
         """Bytes buffered but not yet decodable (partial frame)."""
         return len(self._buf)
 
+    @property
+    def bytes_consumed(self) -> int:
+        """Absolute stream offset decoded so far — the byte position a
+        truncation diagnostic should point at when the producer dies
+        mid-frame (``repro monitor --follow`` on a pipe, the service's
+        ingestion front-end)."""
+        return self._consumed
+
     def _error(self, message: str, rel: int = 0) -> BinaryFormatError:
         return BinaryFormatError(message, self._consumed + rel)
 

@@ -23,6 +23,9 @@ slow-store   store lookup/flush     a persistent store on slow or
 corrupt-store  store, on load       on-disk bit rot / a tampered store
                                     record (flipped verdict, stripped
                                     proof material)
+conn-drop    service, on respond    a client connection dying before
+                                    the daemon's response is written
+                                    (dropped mid-frame / network reset)
 ===========  =====================  =====================================
 
 The last two are *semantic* faults: unlike crashes and stalls they
@@ -52,6 +55,7 @@ faults into a production run)::
              | "stall-s" "=" SECONDS | "slow-s" "=" SECONDS
     KIND    := "crash" | "stall" | "lost" | "slow-cache" | "leg-stall"
              | "bad-verdict" | "bad-cert" | "slow-store" | "corrupt-store"
+             | "conn-drop"
     RATE    := float in [0, 1]
 
 Example: ``--chaos crash=0.2,stall=0.1,lost=0.1,seed=7``.
@@ -106,6 +110,7 @@ class ChaosSpec:
     bad_cert: float = 0.0
     slow_store: float = 0.0
     corrupt_store: float = 0.0
+    conn_drop: float = 0.0
     stall_s: float = 0.05
     slow_s: float = 0.02
     seed: int = 0
@@ -113,6 +118,7 @@ class ChaosSpec:
     _RATES = (
         "crash", "stall", "lost", "slow_cache", "leg_stall",
         "bad_verdict", "bad_cert", "slow_store", "corrupt_store",
+        "conn_drop",
     )
 
     def __post_init__(self) -> None:
@@ -217,6 +223,14 @@ class ChaosSpec:
         if self._roll(f"slow-store-{io}", key, 0) < self.slow_store:
             return self.slow_s
         return 0.0
+
+    def drops_connection(self, key: str, attempt: int = 0) -> bool:
+        """Should the service drop this client's connection instead of
+        writing the response?  (Simulates a peer reset / a client dying
+        mid-frame — the daemon must survive it and keep serving; the
+        *request's* verdict is simply never delivered, which is always
+        sound.)"""
+        return self._roll("conn-drop", key, attempt) < self.conn_drop
 
     def corrupts_store_record(self, key: str) -> bool:
         """Should this store record come back corrupted on load?

@@ -89,6 +89,13 @@ _REC_TYPES = (REC_RECORD, REC_TOUCH, REC_TOMBSTONE)
 
 _FP_LEN = 32
 
+#: Optional wall-clock timestamp trailing a TOUCH fingerprint (entries
+#: carry theirs in the pickled dict under ``"ts"``).  Readers slice the
+#: fingerprint off the front, so logs written before timestamps existed
+#: — and by writers that omit them — stay readable; the quota report
+#: simply counts those entries as untimed.
+_TS = struct.Struct("<d")
+
 
 def fingerprint_key(key: Hashable) -> bytes:
     """The 32-byte content address of a canonical cache key.
@@ -180,7 +187,7 @@ class _Shard:
     """In-memory view of one shard's record log."""
 
     __slots__ = (
-        "path", "lock_path", "index", "recency", "seq",
+        "path", "lock_path", "index", "recency", "recency_ts", "seq",
         "scanned", "generation", "torn_at", "pending",
     )
 
@@ -191,6 +198,10 @@ class _Shard:
         self.index: dict[bytes, dict[str, Any]] = {}
         #: fingerprint -> last-seen sequence number (LRU recency).
         self.recency: dict[bytes, int] = {}
+        #: fingerprint -> last-touched wall-clock time, where known
+        #: (quota reporting only — eviction order stays on ``recency``,
+        #: which is total even across clock skew).
+        self.recency_ts: dict[bytes, float] = {}
         self.seq = 0
         #: Byte offset scanned up to (end of the last good record).
         self.scanned = 0
@@ -204,6 +215,7 @@ class _Shard:
     def reset(self) -> None:
         self.index.clear()
         self.recency.clear()
+        self.recency_ts.clear()
         self.seq = 0
         self.scanned = 0
         self.generation = -1
@@ -326,12 +338,20 @@ class ResultStore:
                 raise _TornRecord("unpicklable entry payload")
             shard.index[fp] = entry
             shard.recency[fp] = shard.seq
+            ts = entry.get("ts")
+            if isinstance(ts, float):
+                shard.recency_ts[fp] = ts
         elif rtype == REC_TOUCH:
             if fp in shard.index:
                 shard.recency[fp] = shard.seq
+                if len(payload) >= _FP_LEN + _TS.size:
+                    shard.recency_ts[fp] = _TS.unpack_from(
+                        payload, _FP_LEN
+                    )[0]
         elif rtype == REC_TOMBSTONE:
             shard.index.pop(fp, None)
             shard.recency.pop(fp, None)
+            shard.recency_ts.pop(fp, None)
 
     def _scan(self, shard: _Shard, fh) -> None:
         """Advance ``shard``'s view to the end of the good prefix."""
@@ -425,10 +445,13 @@ class ResultStore:
                 self.stats.misses += 1
                 return None
             self.stats.hits += 1
-            # Cross-process LRU: recency travels as a TOUCH record.
+            # Cross-process LRU: recency travels as a TOUCH record
+            # (timestamped, so quota reports can age entries).
+            now = time.time()
             shard.seq += 1
             shard.recency[fp] = shard.seq
-            shard.pending.append(_encode(REC_TOUCH, fp))
+            shard.recency_ts[fp] = now
+            shard.pending.append(_encode(REC_TOUCH, fp + _TS.pack(now)))
             out = dict(entry)
             out["stats"] = dict(entry.get("stats") or {})
         if self.chaos is not None and self.chaos.corrupts_store_record(fp.hex()):
@@ -495,6 +518,7 @@ class ResultStore:
                 if k not in ("cache_hit", "store_hit", "t_certify")
             },
             "certificate": certificate,
+            "ts": time.time(),
         }
         payload = fp + pickle.dumps(entry, protocol=4)
         with self._lock:
@@ -502,6 +526,7 @@ class ResultStore:
             shard.seq += 1
             shard.index[fp] = entry
             shard.recency[fp] = shard.seq
+            shard.recency_ts[fp] = entry["ts"]
             shard.pending.append(_encode(REC_RECORD, payload))
             self.stats.stores += 1
 
@@ -514,6 +539,7 @@ class ResultStore:
             shard = self._shards[self.shard_of(fp)]
             present = shard.index.pop(fp, None)
             shard.recency.pop(fp, None)
+            shard.recency_ts.pop(fp, None)
             if present is not None or self._on_disk(shard, fp):
                 shard.pending.append(_encode(REC_TOMBSTONE, fp))
                 self.stats.tombstones += 1
@@ -585,6 +611,67 @@ class ResultStore:
             except FileNotFoundError:
                 pass
         return total
+
+    # ------------------------------------------------------------------
+    # Quota observability
+    # ------------------------------------------------------------------
+    def quota_report(self) -> dict[str, Any]:
+        """Per-shard occupancy and LRU ages, for quota tuning.
+
+        Returns ``{"shards": [...], "totals": {...}}``; each shard row
+        carries ``shard`` (hex id), ``entries``, ``bytes``,
+        ``budget_bytes`` (the per-shard compaction budget, ``None``
+        without a ``max_mb`` cap), ``pct`` of that budget, and
+        ``lru_age_s`` / ``mru_age_s`` — seconds since the least / most
+        recently used live entry was touched.  Entries written before
+        timestamps existed have no age and are counted in ``untimed``.
+        """
+        now = time.time()
+        budget = (
+            max(self.max_bytes // self.n_shards, _HEADER.size)
+            if self.max_bytes is not None
+            else None
+        )
+        rows: list[dict[str, Any]] = []
+        with self._lock:
+            for i, shard in enumerate(self._shards):
+                self._refresh(shard)
+                try:
+                    size = os.stat(shard.path).st_size
+                except FileNotFoundError:
+                    size = 0
+                timed = [
+                    shard.recency_ts[fp]
+                    for fp in shard.index
+                    if fp in shard.recency_ts
+                ]
+                rows.append({
+                    "shard": f"{i:02x}",
+                    "entries": len(shard.index),
+                    "bytes": size,
+                    "budget_bytes": budget,
+                    "pct": (
+                        round(100.0 * size / budget, 1)
+                        if budget else None
+                    ),
+                    "lru_age_s": (
+                        round(max(0.0, now - min(timed)), 3)
+                        if timed else None
+                    ),
+                    "mru_age_s": (
+                        round(max(0.0, now - max(timed)), 3)
+                        if timed else None
+                    ),
+                    "untimed": len(shard.index) - len(timed),
+                })
+        return {
+            "shards": rows,
+            "totals": {
+                "entries": sum(r["entries"] for r in rows),
+                "bytes": sum(r["bytes"] for r in rows),
+                "max_bytes": self.max_bytes,
+            },
+        }
 
     # ------------------------------------------------------------------
     # Compaction
@@ -660,6 +747,7 @@ class ResultStore:
             for fp in evicted:
                 shard.index.pop(fp, None)
                 shard.recency.pop(fp, None)
+                shard.recency_ts.pop(fp, None)
             shard.scanned = new_size
             shard.generation = generation
             shard.torn_at = -1

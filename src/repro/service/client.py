@@ -1,0 +1,147 @@
+"""A small blocking client for the service protocol.
+
+Used by the CLI quickstart, the differential soak tests, the CI
+service job and the benchmark — anything that needs to talk to a
+``repro serve`` daemon without hand-rolling socket framing.  Responses
+may arrive out of request order (workers answer as they finish), so
+:meth:`ServiceClient.request` matches on ``id`` and buffers strays.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import time
+from typing import Any
+
+from repro.core.serialize_bin import dumps_bin
+from repro.service.protocol import DEFAULT_TENANT, decode_response
+
+
+class ServiceClient:
+    """One connection to a daemon's Unix socket."""
+
+    def __init__(self, socket_path: str, timeout: float = 30.0):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout)
+        self.sock.connect(socket_path)
+        self._buf = b""
+        self._stash: dict[Any, dict[str, Any]] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def send(self, payload: dict[str, Any]) -> Any:
+        """Fire one request line; returns its id (assigning one if
+        absent)."""
+        if "id" not in payload:
+            self._seq += 1
+            payload = {"id": f"c{self._seq}", **payload}
+        self.sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        return payload["id"]
+
+    def recv(self) -> dict[str, Any]:
+        """The next response line, whoever it answers."""
+        while True:
+            nl = self._buf.find(b"\n")
+            if nl >= 0:
+                line = self._buf[:nl]
+                self._buf = self._buf[nl + 1:]
+                return decode_response(line)
+            data = self.sock.recv(1 << 16)
+            if not data:
+                raise ConnectionError(
+                    "connection closed before a response arrived"
+                )
+            self._buf += data
+
+    def recv_for(self, req_id: Any) -> dict[str, Any]:
+        """The response for ``req_id``; other responses are stashed."""
+        if req_id in self._stash:
+            return self._stash.pop(req_id)
+        while True:
+            resp = self.recv()
+            if resp.get("id") == req_id:
+                return resp
+            self._stash[resp.get("id")] = resp
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return self.recv_for(self.send(payload))
+
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        execution: Any = None,
+        trace_bytes: bytes | None = None,
+        tenant: str = DEFAULT_TENANT,
+        certify: str | None = None,
+        deadline_s: float | None = None,
+        req_id: Any = None,
+        retries: int = 0,
+        retry_wait_s: float | None = None,
+    ) -> dict[str, Any]:
+        """Verify one execution (or raw trace bytes in any offline
+        format).  ``retries`` > 0 honors ``retry_after`` backpressure
+        by waiting and resubmitting — the client half of the overload
+        contract."""
+        payload = self.verify_payload(
+            execution, trace_bytes, tenant=tenant, certify=certify,
+            deadline_s=deadline_s, req_id=req_id,
+        )
+        while True:
+            resp = self.request(dict(payload))
+            if resp.get("status") != "retry_after" or retries <= 0:
+                return resp
+            retries -= 1
+            time.sleep(
+                retry_wait_s
+                if retry_wait_s is not None
+                else float(resp.get("retry_after_s", 0.1))
+            )
+
+    @staticmethod
+    def verify_payload(
+        execution: Any = None,
+        trace_bytes: bytes | None = None,
+        tenant: str = DEFAULT_TENANT,
+        certify: str | None = None,
+        deadline_s: float | None = None,
+        req_id: Any = None,
+    ) -> dict[str, Any]:
+        if trace_bytes is None:
+            if execution is None:
+                raise ValueError("need an execution or trace_bytes")
+            trace_bytes = dumps_bin(execution)
+        payload: dict[str, Any] = {
+            "op": "verify",
+            "trace_b64": base64.b64encode(trace_bytes).decode("ascii"),
+            "tenant": tenant,
+        }
+        if req_id is not None:
+            payload["id"] = req_id
+        if certify is not None:
+            payload["certify"] = certify
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        return payload
+
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def drain(self) -> dict[str, Any]:
+        return self.request({"op": "drain"})
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -318,6 +318,45 @@ class TestBatchCLI:
         assert report["totals"]["store_hits"] == report["totals"]["unique"]
         assert report["totals"]["solved"] == 0
 
+    def test_store_quota_report_flag(self, trace_dir, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        rc = main([
+            "batch", str(trace_dir), "--store", store,
+            "--store-max-mb", "4", "--store-quota-report",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "store quota:" in out
+        assert "cap 4.0 MB" in out
+        assert "lru-age" in out  # the per-shard table header
+        # Occupied shards are listed with their occupancy.
+        assert any(
+            line.strip() and line.strip()[0].isdigit()
+            for line in out.splitlines()
+            if "shard" not in line and "quota" not in line
+        )
+
+    def test_store_quota_report_in_json(self, trace_dir, tmp_path):
+        store = str(tmp_path / "store")
+        report_path = tmp_path / "report.json"
+        rc = main([
+            "batch", str(trace_dir), "--store", store,
+            "--store-quota-report", "--json", str(report_path),
+        ])
+        assert rc == 0
+        report = json.loads(report_path.read_text())
+        quota = report["store_quota"]
+        assert quota["totals"]["entries"] >= 1
+        assert len(quota["shards"]) == 16
+        occupied = [r for r in quota["shards"] if r["entries"]]
+        assert occupied
+        assert all(r["lru_age_s"] is not None for r in occupied)
+
+    def test_store_quota_report_requires_store(self, trace_dir, capsys):
+        rc = main(["batch", str(trace_dir), "--store-quota-report"])
+        assert rc == 2
+        assert "--store" in capsys.readouterr().err
+
     def test_dry_run_prints_plan(self, trace_dir, tmp_path, capsys):
         rc = main([
             "batch", str(trace_dir), "--dry-run",

@@ -401,3 +401,133 @@ class TestRecordFormat:
         raw = _REC.pack(1, MAX_PAYLOAD + 1, 0)
         rtype, length, _crc = _REC.unpack_from(raw, 0)
         assert rtype == 1 and length > MAX_PAYLOAD
+
+
+# ---------------------------------------------------------------------
+# Writer racing the compactor (real processes, one shard)
+# ---------------------------------------------------------------------
+def _race_appender(store_path: str, n: int) -> int:
+    """Append n entries, flushing each one, while the other process
+    keeps rewriting the shard underneath us via os.replace."""
+    store = ResultStore(store_path)
+    for i in range(n):
+        store.put(
+            ("race", i), holds=True, method="exact", reason=f"r{i}",
+            schedule_idx=None, stats={},
+        )
+        store.flush()
+    return n
+
+
+def _race_compactor(store_path: str, rounds: int) -> int:
+    """Force-compact the single shard with an effectively unlimited
+    budget: nothing is ever *evicted*, but every round rewrites the
+    file and bumps the generation via os.replace — exactly the window
+    a naive appending writer would clobber."""
+    store = ResultStore(store_path)
+    for _ in range(rounds):
+        store._compact_shard(store._shards[0], 1 << 30)
+    return rounds
+
+
+class TestCompactionRacesWriter:
+    def test_appender_survives_generation_bumps(self, tmp_path):
+        """Compaction (generation-bump + os.replace) racing an
+        *appending writer*: zero lost records, zero torn records.
+
+        The writer's in-memory view (scanned offset, generation) goes
+        stale every time the compactor republishes the shard; a writer
+        that trusted its stale offset would truncate live records as a
+        'torn tail'.  The flock + generation re-validation must make
+        every append land in whichever file is current.
+        """
+        store_path = os.fspath(tmp_path / "store")
+        ResultStore(store_path, n_shards=1)  # publish the meta
+        n, rounds = 40, 60
+        with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+            appender = pool.submit(_race_appender, store_path, n)
+            compactor = pool.submit(_race_compactor, store_path, rounds)
+            assert appender.result(timeout=120) == n
+            assert compactor.result(timeout=120) == rounds
+
+        reader = ResultStore(store_path)
+        assert reader.stats.torn_records == 0
+        assert len(reader) == n
+        for i in range(n):
+            entry = reader.lookup(("race", i))
+            assert entry is not None, f"record {i} lost to compaction"
+            assert entry["reason"] == f"r{i}", f"record {i} torn"
+
+
+class TestQuotaReport:
+    def test_occupancy_and_ages(self, tmp_path):
+        store = ResultStore(tmp_path / "store", max_mb=1.0, n_shards=1)
+        for i in range(3):
+            store.put(
+                ("qr", i), holds=True, method="exact", reason=f"q{i}",
+                schedule_idx=None, stats={},
+            )
+        store.flush()
+        report = store.quota_report()
+        assert report["totals"]["entries"] == 3
+        assert report["totals"]["bytes"] > 0
+        assert report["totals"]["max_bytes"] == 1 << 20
+        (row,) = report["shards"]
+        assert row["shard"] == "00"
+        assert row["entries"] == 3
+        assert row["budget_bytes"] == 1 << 20
+        # A few hundred bytes against a 1 MB budget rounds to ~0%.
+        assert 0 <= row["pct"] < 100
+        assert row["untimed"] == 0
+        # Every entry was just written: both ages are ~now, LRU is the
+        # oldest of the three.
+        assert 0 <= row["mru_age_s"] <= row["lru_age_s"] < 60
+
+    def test_touch_refreshes_recency(self, tmp_path):
+        import time as _time
+
+        store = ResultStore(tmp_path / "store", n_shards=1)
+        store.put(
+            ("qr", "old"), holds=True, method="exact", reason="old",
+            schedule_idx=None, stats={},
+        )
+        store.flush()
+        _time.sleep(0.05)
+        store.put(
+            ("qr", "new"), holds=True, method="exact", reason="new",
+            schedule_idx=None, stats={},
+        )
+        store.flush()
+        report = store.quota_report()
+        (row,) = report["shards"]
+        assert row["lru_age_s"] > row["mru_age_s"]
+        # Touch the old entry: it becomes the MRU, shrinking the gap.
+        assert store.lookup(("qr", "old")) is not None
+        after = store.quota_report()["shards"][0]
+        assert after["mru_age_s"] <= row["mru_age_s"] + 0.05
+
+    def test_no_budget_reports_none(self, tmp_path):
+        store = ResultStore(tmp_path / "store", n_shards=1)
+        store.put(
+            ("qr", 0), holds=True, method="exact", reason="q",
+            schedule_idx=None, stats={},
+        )
+        store.flush()
+        (row,) = store.quota_report()["shards"]
+        assert row["budget_bytes"] is None
+        assert row["pct"] is None
+        assert store.quota_report()["totals"]["max_bytes"] is None
+
+    def test_ages_survive_reopen(self, tmp_path):
+        """Recency timestamps ride the log (entry ``ts`` + timestamped
+        TOUCH records), so a fresh handle can still age entries."""
+        with ResultStore(tmp_path / "store", n_shards=1) as store:
+            store.put(
+                ("qr", "persist"), holds=True, method="exact",
+                reason="p", schedule_idx=None, stats={},
+            )
+        reopened = ResultStore(tmp_path / "store")
+        assert reopened.lookup(("qr", "persist")) is not None
+        (row,) = reopened.quota_report()["shards"]
+        assert row["untimed"] == 0
+        assert row["lru_age_s"] is not None

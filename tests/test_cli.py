@@ -304,6 +304,22 @@ def _patch_stdin(monkeypatch, data: bytes):
     )
 
 
+def _patch_pipe_stdin(monkeypatch, data: bytes):
+    """Like :func:`_patch_stdin`, but non-seekable — EOF is final,
+    exactly like a pipe whose writer has exited."""
+    import io
+    import sys
+    import types
+
+    class _PipeIO(io.BytesIO):
+        def seekable(self):
+            return False
+
+    monkeypatch.setattr(
+        sys, "stdin", types.SimpleNamespace(buffer=_PipeIO(data))
+    )
+
+
 class TestMonitor:
     def test_stream_holds(self, tmp_path, capsys):
         path = tmp_path / "ok.stm"
@@ -355,6 +371,24 @@ class TestMonitor:
         path.write_bytes(blob[:-4])
         assert main(["monitor", str(path)]) == 0
         assert "mid-frame" in capsys.readouterr().out
+
+    def test_follow_pipe_writer_exits_mid_frame(self, monkeypatch, capsys):
+        # --follow on a *pipe* whose writer died mid-frame: EOF is
+        # final (nothing will ever arrive), so the monitor must emit a
+        # byte-offset diagnostic and exit 2 like `verify` would —
+        # never spin waiting for bytes that cannot come.
+        _patch_pipe_stdin(monkeypatch, _stream_bytes()[:-4])
+        assert main(["monitor", "-", "--follow"]) == 2
+        err = capsys.readouterr().err
+        assert "writer exited mid-frame" in err
+        assert "at byte" in err
+
+    def test_follow_pipe_complete_stream_exits_clean(
+        self, monkeypatch, capsys
+    ):
+        _patch_pipe_stdin(monkeypatch, _stream_bytes())
+        assert main(["monitor", "-", "--follow"]) == 0
+        assert "holds" in capsys.readouterr().out
 
 
 class TestStdinVerify:
