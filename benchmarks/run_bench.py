@@ -43,6 +43,17 @@ Two comparison matrices:
   cold arm by >= 2x (single-core containers skip that guard — a pool
   cannot outrun serial there).
 
+* **Fault-campaign arms**: a certified ground-truth campaign (fault
+  sites × substrates, seeded simulations, oracle-classified
+  injections) swept cold against a fresh persistent store and run
+  cache, then re-swept warm.  Simulation is seeded and deterministic,
+  so the warm pass replays every decided run from the campaign run
+  cache — no simulation, no solving.  Guards: the ground-truth
+  contract holds on both passes (every oracle-visible fault flagged,
+  zero false alarms, full coverage, certificates attached), the warm
+  pass replays everything and solves nothing, and the warm sweep beats
+  the cold one by >= 3x past a measurement floor.
+
 * **Service arms**: the same solve-heavy chain shape sent as
   one-request-per-execution campaigns through a live ``repro serve``
   daemon (Unix socket, store-backed tenant tier) — a cold pass where
@@ -917,6 +928,160 @@ def run_service(quick: bool) -> tuple[dict, bool]:
     return payload, guard_ok
 
 
+#: A warm campaign re-run (same run cache and store, fresh in-memory
+#: state) must beat the cold sweep's wall clock by this factor.
+#: Simulation is seeded and deterministic, so every decided run is
+#: replayed from the campaign run cache — the warm pass neither
+#: simulates nor solves, it just re-aggregates recorded outcomes.  The
+#: ratio guard is skipped when the cold sweep is too fast to measure.
+CAMPAIGN_GUARD_WARM_SPEEDUP = 3.0
+CAMPAIGN_COLD_FLOOR_S = 0.2
+
+
+def run_campaign_bench(quick: bool, jobs: int) -> tuple[dict, bool]:
+    """Fault-campaign scenario: a certified fault-injection sweep
+    against a fresh persistent store and run cache, then a warm re-run
+    of the identical sweep.  Guards: the ground-truth contract holds on
+    both passes (zero false alarms, zero missed visibles, full
+    coverage), the warm pass replays every run from the cache without
+    solving anything, and the warm sweep beats the cold one by the
+    factor above."""
+    import tempfile
+
+    from repro.memsys.campaign import campaign_table, run_campaign
+    from repro.memsys.faults import FaultKind
+
+    kwargs = dict(
+        # A representative mixed corpus: visible-prone sites (dropped
+        # or corrupted data, writeback races) alongside a latent-prone
+        # directory site, with ambiguous small-value traces so the
+        # verifier works for its verdicts.
+        sites=[
+            FaultKind.DROPPED_WRITE,
+            FaultKind.CORRUPTED_VALUE,
+            FaultKind.WB_RACE_CORRUPT,
+            FaultKind.STALE_SHARER,
+        ],
+        substrates=["directory"],
+        runs_per_cell=8 if quick else 16,
+        num_processors=8,
+        ops_per_processor=40,
+        values="small",
+        fault_rate=0.15,
+        certify="on",
+        # Serial verification: pool spawn noise would swamp the
+        # cold-vs-warm ratio on small corpora (the pool scenario is the
+        # store matrix's job, not this one's).
+        jobs=1,
+    )
+
+    def sweep(store: ResultStore, run_cache: Path):
+        # A fresh result cache per pass: the second sweep may only
+        # warm-start from what the first persisted, not shared memory.
+        cache = ResultCache(store=store)
+        t0 = time.perf_counter()
+        report = run_campaign(
+            cache=cache, store=store, run_cache=run_cache, **kwargs
+        )
+        return round(time.perf_counter() - t0, 4), report
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-campaign-") as tmp:
+        store = ResultStore(Path(tmp) / "store")
+        run_cache = Path(tmp) / "runs"
+        cold_s, cold = sweep(store, run_cache)
+        warm_s, warm = sweep(store, run_cache)
+
+    cold_eps = round(cold.total_runs / cold_s, 1) if cold_s else None
+    warm_eps = round(cold.total_runs / warm_s, 1) if warm_s else None
+    print(
+        f"campaign corpus: {cold.total_runs} runs over "
+        f"{len(cold.cells)} cells, {cold.total_injections} injections"
+    )
+    print(
+        f"campaign cold         {cold_s * 1e3:>9.1f}ms  "
+        f"({cold_eps} exec/s; verify {cold.verify_s * 1e3:.1f}ms)"
+    )
+    print(
+        f"campaign warm         {warm_s * 1e3:>9.1f}ms  "
+        f"({warm_eps} exec/s; "
+        f"{warm.provenance.get('run-cache', 0)} replayed)"
+    )
+
+    contract_ok = cold.contract_ok and warm.contract_ok
+    if not contract_ok:
+        print("error: campaign ground-truth contract breached:",
+              file=sys.stderr)
+        for failure in (cold.contract_failures + warm.contract_failures)[:10]:
+            print(f"  {failure}", file=sys.stderr)
+        print(campaign_table(cold), file=sys.stderr)
+    alarms_ok = all(c.false_alarms == 0 for c in cold.cells + warm.cells)
+    injected_ok = (
+        cold.total_injections > 0
+        and any(c.latent > 0 for c in cold.cells)
+        and sum(c.detected_visible for c in cold.cells) > 0
+    )
+    if not injected_ok:
+        print("error: campaign injected no classified faults (injector "
+              "or oracle drifted?)", file=sys.stderr)
+    certified_ok = cold.certified > 0 and cold.errors == 0 and warm.errors == 0
+    if not certified_ok:
+        print(
+            f"error: campaign certification/coverage failed (certified "
+            f"{cold.certified}, errors {cold.errors}/{warm.errors})",
+            file=sys.stderr,
+        )
+    warm_replayed = warm.provenance.get("run-cache", 0)
+    warm_solved = warm.provenance.get("solved", 0)
+    served_ok = warm_solved == 0 and warm_replayed == warm.total_runs
+    if not served_ok:
+        print(
+            f"error: warm campaign replayed {warm_replayed}/"
+            f"{warm.total_runs} runs and solved {warm_solved} instances "
+            f"instead of replaying everything from the run cache",
+            file=sys.stderr,
+        )
+    warm_speedup = round(cold_s / warm_s, 2) if warm_s else None
+    warm_ok = (
+        cold_s < CAMPAIGN_COLD_FLOOR_S
+        or (
+            warm_speedup is not None
+            and warm_speedup >= CAMPAIGN_GUARD_WARM_SPEEDUP
+        )
+    )
+    guard_ok = (
+        contract_ok and alarms_ok and injected_ok and certified_ok
+        and served_ok and warm_ok
+    )
+    print(
+        f"campaign contract {'OK' if contract_ok else 'BREACHED'}, warm "
+        f"sweep speedup {warm_speedup}x "
+        f"({'ok' if warm_ok else 'REGRESSION'}; guard "
+        f">={CAMPAIGN_GUARD_WARM_SPEEDUP}x past the "
+        f"{CAMPAIGN_COLD_FLOOR_S}s cold floor)"
+    )
+    payload = {
+        "runs": cold.total_runs,
+        "cells": len(cold.cells),
+        "injections": cold.total_injections,
+        "visible_runs": sum(c.visible_runs for c in cold.cells),
+        "detected_visible": sum(c.detected_visible for c in cold.cells),
+        "latent_events": sum(c.latent for c in cold.cells),
+        "false_alarms": sum(c.false_alarms for c in cold.cells),
+        "certified": cold.certified,
+        "contract_ok": contract_ok,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_executions_per_s": cold_eps,
+        "warm_executions_per_s": warm_eps,
+        "cold_verify_s": cold.verify_s,
+        "warm_replayed": warm_replayed,
+        "warm_solved": warm_solved,
+        "warm_speedup": warm_speedup,
+        "guard_ok": guard_ok,
+    }
+    return payload, guard_ok
+
+
 def run_config(
     corpus: list[Execution], cfg: dict, jobs: int, repeats: int
 ) -> dict:
@@ -1209,6 +1374,12 @@ def main(argv: list[str] | None = None) -> int:
     # cold request throughput and drain latency, guarded.
     service_payload, service_ok = run_service(args.quick)
 
+    # Fault-campaign arms: a certified ground-truth sweep cold vs a
+    # warm store-backed re-run, guarded on contract and amortization.
+    campaign_payload, campaign_ok = run_campaign_bench(
+        args.quick, args.jobs
+    )
+
     payload = {
         "benchmark": "engine-prepass-pools-portfolio",
         "recorded_utc": datetime.now(timezone.utc).isoformat(
@@ -1262,6 +1433,7 @@ def main(argv: list[str] | None = None) -> int:
         "streaming": streaming_payload,
         "store": store_payload,
         "service": service_payload,
+        "campaign": campaign_payload,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -1333,6 +1505,15 @@ def main(argv: list[str] | None = None) -> int:
             f"{service_payload.get('drain_s')}s (cap "
             f"{SERVICE_GUARD_DRAIN_S}s); see the service section of "
             f"the report", file=sys.stderr,
+        )
+        return 1
+    if not campaign_ok:
+        print(
+            f"error: campaign guard failed — contract_ok "
+            f"{campaign_payload.get('contract_ok')}, warm sweep speedup "
+            f"{campaign_payload.get('warm_speedup')}x (need "
+            f">={CAMPAIGN_GUARD_WARM_SPEEDUP}x); see the campaign "
+            f"section of the report", file=sys.stderr,
         )
         return 1
     return 0

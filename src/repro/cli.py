@@ -41,8 +41,17 @@ Commands:
   (REPROBIN/JSON/text) is accepted too: it carries no commit order, so
   the monitor attempts a greedy merge and escalates to the offline
   engine when the interleaving choice bites.
-* ``simulate``             — run the multiprocessor simulator on a
-  workload, verify the result, optionally dump the trace.
+* ``simulate``             — run a multiprocessor simulator (atomic
+  snooping ``--substrate bus`` or split-transaction
+  ``--substrate directory`` with seeded interconnect delay models) on
+  a workload, verify the result, optionally dump the trace.
+* ``campaign``             — ground-truth fault campaign: sweep seeds
+  over every (fault site × substrate × delay model) cell, verify all
+  runs as one deduplicated batch (``--jobs``, ``--store``,
+  ``--certify``), and hold the verifier to the latency oracle's
+  contract — every visible injection flagged VIOLATED, every latent
+  injection and control run HOLDS, zero false alarms.  Exit 0 iff the
+  contract holds.
 * ``solve <file.cnf>``     — decide a DIMACS formula with the built-in
   CDCL solver (``--via-vmc`` routes it through the Figure 4.1
   reduction instead, as a demonstration).
@@ -650,15 +659,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return code
 
 
+#: Default coherence protocol per simulator substrate.
+_SUBSTRATE_PROTOCOLS = {"bus": "MESI", "directory": "MSI"}
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.memsys import (
+        SUBSTRATES,
         FaultConfig,
         FaultKind,
-        MultiprocessorSystem,
         SystemConfig,
         random_shared_workload,
+        supported_faults,
     )
 
+    protocol = args.protocol or _SUBSTRATE_PROTOCOLS[args.substrate]
+    if args.substrate == "directory" and protocol != "MSI":
+        print(
+            f"error: the directory substrate implements MSI only; "
+            f"--protocol {protocol} is a bus-substrate option",
+            file=sys.stderr,
+        )
+        return 2
     scripts, initial = random_shared_workload(
         num_processors=args.processors,
         ops_per_processor=args.ops,
@@ -668,24 +690,43 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     faults = FaultConfig.none()
     if args.fault:
+        supported = supported_faults(args.substrate)
         try:
             kind = FaultKind(args.fault)
         except ValueError:
+            kind = None
+        if kind is None or kind not in supported:
             print(
-                f"error: unknown fault {args.fault!r}; choose from "
-                f"{[k.value for k in FaultKind]}",
+                f"error: fault {args.fault!r} is not a "
+                f"{args.substrate}-substrate site; choose from "
+                f"{sorted(k.value for k in supported)}",
                 file=sys.stderr,
             )
             return 2
         faults = FaultConfig.single(kind, seed=args.seed, rate=args.fault_rate)
     cfg = SystemConfig(
-        num_processors=args.processors, protocol=args.protocol, seed=args.seed
+        num_processors=args.processors,
+        protocol=protocol,
+        seed=args.seed,
+        num_homes=args.homes,
+        delay_model=args.delay_model,
     )
-    run = MultiprocessorSystem(
-        cfg, scripts, initial_memory=initial, faults=faults
-    ).run()
+    try:
+        run = SUBSTRATES[args.substrate](
+            cfg, scripts, initial_memory=initial, faults=faults
+        ).run()
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     print(run.summary())
-    print(f"bus traffic: {run.bus_traffic}")
+    print(f"traffic: {run.bus_traffic}")
+    if run.oracle is not None and run.fault_events:
+        o = run.oracle
+        print(
+            f"oracle: expects {o.expected_verdict} — "
+            f"{len(o.visible_events)} visible, "
+            f"{len(o.latent_events)} latent injections"
+        )
     result = verify_coherence(
         run.execution,
         write_orders=run.write_orders,
@@ -701,6 +742,98 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         save_json(run.execution, args.out)
         print(f"trace written to {args.out}")
     return 0 if result else 1
+
+
+def _parse_campaign_sites(text: str | None, substrates: list[str]):
+    """Resolve ``--sites a,b,c`` to FaultKind members (None = all)."""
+    from repro.memsys import FaultKind, supported_faults
+
+    if text is None:
+        return None
+    anywhere = set()
+    for s in substrates:
+        anywhere |= set(supported_faults(s))
+    sites = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            kind = FaultKind(token)
+        except ValueError:
+            kind = None
+        if kind is None or kind not in anywhere:
+            raise ValueError(
+                f"unknown fault site {token!r} for substrates "
+                f"{substrates}; choose from "
+                f"{sorted(k.value for k in anywhere)}"
+            )
+        sites.append(kind)
+    if not sites:
+        raise ValueError("--sites named no fault sites")
+    return sites
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.engine import ResultCache
+    from repro.memsys import SUBSTRATES, campaign_table, run_campaign
+
+    substrates = [
+        s.strip() for s in args.substrates.split(",") if s.strip()
+    ]
+    try:
+        for s in substrates:
+            if s not in SUBSTRATES:
+                raise ValueError(
+                    f"unknown substrate {s!r}; choose from "
+                    f"{sorted(SUBSTRATES)}"
+                )
+        sites = _parse_campaign_sites(args.sites, substrates)
+        resilience = _resilience_from_args(args)
+        store = _store_from_args(args, resilience)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    delay_models = [
+        d.strip() for d in args.delay_models.split(",") if d.strip()
+    ]
+    cache = ResultCache(store=store)
+
+    def say(msg: str) -> None:
+        if not args.quiet:
+            print(f"campaign: {msg}", file=sys.stderr, flush=True)
+
+    report = run_campaign(
+        sites=sites,
+        substrates=substrates,
+        runs_per_cell=args.runs_per_cell,
+        num_processors=args.processors,
+        ops_per_processor=args.ops,
+        num_addresses=args.addresses,
+        write_fraction=args.write_fraction,
+        fault_rate=args.fault_rate,
+        max_events=args.max_events if args.max_events else None,
+        base_seed=args.seed,
+        values=args.values,
+        workload=args.workload,
+        delay_models=delay_models,
+        num_homes=args.homes,
+        jobs=args.jobs,
+        cache=cache,
+        store=store,
+        run_cache=args.run_cache,
+        resilience=resilience,
+        certify=args.certify,
+        progress=say,
+    )
+    if args.json:
+        text = json.dumps(report.to_json(), indent=2, default=str)
+        if args.json == "-":
+            print(text)
+            return 0 if report.contract_ok else 1
+        Path(args.json).write_text(text + "\n", encoding="utf-8")
+    print(campaign_table(report, cache=cache))
+    return 0 if report.contract_ok else 1
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
@@ -1140,15 +1273,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_args(p)
     p.set_defaults(func=cmd_serve)
 
-    p = sub.add_parser("simulate", help="run the multiprocessor simulator")
+    p = sub.add_parser("simulate", help="run a multiprocessor simulator")
+    p.add_argument(
+        "--substrate",
+        choices=["bus", "directory"],
+        default="bus",
+        help="memory system: 'bus' (atomic snooping MSI/MESI) or "
+        "'directory' (split-transaction MSI over a message "
+        "interconnect with NACK/retry and writeback races)",
+    )
     p.add_argument("--processors", type=int, default=4)
     p.add_argument("--ops", type=int, default=100)
     p.add_argument("--addresses", type=int, default=4)
     p.add_argument("--values", choices=["unique", "small"], default="unique")
-    p.add_argument("--protocol", choices=["MSI", "MESI"], default="MESI")
+    p.add_argument(
+        "--protocol",
+        choices=["MSI", "MESI"],
+        default=None,
+        help="coherence protocol (default: MESI on the bus, MSI on the "
+        "directory; the directory substrate is MSI-only)",
+    )
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--fault", help="inject a fault kind (e.g. dropped-write)")
+    p.add_argument(
+        "--fault",
+        help="inject a fault site (e.g. dropped-write, wb-race); must "
+        "be one the chosen substrate supports",
+    )
     p.add_argument("--fault-rate", type=float, default=0.05)
+    p.add_argument(
+        "--delay-model",
+        default="fixed:1",
+        metavar="SPEC",
+        help="directory interconnect delays: fixed:T, uniform:LO:HI, "
+        "or numa:LOCAL:REMOTE[:SOCKET] (ignored on the bus)",
+    )
+    p.add_argument(
+        "--homes",
+        type=_positive_int,
+        default=2,
+        help="directory home nodes sharding the address space "
+        "(ignored on the bus)",
+    )
     p.add_argument("--out", help="write the recorded trace to this JSON file")
     p.add_argument("--jobs", type=_positive_int, default=1,
                    help="verify addresses in parallel on N workers")
@@ -1157,6 +1322,118 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print the engine report after verification")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "campaign",
+        help="ground-truth fault campaign: sweep seeds over every "
+        "(fault site x substrate x delay model) cell, verify all runs "
+        "as one deduplicated batch, and hold the verifier to the "
+        "oracle's visible=>VIOLATED / latent=>HOLDS contract",
+    )
+    p.add_argument(
+        "--substrates",
+        default="bus,directory",
+        metavar="LIST",
+        help="comma-separated substrates to sweep (default both)",
+    )
+    p.add_argument(
+        "--sites",
+        default=None,
+        metavar="LIST",
+        help="comma-separated fault sites (default: every site the "
+        "chosen substrates support; sites a substrate lacks are "
+        "skipped for it)",
+    )
+    p.add_argument(
+        "--runs-per-cell",
+        type=_positive_int,
+        default=20,
+        metavar="N",
+        help="seeded fault-injected runs per cell, plus one fault-free "
+        "control run (default 20)",
+    )
+    p.add_argument("--processors", type=_positive_int, default=4)
+    p.add_argument("--ops", type=_positive_int, default=40,
+                   help="operations per processor per run (default 40)")
+    p.add_argument("--addresses", type=_positive_int, default=3)
+    p.add_argument("--write-fraction", type=_nonneg_float, default=0.35)
+    p.add_argument("--fault-rate", type=_nonneg_float, default=0.1)
+    p.add_argument(
+        "--max-events",
+        type=_nonneg_int,
+        default=1,
+        metavar="N",
+        help="cap injections per run (0 = uncapped; default 1)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; every run derives a distinct seed")
+    p.add_argument("--values", choices=["unique", "small"], default="unique")
+    p.add_argument(
+        "--workload",
+        choices=["random", "producer-consumer", "false-sharing", "lock"],
+        default="random",
+        help="workload shape per run: uniform random mix, chain-style "
+        "producer/consumer, one hammered line, or test-and-set lock "
+        "contention (default random)",
+    )
+    p.add_argument(
+        "--delay-models",
+        default="fixed:1",
+        metavar="LIST",
+        help="comma-separated interconnect delay models for the "
+        "directory substrate (the bus is atomic); e.g. "
+        "'fixed:1,uniform:1:4,numa:1:6'",
+    )
+    p.add_argument("--homes", type=_positive_int, default=2,
+                   help="directory home nodes (default 2)")
+    p.add_argument(
+        "--run-cache",
+        default=None,
+        metavar="DIR",
+        help="per-run outcome cache directory: a repeated sweep with "
+        "the same parameters replays recorded verdicts instead of "
+        "re-simulating and re-verifying (resume/extend mega-campaigns)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="shard deduplicated instances over N worker processes",
+    )
+    p.add_argument(
+        "--certify",
+        choices=CERTIFY_MODES,
+        default="off",
+        help="certify every verdict with the independent trusted "
+        "checker; the ground-truth contract then rides on "
+        "proof-carrying verdicts end to end",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable campaign report to FILE "
+        "('-' prints it to stdout)",
+    )
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines on stderr")
+    p.add_argument(
+        "--timeout",
+        type=_nonneg_float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget for the verification sweep; runs not "
+        "decided in time report UNKNOWN (a contract breach only when "
+        "the oracle expected VIOLATED)",
+    )
+    p.add_argument("--task-timeout", type=_nonneg_float, default=None,
+                   metavar="S", help="soft deadline per unique instance")
+    p.add_argument("--retries", type=_nonneg_int, default=None, metavar="N",
+                   help="pool-breakage retries per chunk (default 2)")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="inject engine faults; test-only, needs REPRO_CHAOS")
+    _add_store_args(p)
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("solve", help="decide a DIMACS CNF formula")
     p.add_argument("cnf")

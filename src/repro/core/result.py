@@ -23,7 +23,7 @@ UNKNOWN_REASONS = ("timeout", "budget", "crashed", "uncertified", "shutdown")
 
 
 #: The certificate kinds a result may carry (see :class:`Certificate`).
-CERTIFICATE_KINDS = ("witness", "cycle", "infeasible", "rup")
+CERTIFICATE_KINDS = ("witness", "cycle", "infeasible", "rup", "order")
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,14 @@ class Certificate:
         proof (tuple of ``("a"|"d", lits)`` lines) that
         :func:`repro.sat.drat.check_rup` validates against a CNF
         re-derived from the raw trace.
+    ``order``
+        A VIOLATED verdict of the Section 5.2 *order-augmented*
+        problem: the trace is unschedulable **under the supplied
+        write-order** (the raw trace alone may well be coherent, so no
+        trace-only refutation exists).  Payload is the uid tuple of the
+        refuted order; the checker requires it to match the order the
+        instance actually supplies, then re-decides the augmented
+        instance with an independent gap-placement pass.
 
     Payloads are tuples of primitives so certificates pickle across the
     process pool and survive the result cache.

@@ -39,7 +39,30 @@ from repro.core.types import (
     Operation,
     Value,
 )
-from repro.core.result import VerificationResult
+from repro.core.result import Certificate, VerificationResult
+
+
+def _refuted(
+    write_order: Sequence[Operation],
+    reason: str,
+    addr: Address | None,
+) -> VerificationResult:
+    """A VIOLATED verdict of the order-augmented instance.
+
+    The refutation is relative to the supplied order — the raw trace
+    alone may be perfectly schedulable — so the verdict carries an
+    ``order`` certificate naming the order it refutes; the trusted
+    checker re-decides the augmented instance independently.
+    """
+    return VerificationResult(
+        holds=False,
+        method="write-order",
+        reason=reason,
+        address=addr,
+        certificate=Certificate(
+            "order", tuple(op.uid for op in write_order)
+        ),
+    )
 
 
 def writeorder_vmc(
@@ -63,12 +86,11 @@ def writeorder_vmc(
     if sorted(op.uid for op in write_order) != sorted(
         op.uid for op in writes_in_exec
     ):
-        return VerificationResult(
-            holds=False,
-            method="write-order",
-            reason="supplied write-order does not contain exactly the "
+        return _refuted(
+            write_order,
+            "supplied write-order does not contain exactly the "
             "execution's write operations",
-            address=addr,
+            addr,
         )
 
     # Validate: per process, writes appear in the order as in po.
@@ -76,12 +98,11 @@ def writeorder_vmc(
     for h in execution.histories:
         w_idx = [pos_in_order[op.uid] for op in h if op.kind.writes]
         if w_idx != sorted(w_idx):
-            return VerificationResult(
-                holds=False,
-                method="write-order",
-                reason=f"write-order contradicts program order of process "
+            return _refuted(
+                write_order,
+                f"write-order contradicts program order of process "
                 f"{h.proc}",
-                address=addr,
+                addr,
             )
 
     # Gap values: value at gap g (0..W).
@@ -94,24 +115,22 @@ def writeorder_vmc(
     # (the state just before it executes, i.e. after write j-1 = gap j-1).
     for j, w in enumerate(write_order):
         if w.kind is OpKind.RMW and w.value_read != gap_value[j]:
-            return VerificationResult(
-                holds=False,
-                method="write-order",
-                reason=f"{w} is serialized at write position {j} where the "
+            return _refuted(
+                write_order,
+                f"{w} is serialized at write position {j} where the "
                 f"value is {gap_value[j]!r}, but it read {w.value_read!r}",
-                address=addr,
+                addr,
             )
 
     # Final value check: last write must produce d_F.
     if d_f is not None:
         last = gap_value[-1]
         if last != d_f:
-            return VerificationResult(
-                holds=False,
-                method="write-order",
-                reason=f"last write leaves {last!r} but final value "
+            return _refuted(
+                write_order,
+                f"last write leaves {last!r} but final value "
                 f"{d_f!r} is required",
-                address=addr,
+                addr,
             )
 
     # Greedy placement of simple reads.
@@ -135,22 +154,20 @@ def writeorder_vmc(
             # that write's validation below).
             gaps = gaps_of_value.get(op.value_read)
             if not gaps:
-                return VerificationResult(
-                    holds=False,
-                    method="write-order",
-                    reason=f"{op} reads {op.value_read!r}, which no write "
+                return _refuted(
+                    write_order,
+                    f"{op} reads {op.value_read!r}, which no write "
                     f"produces (and it is not the initial value)",
-                    address=addr,
+                    addr,
                 )
             i = bisect_left(gaps, cursor)
             if i == len(gaps):
-                return VerificationResult(
-                    holds=False,
-                    method="write-order",
-                    reason=f"{op} reads {op.value_read!r} but no write of "
+                return _refuted(
+                    write_order,
+                    f"{op} reads {op.value_read!r} but no write of "
                     f"that value is serialized after its program-order "
                     f"predecessors",
-                    address=addr,
+                    addr,
                 )
             g = gaps[i]
             placement[op.uid] = g
@@ -162,12 +179,11 @@ def writeorder_vmc(
                 limit = pos_in_order[op.uid]
             elif op.kind is OpKind.READ:
                 if placement[op.uid] > limit:
-                    return VerificationResult(
-                        holds=False,
-                        method="write-order",
-                        reason=f"{op} cannot be served between its "
+                    return _refuted(
+                        write_order,
+                        f"{op} cannot be served between its "
                         f"program-order neighbouring writes",
-                        address=addr,
+                        addr,
                     )
 
     # Assemble the witness schedule: per gap, writes then reads.

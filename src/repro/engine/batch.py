@@ -244,7 +244,10 @@ def _serve_or_solve(
         if hit is not None:
             hit.address = unique.address
             if hit.holds or certify != "off":
-                check = validate_result(unique.sub, hit, "vmc")
+                check = validate_result(
+                    unique.sub, hit, "vmc",
+                    write_order=unique.write_order,
+                )
                 if not check:
                     cache.invalidate(unique.canon)
                     hit = None

@@ -26,6 +26,19 @@ with the solver stack that produced the verdict:
     a proof can only refute the formula the trace actually induces,
     never a stale or doctored one) and check the DRAT-style proof with
     :func:`repro.sat.drat.check_rup`.
+``order``
+    A Section 5.2 refutation: the trace is unschedulable *under the
+    supplied write-order* (the raw trace alone may be coherent, so
+    none of the trace-only kinds can exist).  The checker demands the
+    certificate name exactly the order the instance supplies, then
+    re-decides the augmented instance with an independent
+    gap-placement pass (:func:`_order_infeasible`) — a from-scratch
+    reimplementation of the decision procedure, sharing no code with
+    :mod:`repro.core.writeorder`, so producer and checker agreeing is
+    a differential test, not a tautology.  Symmetrically, when an
+    instance supplies a write-order, a HOLDS witness must *respect*
+    it: a schedule whose writes deviate from the reported
+    serialization does not witness the augmented instance.
 
 The checker is deliberately conservative: anything malformed,
 truncated, mismatched, or merely *unproven* fails closed.  The engine
@@ -79,6 +92,7 @@ def validate_result(
     execution: Execution,
     result: VerificationResult,
     problem: str = "vmc",
+    write_order=None,
 ) -> CertCheck:
     """Validate ``result``'s verdict against the raw ``execution``.
 
@@ -86,6 +100,11 @@ def validate_result(
     must carry a witness schedule that replays; VIOLATED results must
     carry a certificate whose kind-specific check succeeds.  The
     checker never consults the producing backend.
+
+    ``write_order`` is the instance's supplied write serialization
+    when it is an order-augmented (Section 5.2) instance: ``order``
+    certificates are checked against it, and a HOLDS witness must
+    respect it.
     """
     if result.unknown:
         return _OK
@@ -104,6 +123,16 @@ def validate_result(
         )
         if not check:
             return _fail(f"witness schedule rejected: {check.reason}")
+        if write_order is not None:
+            want = tuple(op.uid for op in write_order)
+            got = tuple(
+                op.uid for op in result.schedule if op.kind.writes
+            )
+            if got != want:
+                return _fail(
+                    "witness schedule does not respect the supplied "
+                    "write-order"
+                )
         return _OK
     cert = result.certificate
     if cert is None:
@@ -118,6 +147,8 @@ def validate_result(
         return _check_cycle(execution, cert.payload)
     if cert.kind == "rup":
         return _check_rup_certificate(execution, cert.payload)
+    if cert.kind == "order":
+        return _check_order(execution, cert.payload, write_order)
     return _fail(f"unknown certificate kind {cert.kind!r}")
 
 
@@ -131,11 +162,14 @@ def ensure_certificate(
 
     HOLDS results get the ``witness`` marker (the schedule is already
     the certificate).  A VIOLATED result without a certificate — exact
-    search exhausted, the §5.2 write-order route, a failed VSC merge —
-    is re-refuted on the *original* execution via the certified SAT
-    route, whose DRAT proof then certifies the verdict.  If the
-    re-solve finds a schedule instead, the two engines disagree; no
-    certificate is attached and validation will fail closed.
+    search exhausted, a failed VSC merge — is re-refuted on the
+    *original* execution via the certified SAT route, whose DRAT proof
+    then certifies the verdict.  (The §5.2 write-order route certifies
+    itself at the producer with an ``order`` certificate: its
+    refutations are relative to the supplied order, which a trace-only
+    SAT re-solve cannot reproduce.)  If the re-solve finds a schedule
+    instead, the two engines disagree; no certificate is attached and
+    validation will fail closed.
     """
     if result.unknown:
         return result
@@ -417,3 +451,94 @@ def _check_rup_certificate(execution: Execution, payload) -> CertCheck:
     if not verdict:
         return _fail(f"rup proof rejected: {verdict.reason}")
     return _OK
+
+
+# ---------------------------------------------------------------------
+# Order-augmented (Section 5.2) refutation certificates
+# ---------------------------------------------------------------------
+def _check_order(execution: Execution, payload, write_order) -> CertCheck:
+    if write_order is None:
+        return _fail(
+            "order certificate, but the instance supplies no write-order"
+        )
+    try:
+        claimed = tuple(tuple(u) for u in payload)
+    except TypeError:
+        return _fail(f"malformed order certificate payload {payload!r}")
+    supplied = tuple(op.uid for op in write_order)
+    if claimed != supplied:
+        return _fail(
+            "order certificate refutes a different write-order than the "
+            "instance supplies"
+        )
+    reason = _order_infeasible(execution, tuple(write_order))
+    if reason is None:
+        return _fail(
+            "the execution is schedulable under the supplied write-order"
+        )
+    return _OK
+
+
+def _order_infeasible(execution: Execution, order) -> str | None:
+    """Independent re-decision of the order-augmented instance.
+
+    Returns a reason when no schedule consistent with ``order`` exists,
+    ``None`` when one does.  Gap ``g`` (``0..W``) sits just after the
+    ``g``-th write and holds its value (gap 0 holds the initial value);
+    per process, every read goes into the earliest value-matching gap
+    at/after its program-order predecessors, which by the standard
+    exchange argument succeeds iff any placement does.  Deliberately a
+    from-scratch reimplementation — the producing solver is never
+    consulted.
+    """
+    from bisect import bisect_left
+
+    addrs = execution.constrained_addresses()
+    addr = addrs[0] if addrs else None
+    writes = [op for op in execution.all_ops() if op.kind.writes]
+    if sorted(op.uid for op in order) != sorted(op.uid for op in writes):
+        return "the order is not a permutation of the trace's writes"
+    slot = {op.uid: j for j, op in enumerate(order)}
+    for h in execution.histories:
+        js = [slot[op.uid] for op in h if op.kind.writes]
+        if any(a >= b for a, b in zip(js, js[1:])):
+            return "the order contradicts a process's program order"
+    values = [execution.initial_value(addr)] + [
+        w.value_written for w in order
+    ]
+    for j, w in enumerate(order):
+        if w.kind.reads and w.value_read != values[j]:
+            return f"RMW at slot {j} reads {w.value_read!r}, not {values[j]!r}"
+    d_f = execution.final_value(addr) if addr is not None else None
+    if d_f is not None and values[-1] != d_f:
+        return f"the last write leaves {values[-1]!r}, not the final {d_f!r}"
+    gaps: dict = {}
+    for g, v in enumerate(values):
+        gaps.setdefault(v, []).append(g)
+    for h in execution.histories:
+        cursor = 0
+        limits: list[tuple[int, int]] = []  # (placed gap, next-po-write slot)
+        for op in h:
+            if op.kind.is_sync:
+                continue
+            if op.kind.writes:
+                cursor = max(cursor, slot[op.uid] + 1)
+                continue
+            cand = gaps.get(op.value_read)
+            if not cand:
+                return f"{op} reads a value nobody writes"
+            i = bisect_left(cand, cursor)
+            if i == len(cand):
+                return f"{op} has no admissible gap after its predecessors"
+            cursor = cand[i]
+            limits.append((cursor, op.uid))  # resolved in the reverse pass
+        bound = len(order)
+        placed = dict((uid, g) for g, uid in limits)
+        for op in reversed(list(h)):
+            if op.kind.is_sync:
+                continue
+            if op.kind.writes:
+                bound = slot[op.uid]
+            elif placed[op.uid] > bound:
+                return f"{op} is pushed past its next program-order write"
+    return None

@@ -220,6 +220,18 @@ def _decide_task(
             # residual ops are original ops and writes are never
             # eliminated — so only RUP proofs pay this.)
             result.certificate = None
+        if cert is not None and cert.kind == "order" and (
+            task.instance.write_order is None
+            or tuple(op.uid for op in task.instance.write_order)
+            != tuple(cert.payload)
+        ):
+            # An order certificate refutes the instance *relative to a
+            # supplied write-order*.  The pre-pass downgrade path runs
+            # the write-order backend against an order it *derived*
+            # (forced by unique values) — sound, but the auditor can
+            # only re-check orders the instance itself supplies.  Drop
+            # the certificate and re-refute the raw trace below.
+            result.certificate = None
         t_cert = perf_counter()
         try:
             result = ensure_certificate(
@@ -316,7 +328,8 @@ def _finalize(
     if certify != "off" and not result.unknown:
         t_cert = perf_counter()
         check = validate_result(
-            task.instance.execution, result, task.instance.problem
+            task.instance.execution, result, task.instance.problem,
+            write_order=task.instance.write_order,
         )
         result.stats["t_certify"] = (
             result.stats.get("t_certify", 0.0) + perf_counter() - t_cert
@@ -371,7 +384,8 @@ def _cache_lookup(
     # wrong answer.
     if hit.holds or certify != "off":
         check = validate_result(
-            task.instance.execution, hit, task.instance.problem
+            task.instance.execution, hit, task.instance.problem,
+            write_order=task.instance.write_order,
         )
         if not check:
             cache.invalidate(canon)

@@ -1,9 +1,11 @@
-"""Protocol fault injection.
+"""Protocol fault injection: a message-level fault library.
 
 The motivation of the paper is dynamic *error detection*: a protocol
 bug or a hardware fault silently breaks coherence, and we want to catch
 it from the observed execution.  This module injects the canonical
-failure modes into the simulator:
+failure modes into the simulators.  Two families exist:
+
+**Datapath / reporting faults** (both substrates):
 
 * ``LOST_INVALIDATION`` — a snooper that should invalidate its copy on
   a foreign write keeps it; subsequent local reads return stale data.
@@ -21,31 +23,109 @@ failure modes into the simulator:
   (Section 5.2's helper itself failing); the write-order verifier must
   reject orders that contradict program order or read placements.
 
+**Message-level faults** (the split-transaction directory substrate,
+:mod:`repro.memsys.directory`, injected at the interconnect and at the
+home node's state machine):
+
+* ``DROPPED_MSG`` — any coherence message vanishes in flight; the
+  protocol's timeouts/NACK-retry machinery must recover (the recovery
+  itself may serve stale state — that is the point).
+* ``DUPLICATED_MSG`` — a message is delivered twice (a retransmission
+  bug); controllers must be idempotent or the duplicate corrupts state.
+* ``DELAYED_MSG`` — a message takes an anomalously long detour; almost
+  always architecturally latent, which exercises the latency oracle.
+* ``REORDERED_MSG`` — two queued messages on one link swap, violating
+  the per-link FIFO assumption the protocol's race handling relies on.
+* ``STALE_SHARER`` — the directory's sharer mask bit-rots: one sharer
+  is silently dropped from an invalidation fan-out and keeps a stale
+  readable copy.
+* ``DROPPED_INV_ACK`` — specifically an invalidation acknowledgement is
+  lost; the home times out and *forces* the transaction through.
+* ``DIR_STATE_CORRUPT`` — the directory entry itself is corrupted
+  (owner forgotten, state demoted) so memory serves data while a dirty
+  owner exists.
+* ``WB_RACE_CORRUPT`` — a writeback loses the race against the
+  directory's bookkeeping and its dirty data is discarded.
+
 Injection is probabilistic per opportunity, driven by a seeded RNG, and
-every actual injection is recorded so tests can assert both that
+every actual injection is recorded as a :class:`FaultEvent` so the
+latency oracle (:mod:`repro.memsys.oracle`) can classify it as
+architecturally *visible* or *latent* and tests can assert both that
 injected faults exist and that the verifier caught (or provably could
 not catch) them.
+
+Per-site parameterization follows :mod:`repro.engine.chaos`: a
+:class:`FaultSpec` string like ``"drop=0.02,stale-sharer=0.01,seed=7"``
+gives every site its own rate, and :meth:`FaultConfig.from_spec` turns
+it into an injector configuration.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.util.rng import make_rng
 
 
 class FaultKind(enum.Enum):
+    # -- datapath / reporting faults (bus + directory substrates) ------
     LOST_INVALIDATION = "lost-invalidation"
     STALE_MEMORY = "stale-memory"
     DROPPED_WRITE = "dropped-write"
     CORRUPTED_VALUE = "corrupted-value"
     REORDERED_SERIALIZATION = "reordered-serialization"
+    # -- message-level faults (directory substrate only) ---------------
+    DROPPED_MSG = "drop-msg"
+    DUPLICATED_MSG = "dup-msg"
+    DELAYED_MSG = "delay-msg"
+    REORDERED_MSG = "reorder-msg"
+    STALE_SHARER = "stale-sharer"
+    DROPPED_INV_ACK = "drop-inv-ack"
+    DIR_STATE_CORRUPT = "dir-corrupt"
+    WB_RACE_CORRUPT = "wb-race"
+
+
+#: Message-level sites: only the split-transaction directory substrate
+#: has an interconnect to inject them into.
+MESSAGE_FAULTS: frozenset[FaultKind] = frozenset(
+    {
+        FaultKind.DROPPED_MSG,
+        FaultKind.DUPLICATED_MSG,
+        FaultKind.DELAYED_MSG,
+        FaultKind.REORDERED_MSG,
+        FaultKind.STALE_SHARER,
+        FaultKind.DROPPED_INV_ACK,
+        FaultKind.DIR_STATE_CORRUPT,
+        FaultKind.WB_RACE_CORRUPT,
+    }
+)
+
+#: Snooping-bus-specific sites: the directory substrate has no snooper
+#: to lose an intervention, its equivalents are the message sites.
+BUS_ONLY_FAULTS: frozenset[FaultKind] = frozenset(
+    {FaultKind.LOST_INVALIDATION, FaultKind.STALE_MEMORY}
+)
+
+
+def supported_faults(substrate: str) -> list[FaultKind]:
+    """The fault sites a substrate can physically express."""
+    if substrate == "bus":
+        return [k for k in FaultKind if k not in MESSAGE_FAULTS]
+    if substrate == "directory":
+        return [k for k in FaultKind if k not in BUS_ONLY_FAULTS]
+    raise ValueError(f"unknown substrate {substrate!r}")
 
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One actual injection, for post-mortem analysis."""
+    """One actual injection, for post-mortem analysis.
+
+    ``step`` is the simulator tick at injection time, ``proc`` the
+    processor whose state the fault touches (-1 when the fault lands at
+    a home node / on a link rather than a core), ``addr`` a word
+    address inside the affected cache line.
+    """
 
     kind: FaultKind
     step: int
@@ -58,14 +138,22 @@ class FaultEvent:
 class FaultConfig:
     """Which faults to inject and how often.
 
-    ``rate`` is the per-opportunity probability; ``max_events`` caps the
-    number of injections (a single fault is the common test setup).
+    Two equivalent parameterizations:
+
+    * legacy: ``kinds`` + a shared ``rate`` (every armed site fires with
+      the same per-opportunity probability);
+    * per-site: ``rates`` maps each site to its own probability and
+      wins over ``kinds``/``rate`` for the sites it names.
+
+    ``max_events`` caps the number of injections across all sites (a
+    single fault is the common test setup).
     """
 
     kinds: frozenset[FaultKind] = frozenset()
     rate: float = 0.0
     max_events: int | None = None
     seed: int | None = 0
+    rates: dict[FaultKind, float] = field(default_factory=dict)
 
     @staticmethod
     def none() -> "FaultConfig":
@@ -77,6 +165,89 @@ class FaultConfig:
             kinds=frozenset([kind]), rate=rate, max_events=1, seed=seed
         )
 
+    @staticmethod
+    def from_spec(spec: "FaultSpec | str", seed: int | None = None) -> "FaultConfig":
+        """Build a per-site config from a :class:`FaultSpec` (or its
+        string grammar); ``seed`` overrides the spec's seed."""
+        if isinstance(spec, str):
+            spec = FaultSpec.parse(spec)
+        return FaultConfig(
+            kinds=frozenset(spec.rates),
+            rates=dict(spec.rates),
+            max_events=spec.max_events,
+            seed=spec.seed if seed is None else seed,
+        )
+
+    def rate_for(self, kind: FaultKind) -> float:
+        if kind in self.rates:
+            return self.rates[kind]
+        return self.rate if kind in self.kinds else 0.0
+
+    def reseeded(self, seed: int | None) -> "FaultConfig":
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-site fault rates, with the chaos-style string grammar::
+
+        SPEC  := field ("," field)*
+        field := SITE "=" RATE | "seed" "=" INT | "max-events" "=" INT
+        SITE  := a FaultKind value, e.g. "drop-msg" | "stale-sharer"
+        RATE  := float in [0, 1]
+
+    Example: ``"drop-msg=0.02,stale-sharer=0.01,seed=7"``.
+    """
+
+    rates: dict[FaultKind, float] = field(default_factory=dict)
+    seed: int | None = 0
+    max_events: int | None = None
+
+    @staticmethod
+    def parse(text: str) -> "FaultSpec":
+        rates: dict[FaultKind, float] = {}
+        seed: int | None = 0
+        max_events: int | None = None
+        by_value = {k.value: k for k in FaultKind}
+        for raw in text.split(","):
+            raw = raw.strip()
+            if not raw:
+                continue
+            if "=" not in raw:
+                raise ValueError(
+                    f"bad fault field {raw!r}: want SITE=RATE, seed=INT "
+                    f"or max-events=INT"
+                )
+            key, _, value = raw.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "seed":
+                seed = int(value)
+                continue
+            if key == "max-events":
+                max_events = int(value)
+                continue
+            if key not in by_value:
+                raise ValueError(
+                    f"unknown fault site {key!r}; choose from "
+                    f"{sorted(by_value)}"
+                )
+            rate = float(value)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {key!r} must be in [0, 1], got {rate}")
+            rates[by_value[key]] = rate
+        return FaultSpec(rates=rates, seed=seed, max_events=max_events)
+
+    def describe(self) -> str:
+        parts = [f"{k.value}={r:g}" for k, r in sorted(
+            self.rates.items(), key=lambda kv: kv[0].value
+        )]
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        if self.max_events is not None:
+            parts.append(f"max-events={self.max_events}")
+        return ",".join(parts)
+
 
 class FaultInjector:
     """Decides, opportunity by opportunity, whether a fault fires."""
@@ -87,14 +258,15 @@ class FaultInjector:
         self.events: list[FaultEvent] = []
 
     def _armed(self, kind: FaultKind) -> bool:
-        if kind not in self.config.kinds or self.config.rate <= 0.0:
+        rate = self.config.rate_for(kind)
+        if rate <= 0.0:
             return False
         if (
             self.config.max_events is not None
             and len(self.events) >= self.config.max_events
         ):
             return False
-        return self.rng.random() < self.config.rate
+        return self.rng.random() < rate
 
     def fire(
         self, kind: FaultKind, step: int, proc: int, addr: int, detail: str = ""

@@ -18,11 +18,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.core.types import Execution, OpKind, Operation
+from repro.core.types import INITIAL, Execution, OpKind, Operation
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.memsys.bus import Bus
     from repro.memsys.faults import FaultEvent
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One committed value that contradicts the golden replay.
+
+    ``uid`` is the diverging operation's (proc, index), or ``None`` for
+    a post-run final-memory mismatch; ``expected`` is what the commit
+    order says the value should have been, ``observed`` what the
+    machine actually returned/kept; ``tick`` the simulator time of the
+    divergent commit (end-of-run for final mismatches).
+    """
+
+    uid: tuple[int, int] | None
+    proc: int
+    addr: int
+    expected: object
+    observed: object
+    tick: int
 
 
 class Recorder:
@@ -33,13 +52,25 @@ class Recorder:
     streaming verifier (:mod:`repro.engine.streaming`) consumes.  An
     optional ``observer`` callable sees each operation as it commits
     (live monitoring); it must not mutate the operation.
+
+    The recorder also runs a **golden replay** alongside: a shadow
+    memory updated with every committed write's *architectural* value.
+    A committed read (or the post-run final memory) that disagrees with
+    the shadow is recorded as a :class:`Divergence` — proof that a
+    faulty value *escaped* into the architectural trace.  Conversely,
+    when a run has no divergences the commit order itself schedules
+    every operation, so the trace is provably coherent; the latency
+    oracle (:mod:`repro.memsys.oracle`) builds on exactly this.
     """
 
-    def __init__(self, num_processors: int, observer=None):
+    def __init__(self, num_processors: int, observer=None, initial=None):
         self.histories: list[list[Operation]] = [[] for _ in range(num_processors)]
         self.write_orders: dict[int, list[Operation]] = {}
         self.commit_log: list[Operation] = []
         self.observer = observer
+        self._initial: dict[int, object] = dict(initial or {})
+        self.golden: dict[int, object] = {}
+        self.divergences: list[Divergence] = []
 
     def _append(self, op: Operation) -> Operation:
         self.histories[op.proc].append(op)
@@ -48,24 +79,50 @@ class Recorder:
             self.observer(op)
         return op
 
-    def record_load(self, proc: int, addr: int, value: object) -> Operation:
-        return self._append(
+    def _golden_value(self, addr: int) -> object:
+        if addr in self.golden:
+            return self.golden[addr]
+        return self._initial.get(addr, INITIAL)
+
+    def _check_read(
+        self, uid: tuple[int, int], proc: int, addr: int, value: object, tick: int
+    ) -> None:
+        expected = self._golden_value(addr)
+        if value != expected:
+            self.divergences.append(
+                Divergence(uid, proc, addr, expected, value, tick)
+            )
+
+    def record_load(
+        self, proc: int, addr: int, value: object, tick: int = 0
+    ) -> Operation:
+        op = self._append(
             Operation(
                 OpKind.READ, addr, proc, len(self.histories[proc]), value_read=value
             )
         )
+        self._check_read(op.uid, proc, addr, value, tick)
+        return op
 
-    def record_store(self, proc: int, addr: int, value: object) -> Operation:
+    def record_store(
+        self, proc: int, addr: int, value: object, tick: int = 0
+    ) -> Operation:
         op = self._append(
             Operation(
                 OpKind.WRITE, addr, proc, len(self.histories[proc]), value_written=value
             )
         )
         self.write_orders.setdefault(addr, []).append(op)
+        self.golden[addr] = value
         return op
 
     def record_rmw(
-        self, proc: int, addr: int, value_read: object, value_written: object
+        self,
+        proc: int,
+        addr: int,
+        value_read: object,
+        value_written: object,
+        tick: int = 0,
     ) -> Operation:
         op = self._append(
             Operation(
@@ -78,7 +135,19 @@ class Recorder:
             )
         )
         self.write_orders.setdefault(addr, []).append(op)
+        self._check_read(op.uid, proc, addr, value_read, tick)
+        self.golden[addr] = value_written
         return op
+
+    def check_final(self, final: dict[int, object], tick: int) -> None:
+        """Compare the machine's final memory against the golden replay;
+        mismatches are escape evidence like any read divergence."""
+        for addr, observed in final.items():
+            expected = self._golden_value(addr)
+            if observed != expected:
+                self.divergences.append(
+                    Divergence(None, -1, addr, expected, observed, tick)
+                )
 
     def build_execution(
         self,
@@ -102,6 +171,12 @@ class RunResult:
     cache_stats: list[dict] = field(default_factory=list)
     #: Every architectural operation in global commit (bus) order.
     commit_log: list[Operation] = field(default_factory=list)
+    #: Golden-replay divergences (escape evidence for the oracle).
+    divergences: list[Divergence] = field(default_factory=list)
+    #: Latency-oracle classification of every injection (an
+    #: :class:`repro.memsys.oracle.OracleReport`), filled by the
+    #: systems' ``run()``.
+    oracle: object | None = None
 
     @property
     def num_ops(self) -> int:

@@ -34,6 +34,9 @@ class SystemConfig:
     line_words: int = 4
     scheduler: str = "random"  # "random" | "round-robin"
     seed: int | None = 0
+    # Directory-substrate knobs (ignored by the bus system):
+    num_homes: int = 2
+    delay_model: str = "fixed:1"  # see interconnect.make_delay_model
 
 
 class MultiprocessorSystem:
@@ -72,6 +75,7 @@ class MultiprocessorSystem:
         self.recorder = Recorder(
             config.num_processors,
             observer=monitor.feed_op if monitor is not None else None,
+            initial=initial_memory,
         )
         if monitor is not None and initial_memory:
             monitor.set_initial(dict(initial_memory))
@@ -118,6 +122,7 @@ class MultiprocessorSystem:
             if max_steps is not None and self.steps >= max_steps:
                 break
         final = self._final_values()
+        self.recorder.check_final(final, self.steps)
         execution = self.recorder.build_execution(
             initial=self._initial_snapshot, final=final
         )
@@ -126,7 +131,7 @@ class MultiprocessorSystem:
         write_orders = corrupt_write_orders(
             self.recorder.write_orders, self.injector, self.steps
         )
-        return RunResult(
+        result = RunResult(
             execution=execution,
             write_orders=write_orders,
             steps=self.steps,
@@ -135,7 +140,12 @@ class MultiprocessorSystem:
             fault_events=list(self.injector.events),
             cache_stats=[vars(c.stats) for c in self.caches],
             commit_log=list(self.recorder.commit_log),
+            divergences=list(self.recorder.divergences),
         )
+        from repro.memsys.oracle import classify_run
+
+        result.oracle = classify_run(result, line_words=self.config.line_words)
+        return result
 
     # ------------------------------------------------------------------
     # Cache controller actions
@@ -239,7 +249,7 @@ class MultiprocessorSystem:
             cache.stats.misses += 1
             line = self._fill(proc, addr, BusOp.BUS_RD, "read")
         value = line.data.get(cache.offset(addr), INITIAL)
-        self.recorder.record_load(proc, addr, value)
+        self.recorder.record_load(proc, addr, value, tick=self.steps)
 
     def _acquire_exclusive(self, proc: int, addr: int) -> CacheLine:
         """Get the line in a writable state (hit, upgrade, or RdX miss)."""
@@ -271,7 +281,7 @@ class MultiprocessorSystem:
             line.data[cache.offset(addr)] = stored
         # The history records the *architectural* store; the write-order
         # records the bus-observed serialization of that store.
-        self.recorder.record_store(proc, addr, value)
+        self.recorder.record_store(proc, addr, value, tick=self.steps)
 
     def _do_rmw(
         self, proc: int, addr: int, value: object, expect: object
@@ -282,10 +292,10 @@ class MultiprocessorSystem:
         if expect is not None and old != expect:
             # Conditional RMW that failed: architecturally a no-op write
             # of the observed value (keeps the trace RMW-shaped).
-            self.recorder.record_rmw(proc, addr, old, old)
+            self.recorder.record_rmw(proc, addr, old, old, tick=self.steps)
             return
         line.data[cache.offset(addr)] = value
-        self.recorder.record_rmw(proc, addr, old, value)
+        self.recorder.record_rmw(proc, addr, old, value, tick=self.steps)
 
     # ------------------------------------------------------------------
     # Post-run state

@@ -70,10 +70,17 @@ def producer_consumer_workload(
     flag == i must see data == payload(i).  The scripts are *oblivious*
     (no control flow), so consumers poll a fixed number of times and
     read data after each poll — a real trace with plenty of reuse.
+
+    The payload values are offset by a seeded base so different seeds
+    produce distinct (if isomorphic) traces — a campaign sweeping seeds
+    gets genuinely different instances rather than one deduplicated
+    fingerprint.
     """
+    rng = make_rng(seed)
+    payload_base = 100 + (rng.randrange(1 << 16) << 8)
     producer: list[ScriptOp] = []
     for i in range(1, items + 1):
-        producer.append(store(data_addr, 100 + i))
+        producer.append(store(data_addr, payload_base + i))
         producer.append(store(flag_addr, i))
     consumers = []
     for _ in range(num_consumers):

@@ -88,7 +88,7 @@ class TestCertificateType:
             Certificate("bogus")
 
     def test_kinds_accepted(self):
-        for kind in ("witness", "cycle", "infeasible", "rup"):
+        for kind in ("witness", "cycle", "infeasible", "rup", "order"):
             assert Certificate(kind).kind == kind
 
 
@@ -345,6 +345,80 @@ class TestRupCertificates:
 # ---------------------------------------------------------------------
 # ensure_certificate (the producer side)
 # ---------------------------------------------------------------------
+# ---------------------------------------------------------------------
+# Order certificates (§5.2 write-order refutations)
+# ---------------------------------------------------------------------
+class TestOrderCertificates:
+    """A write-order VIOLATED verdict refutes the *order-augmented*
+    instance — the raw trace alone may be schedulable, so the
+    certificate names the refuted order and the checker re-decides."""
+
+    def order_refuted_instance(self):
+        # Reading 1 after W(x,2) is impossible when the supplied order
+        # serializes W(x,1) before W(x,2).
+        ex = parse_trace("P0: W(x,1) W(x,2) R(x,1)")
+        order = [op for op in ex.all_ops() if op.kind.writes]
+        return ex, order
+
+    def test_producer_self_certifies(self):
+        from repro.core.writeorder import writeorder_vmc
+
+        ex, order = self.order_refuted_instance()
+        res = writeorder_vmc(ex, order)
+        assert res.violated
+        assert res.certificate is not None
+        assert res.certificate.kind == "order"
+        assert res.certificate.payload == tuple(op.uid for op in order)
+        assert validate_result(ex, res, write_order=order)
+
+    def test_rejected_without_supplied_order(self):
+        ex, order = self.order_refuted_instance()
+        res = _violated(
+            Certificate("order", tuple(op.uid for op in order))
+        )
+        check = validate_result(ex, res)
+        assert "no write-order" in check.reason
+
+    def test_rejected_for_mismatched_order(self):
+        ex, order = self.order_refuted_instance()
+        res = _violated(
+            Certificate("order", tuple(op.uid for op in reversed(order)))
+        )
+        check = validate_result(ex, res, write_order=order)
+        assert "different write-order" in check.reason
+
+    def test_rejected_when_order_is_schedulable(self):
+        # The same claim against a coherent order fails closed.
+        ex = parse_trace("P0: W(x,1) W(x,2) R(x,2)")
+        order = [op for op in ex.all_ops() if op.kind.writes]
+        res = _violated(Certificate("order", tuple(op.uid for op in order)))
+        check = validate_result(ex, res, write_order=order)
+        assert "schedulable" in check.reason
+
+    def test_malformed_payload_rejected(self):
+        ex, order = self.order_refuted_instance()
+        res = _violated(Certificate("order", 7))
+        assert not validate_result(ex, res, write_order=order)
+
+    def test_holds_witness_must_respect_supplied_order(self):
+        from repro.core.writeorder import writeorder_vmc
+
+        ex = parse_trace("P0: W(x,1)\nP1: W(x,2)", final={"x": 2})
+        order = sorted(
+            (op for op in ex.all_ops() if op.kind.writes),
+            key=lambda op: op.value_written,
+        )
+        res = writeorder_vmc(ex, order)
+        assert res.holds
+        assert validate_result(ex, res, write_order=order)
+        # The same witness checked against the *opposite* order must be
+        # rejected: it schedules the writes in the wrong sequence.
+        check = validate_result(
+            ex, res, write_order=list(reversed(order))
+        )
+        assert "respect" in check.reason
+
+
 class TestEnsureCertificate:
     def test_holds_gets_the_witness_marker(self):
         ex = parse_trace("P0: W(x,1) R(x,1)")

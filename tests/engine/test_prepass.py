@@ -318,7 +318,7 @@ class TestCampaignCacheReporting:
 
         cache = ResultCache()
         results = run_campaign(
-            kinds=[FaultKind.DROPPED_WRITE],
+            sites=[FaultKind.DROPPED_WRITE],
             substrates=["bus"],
             runs_per_cell=3,
             ops_per_processor=10,

@@ -3,7 +3,16 @@
 import pytest
 
 from repro.core.vmc import verify_coherence
-from repro.memsys.faults import FaultConfig, FaultInjector, FaultKind
+from repro.memsys.faults import (
+    BUS_ONLY_FAULTS,
+    MESSAGE_FAULTS,
+    FaultConfig,
+    FaultInjector,
+    FaultKind,
+    FaultSpec,
+    corrupt_write_orders,
+    supported_faults,
+)
 from repro.memsys.processor import load, store
 from repro.memsys.system import MultiprocessorSystem, SystemConfig
 from repro.memsys.workloads import random_shared_workload
@@ -42,6 +51,101 @@ class TestInjectorMechanics:
     def test_corrupt_non_int_wraps(self):
         inj = FaultInjector(FaultConfig.none())
         assert inj.corrupt("v") == ("corrupt", "v")
+
+    def test_per_site_rates_override_shared_rate(self):
+        cfg = FaultConfig(
+            kinds=frozenset([FaultKind.DROPPED_MSG, FaultKind.STALE_SHARER]),
+            rate=0.5,
+            rates={FaultKind.DROPPED_MSG: 0.0},
+        )
+        assert cfg.rate_for(FaultKind.DROPPED_MSG) == 0.0
+        assert cfg.rate_for(FaultKind.STALE_SHARER) == 0.5
+        assert cfg.rate_for(FaultKind.WB_RACE_CORRUPT) == 0.0
+
+    def test_reseeded_copy(self):
+        cfg = FaultConfig.single(FaultKind.DROPPED_MSG, seed=1)
+        assert cfg.reseeded(9).seed == 9
+        assert cfg.seed == 1
+
+
+class TestFaultSpec:
+    def test_parse_and_describe_round_trip(self):
+        spec = FaultSpec.parse("drop-msg=0.02,stale-sharer=0.01,seed=7")
+        assert spec.rates == {
+            FaultKind.DROPPED_MSG: 0.02,
+            FaultKind.STALE_SHARER: 0.01,
+        }
+        assert spec.seed == 7
+        assert FaultSpec.parse(spec.describe()) == spec
+
+    def test_max_events_field(self):
+        spec = FaultSpec.parse("wb-race=1.0,max-events=2")
+        assert spec.max_events == 2
+        cfg = FaultConfig.from_spec(spec)
+        assert cfg.max_events == 2
+        assert cfg.rate_for(FaultKind.WB_RACE_CORRUPT) == 1.0
+
+    def test_from_spec_seed_override(self):
+        cfg = FaultConfig.from_spec("drop-msg=0.1,seed=3", seed=11)
+        assert cfg.seed == 11
+
+    @pytest.mark.parametrize(
+        "text", ["gremlins=0.1", "drop-msg", "drop-msg=1.5", "drop-msg=-1"]
+    )
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ValueError):
+            FaultSpec.parse(text)
+
+
+class TestSupportedFaults:
+    def test_bus_excludes_message_sites(self):
+        sites = set(supported_faults("bus"))
+        assert not sites & MESSAGE_FAULTS
+        assert FaultKind.LOST_INVALIDATION in sites
+        assert FaultKind.DROPPED_WRITE in sites
+
+    def test_directory_excludes_snooper_sites(self):
+        sites = set(supported_faults("directory"))
+        assert not sites & BUS_ONLY_FAULTS
+        assert MESSAGE_FAULTS <= sites
+        assert FaultKind.DROPPED_WRITE in sites  # datapath parity
+
+    def test_every_site_has_a_substrate(self):
+        covered = set(supported_faults("bus")) | set(
+            supported_faults("directory")
+        )
+        assert covered == set(FaultKind)
+
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(ValueError, match="unknown substrate"):
+            supported_faults("crossbar")
+
+
+class TestWriteOrderCorruption:
+    @staticmethod
+    def writes(n):
+        # Stand-in order entries only need .proc for the event record.
+        from types import SimpleNamespace
+
+        return [SimpleNamespace(proc=i, value=i) for i in range(n)]
+
+    def test_adjacent_entries_swapped_when_armed(self):
+        cfg = FaultConfig(
+            kinds=frozenset([FaultKind.REORDERED_SERIALIZATION]),
+            rate=1.0, max_events=1,
+        )
+        inj = FaultInjector(cfg)
+        w1, w2 = self.writes(2)
+        out = corrupt_write_orders({0: [w1, w2]}, inj, step=5)
+        assert out[0] == [w2, w1]
+        assert inj.events[0].kind is FaultKind.REORDERED_SERIALIZATION
+
+    def test_untouched_when_unarmed(self):
+        inj = FaultInjector(FaultConfig.none())
+        w1, w2 = self.writes(2)
+        out = corrupt_write_orders({0: [w1, w2]}, inj, step=5)
+        assert out[0] == [w1, w2]
+        assert inj.injected == 0
 
 
 def run_with_fault(kind, scripts, initial, seed=0, rate=1.0):

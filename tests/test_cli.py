@@ -237,6 +237,105 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "coherence: holds" in out and "engine:" in out
 
+    def test_directory_substrate_runs(self, capsys):
+        code = main(
+            ["simulate", "--substrate", "directory", "--ops", "25",
+             "--processors", "4", "--seed", "3", "--delay-model",
+             "uniform:1:3", "--homes", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coherence: holds" in out
+        assert "traffic:" in out
+
+    def test_directory_rejects_non_msi_protocol(self, capsys):
+        code = main(
+            ["simulate", "--substrate", "directory", "--protocol", "MESI"]
+        )
+        assert code == 2
+        assert "MSI" in capsys.readouterr().err
+
+    def test_substrate_specific_fault_site_rejected(self, capsys):
+        # wb-race is a directory-only site; the bus must refuse it.
+        code = main(["simulate", "--substrate", "bus", "--fault", "wb-race"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "wb-race" in err and "choose from" in err
+
+    def test_directory_fault_injection_runs(self, capsys):
+        code = main(
+            ["simulate", "--substrate", "directory", "--ops", "25",
+             "--seed", "5", "--fault", "drop-msg", "--fault-rate", "0.05"]
+        )
+        assert code in (0, 1)  # verdict depends on fault visibility
+
+    def test_bad_delay_model_rejected(self, capsys):
+        code = main(
+            ["simulate", "--substrate", "directory", "--delay-model",
+             "warp:9"]
+        )
+        assert code == 2
+
+
+class TestCampaign:
+    ARGS = [
+        "campaign", "--substrates", "bus", "--sites", "dropped-write",
+        "--runs-per-cell", "3", "--processors", "3", "--ops", "20",
+        "--addresses", "2", "--quiet",
+    ]
+
+    def test_small_campaign_contract_ok(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "contract: OK" in out
+        assert "dropped-write" in out
+
+    def test_json_report_to_stdout(self, capsys):
+        import json as json_mod
+
+        assert main(self.ARGS + ["--json", "-"]) == 0
+        blob = json_mod.loads(capsys.readouterr().out)
+        assert blob["contract_ok"] is True
+        assert blob["cells"][0]["site"] == "dropped-write"
+
+    def test_json_report_to_file(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = tmp_path / "report.json"
+        assert main(self.ARGS + ["--json", str(path)]) == 0
+        blob = json_mod.loads(path.read_text())
+        assert blob["total_runs"] == 4  # 3 injected + 1 control
+
+    def test_unknown_substrate_exits_2(self, capsys):
+        assert main(["campaign", "--substrates", "hypercube"]) == 2
+        assert "unknown substrate" in capsys.readouterr().err
+
+    def test_unknown_site_exits_2(self, capsys):
+        code = main(
+            ["campaign", "--substrates", "bus", "--sites", "gremlins"]
+        )
+        assert code == 2
+        assert "unknown fault site" in capsys.readouterr().err
+
+    def test_site_unsupported_by_substrate_exits_2(self, capsys):
+        code = main(
+            ["campaign", "--substrates", "bus", "--sites", "wb-race"]
+        )
+        assert code == 2
+
+    def test_certified_campaign_with_store(self, tmp_path, capsys):
+        args = self.ARGS + [
+            "--certify", "on", "--store", str(tmp_path / "store"),
+        ]
+        assert main(args) == 0
+        assert "contract: OK" in capsys.readouterr().out
+        # Warm re-run is served from the persistent store.
+        assert main(args + ["--json", "-"]) == 0
+        import json as json_mod
+
+        blob = json_mod.loads(capsys.readouterr().out)
+        assert blob["provenance"].get("store", 0) > 0
+
 
 class TestSolve:
     def test_sat_formula(self, tmp_path, capsys):
